@@ -1,0 +1,1 @@
+bench/ablate.ml: Aurora_block Aurora_core Aurora_kern Aurora_sim Aurora_util Aurora_vm List Printf

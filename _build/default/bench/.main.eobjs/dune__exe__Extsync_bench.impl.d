@@ -1,0 +1,1 @@
+bench/extsync_bench.ml: Aurora_apps Aurora_util List Printf

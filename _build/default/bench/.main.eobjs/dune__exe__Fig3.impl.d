@@ -1,0 +1,1 @@
+bench/fig3.ml: Aurora_fs Aurora_util Aurora_workloads List Printf

@@ -1,0 +1,1 @@
+bench/fig4.ml: Aurora_apps Aurora_util List Printf

@@ -1,0 +1,1 @@
+bench/fig5.ml: Aurora_apps Aurora_util List Printf

@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Array Extsync_bench Fig3 Fig4 Fig5 Fig6 List Micro Printf Sys Table1 Table4 Table5 Table6 Table7

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Aurora_block Aurora_objstore Aurora_sim Aurora_vm Bechamel Benchmark Bytes Fun Hashtbl Instance List Measure Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/table1.ml: Aurora_apps Aurora_criu Aurora_kern Aurora_util

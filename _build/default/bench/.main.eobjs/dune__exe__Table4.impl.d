@@ -1,0 +1,1 @@
+bench/table4.ml: Aurora_core Aurora_kern Aurora_sim Aurora_util List Printf

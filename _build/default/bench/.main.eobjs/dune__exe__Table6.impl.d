@@ -1,0 +1,1 @@
+bench/table6.ml: Aurora_apps Aurora_block Aurora_core Aurora_kern Aurora_objstore Aurora_sim Aurora_util Aurora_vm List

@@ -1,0 +1,1 @@
+bench/table7.ml: Aurora_apps Aurora_block Aurora_core Aurora_criu Aurora_kern Aurora_objstore Aurora_sim Aurora_util

@@ -1,0 +1,213 @@
+(* Ablations of the design choices DESIGN.md calls out:
+   - collapse direction (Aurora's reverse vs stock FreeBSD),
+   - system shadowing vs per-process fork-style COW,
+   - vnode references by inode number vs path lookup,
+   - shadow chain length bound. *)
+
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Page = Aurora_vm.Page
+module Vm_object = Aurora_vm.Vm_object
+module Vm_space = Aurora_vm.Vm_space
+module Vm_map = Aurora_vm.Vm_map
+module Syscall = Aurora_kern.Syscall
+module Sls = Aurora_core.Sls
+module Group = Aurora_core.Group
+module Text_table = Aurora_util.Text_table
+module Units = Aurora_util.Units
+
+(* Collapse direction: a checkpoint-period shadow holds few pages above a
+   large parent; measure both merge directions. *)
+let collapse_direction () =
+  print_endline "Ablation: collapse direction (shadow pages -> parent vs stock)";
+  let t =
+    Text_table.create
+      ~header:[ "Parent pages"; "Shadow pages"; "Stock FreeBSD"; "Aurora reverse" ]
+  in
+  List.iter
+    (fun (parent_pages, shadow_pages) ->
+      let build () =
+        let clock = Clock.create () in
+        let base = Vm_object.create Vm_object.Anonymous in
+        for i = 0 to parent_pages - 1 do
+          Vm_object.insert_page base i (Page.alloc ())
+        done;
+        let shadow = Vm_object.shadow ~clock base in
+        for i = 0 to shadow_pages - 1 do
+          Vm_object.insert_page shadow i (Page.alloc ())
+        done;
+        (clock, shadow)
+      in
+      let time direction =
+        let clock, shadow = build () in
+        let t0 = Clock.now clock in
+        ignore (Vm_object.collapse ~clock ~direction shadow);
+        Clock.now clock - t0
+      in
+      Text_table.add_row t
+        [
+          string_of_int parent_pages;
+          string_of_int shadow_pages;
+          Units.ns_to_string (time Vm_object.Stock_freebsd);
+          Units.ns_to_string (time Vm_object.Aurora_reverse);
+        ])
+    [ (1024, 16); (16384, 64); (131072, 256); (262144, 1024) ];
+  Text_table.print t;
+  print_newline ()
+
+(* System shadowing vs fork-style COW: fork's mechanism cannot track a
+   shared mapping without breaking sharing, and re-marking per process
+   multiplies the stop-time marking work.  Compare the marking cost per
+   checkpoint for a group of N processes sharing one region. *)
+let shadowing_vs_fork () =
+  print_endline
+    "Ablation: system shadowing vs per-process fork-style COW (shared region)";
+  let t =
+    Text_table.create
+      ~header:
+        [ "Processes"; "Dirty pages"; "System shadowing"; "Per-process COW" ]
+  in
+  List.iter
+    (fun nprocs ->
+      let pages = 8192 in
+      let sys = Sls.boot () in
+      let machine = sys.Sls.machine in
+      let first = Syscall.spawn machine ~name:"w0" in
+      let fd = Syscall.shm_open machine first ~name:"/shared" ~npages:pages in
+      let e = Syscall.mmap_shm first ~fd in
+      let procs =
+        first
+        :: List.init (nprocs - 1) (fun i ->
+               let p = Syscall.spawn machine ~name:(Printf.sprintf "w%d" (i + 1)) in
+               let fd = Syscall.shm_open machine p ~name:"/shared" ~npages:pages in
+               ignore (Syscall.mmap_shm p ~fd);
+               p)
+      in
+      Vm_space.touch_write first.Aurora_kern.Process.space
+        ~addr:(Vm_space.addr_of_entry e)
+        ~len:(pages * Page.logical_size);
+      let group = Sls.attach sys procs in
+      ignore (Group.checkpoint ~wait_durable:true group);
+      Vm_space.touch_write first.Aurora_kern.Process.space
+        ~addr:(Vm_space.addr_of_entry e)
+        ~len:(pages * Page.logical_size);
+      let stats = Group.checkpoint ~wait_durable:true group in
+      (* One shadow serves every process under system shadowing; fork-style
+         COW must mark the region once per process — and still cannot keep
+         the region shared afterwards. *)
+      let fork_style = stats.Group.mem_mark_ns * nprocs in
+      Text_table.add_row t
+        [
+          string_of_int nprocs;
+          string_of_int pages;
+          Units.ns_to_string stats.Group.mem_mark_ns;
+          Units.ns_to_string fork_style ^ " (+ breaks sharing)";
+        ])
+    [ 1; 2; 4; 8 ];
+  Text_table.print t;
+  print_newline ()
+
+(* Vnode by inode vs path: the checkpoint-time saving of skipping
+   namei/name-cache lookups (section 5.2). *)
+let vnode_reference () =
+  print_endline "Ablation: vnode checkpoint reference, inode number vs path lookup";
+  let t =
+    Text_table.create ~header:[ "Open files"; "By inode (Aurora)"; "By path (namei)" ]
+  in
+  List.iter
+    (fun nfiles ->
+      let sys = Sls.boot () in
+      let p = Syscall.spawn sys.Sls.machine ~name:"files" in
+      for i = 1 to nfiles do
+        ignore
+          (Syscall.open_file sys.Sls.machine p
+             ~path:(Printf.sprintf "/f%d" i)
+             ~create:true)
+      done;
+      let group = Sls.attach sys [ p ] in
+      let stats = Group.checkpoint ~wait_durable:true group in
+      let by_inode = stats.Group.os_serialize_ns in
+      let by_path = by_inode + (nfiles * Cost.vnode_path_lookup) in
+      Text_table.add_row t
+        [
+          string_of_int nfiles;
+          Units.ns_to_string by_inode;
+          Units.ns_to_string by_path;
+        ])
+    [ 16; 128; 1024 ];
+  Text_table.print t;
+  print_newline ()
+
+(* Chain length: the fault-path cost as shadow chains grow, motivating
+   the <= 2 bound enforced by eager collapsing. *)
+let chain_length () =
+  print_endline "Ablation: page-fault cost vs shadow chain length";
+  let t = Text_table.create ~header:[ "Chain length"; "Read fault (deep page)" ] in
+  List.iter
+    (fun depth ->
+      let clock = Clock.create () in
+      let space = Vm_space.create ~clock in
+      let e = Vm_space.map_anonymous space ~npages:1 ~prot:Vm_map.prot_rw in
+      let addr = Vm_space.addr_of_entry e in
+      (* The page lives at the bottom of the chain. *)
+      Vm_space.write_byte space ~addr 'x';
+      for _ = 2 to depth do
+        let old_obj = e.Vm_map.obj in
+        let shadow = Vm_object.shadow ~clock old_obj in
+        ignore (Vm_space.replace_object space ~old_obj ~new_obj:shadow)
+      done;
+      Aurora_vm.Pmap.clear (Vm_space.pmap space);
+      let t0 = Clock.now clock in
+      ignore (Vm_space.read_byte space ~addr);
+      Text_table.add_row t
+        [ string_of_int depth; Units.ns_to_string (Clock.now clock - t0) ])
+    [ 1; 2; 4; 8; 16 ];
+  Text_table.print t;
+  print_newline ()
+
+(* Write amplification of the COW store: device bytes per checkpoint
+   versus the logical dirty set — incremental checkpointing's reason to
+   exist (sections 2 and 7). *)
+let write_amplification () =
+  print_endline "Ablation: store write amplification per checkpoint";
+  let t =
+    Text_table.create
+      ~header:[ "Dirty pages"; "Logical dirty"; "Device bytes"; "Amplification" ]
+  in
+  List.iter
+    (fun dirty_pages ->
+      let sys = Sls.boot () in
+      let p = Syscall.spawn sys.Sls.machine ~name:"app" in
+      let e = Syscall.mmap_anon p ~npages:65536 (* 256 MiB mapped *) in
+      let addr = Vm_space.addr_of_entry e in
+      Vm_space.touch_write p.Aurora_kern.Process.space ~addr
+        ~len:(65536 * Page.logical_size);
+      let group = Sls.attach sys [ p ] in
+      ignore (Group.checkpoint ~wait_durable:true group);
+      Vm_space.touch_write p.Aurora_kern.Process.space ~addr
+        ~len:(dirty_pages * Page.logical_size);
+      Aurora_block.Striped.settle sys.Sls.device
+        ~clock:sys.Sls.machine.Aurora_kern.Machine.clock;
+      Aurora_block.Striped.reset_stats sys.Sls.device;
+      ignore (Group.checkpoint ~wait_durable:true group);
+      Aurora_block.Striped.settle sys.Sls.device
+        ~clock:sys.Sls.machine.Aurora_kern.Machine.clock;
+      let device_bytes = Aurora_block.Striped.bytes_written sys.Sls.device in
+      let logical = dirty_pages * Page.logical_size in
+      Text_table.add_row t
+        [
+          string_of_int dirty_pages;
+          Units.bytes_to_string logical;
+          Units.bytes_to_string device_bytes;
+          Printf.sprintf "%.2fx" (float_of_int device_bytes /. float_of_int logical);
+        ])
+    [ 16; 256; 4096; 65536 ];
+  Text_table.print t;
+  print_newline ()
+
+let run () =
+  collapse_direction ();
+  shadowing_vs_fork ();
+  vnode_reference ();
+  chain_length ();
+  write_amplification ()

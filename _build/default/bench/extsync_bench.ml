@@ -1,0 +1,48 @@
+(* External synchrony cost (DESIGN.md section 7): the paper's prototype
+   ran its benchmarks with external synchrony disabled (paper section 8);
+   this bench shows what enabling it costs.  SET responses are withheld
+   until the covering checkpoint is durable, so their latency absorbs on
+   average half a checkpoint period; GET responses — external synchrony
+   disabled per-descriptor via sls_fdctl — are unaffected. *)
+
+module Memcached_bench = Aurora_apps.Memcached_bench
+module Text_table = Aurora_util.Text_table
+module Units = Aurora_util.Units
+
+let run_point ~ext_sync period_ms =
+  Memcached_bench.run
+    {
+      Memcached_bench.period_ns = Some (period_ms * Units.ms);
+      load = Memcached_bench.Open_poisson 120_000.0;
+      duration_ns = 200_000_000;
+      nkeys = 200_000;
+      seed = 29;
+      ext_sync;
+    }
+
+let run () =
+  print_endline "External synchrony: SET-response latency vs checkpoint period";
+  print_endline
+    "(SETs wait for durability ~ half a period on average; GETs are exempt";
+  print_endline " via sls_fdctl — the paper's read-only-connection optimization)";
+  print_newline ();
+  let t =
+    Text_table.create
+      ~header:
+        [ "Period"; "SET avg (off)"; "SET avg (on)"; "GET avg (off)"; "GET avg (on)" ]
+  in
+  List.iter
+    (fun ms ->
+      let off = run_point ~ext_sync:false ms in
+      let on = run_point ~ext_sync:true ms in
+      Text_table.add_row t
+        [
+          Printf.sprintf "%d ms" ms;
+          Units.ns_to_string (int_of_float off.Memcached_bench.avg_set_latency_ns);
+          Units.ns_to_string (int_of_float on.Memcached_bench.avg_set_latency_ns);
+          Units.ns_to_string (int_of_float off.Memcached_bench.avg_get_latency_ns);
+          Units.ns_to_string (int_of_float on.Memcached_bench.avg_get_latency_ns);
+        ])
+    [ 5; 10; 20; 50 ];
+  Text_table.print t;
+  print_newline ()

@@ -1,0 +1,47 @@
+(* Figure 4: Memcached at max throughput over varying checkpoint periods
+   (closed-loop mutilate clients; the baseline row has no persistence). *)
+
+module Memcached_bench = Aurora_apps.Memcached_bench
+module Text_table = Aurora_util.Text_table
+module Units = Aurora_util.Units
+
+let periods_ms = [ 5; 10; 20; 40; 60; 80; 100 ]
+
+let run_point period_ns =
+  Memcached_bench.run
+    {
+      Memcached_bench.period_ns;
+      load = Memcached_bench.Closed_loop 288;
+      duration_ns = 300_000_000;
+      nkeys = 500_000;
+      seed = 21;
+      ext_sync = false;
+    }
+
+let run () =
+  print_endline "Figure 4: Memcached at max throughput vs checkpoint period";
+  print_endline
+    "(paper: baseline ~1M ops/s; ~45% down at 10 ms, recovering with period)";
+  print_newline ();
+  let t =
+    Text_table.create
+      ~header:
+        [ "Period"; "Throughput"; "Avg latency"; "95th latency"; "Stops (avg)" ]
+  in
+  let row label o =
+    Text_table.add_row t
+      [
+        label;
+        Printf.sprintf "%.0f kops/s" (o.Memcached_bench.throughput_ops /. 1e3);
+        Units.ns_to_string (int_of_float o.Memcached_bench.avg_latency_ns);
+        Units.ns_to_string (int_of_float o.Memcached_bench.p95_latency_ns);
+        (if o.Memcached_bench.checkpoints = 0 then "-"
+         else Units.ns_to_string (int_of_float o.Memcached_bench.avg_stop_ns));
+      ]
+  in
+  row "baseline" (run_point None);
+  List.iter
+    (fun ms -> row (Printf.sprintf "%d ms" ms) (run_point (Some (ms * Units.ms))))
+    periods_ms;
+  Text_table.print t;
+  print_newline ()

@@ -1,0 +1,42 @@
+(* Figure 5: Memcached latency with throughput pegged at 120 k ops/s over
+   varying checkpoint periods — the worst case for transparent
+   persistence, since there is no queueing to hide behind. *)
+
+module Memcached_bench = Aurora_apps.Memcached_bench
+module Text_table = Aurora_util.Text_table
+module Units = Aurora_util.Units
+
+let periods_ms = [ 5; 10; 20; 40; 60; 80; 100 ]
+
+let run_point period_ns =
+  Memcached_bench.run
+    {
+      Memcached_bench.period_ns;
+      load = Memcached_bench.Open_poisson 120_000.0;
+      duration_ns = 400_000_000;
+      nkeys = 500_000;
+      seed = 23;
+      ext_sync = false;
+    }
+
+let run () =
+  print_endline "Figure 5: Memcached latency at a fixed 120 kops/s load";
+  print_endline "(paper: baseline avg 157 us; with persistence the tail grows)";
+  print_newline ();
+  let t =
+    Text_table.create ~header:[ "Period"; "Avg latency"; "95th latency" ]
+  in
+  let row label o =
+    Text_table.add_row t
+      [
+        label;
+        Units.ns_to_string (int_of_float o.Memcached_bench.avg_latency_ns);
+        Units.ns_to_string (int_of_float o.Memcached_bench.p95_latency_ns);
+      ]
+  in
+  row "baseline" (run_point None);
+  List.iter
+    (fun ms -> row (Printf.sprintf "%d ms" ms) (run_point (Some (ms * Units.ms))))
+    periods_ms;
+  Text_table.print t;
+  print_newline ()

@@ -1,0 +1,41 @@
+(* Figure 6: RocksDB configurations under the Facebook Prefix_dist
+   workload — throughput plus 99th and 99.9th percentile write latency,
+   grouped by whether writes are persisted before acknowledgement. *)
+
+module Rocksdb_bench = Aurora_apps.Rocksdb_bench
+module Text_table = Aurora_util.Text_table
+module Units = Aurora_util.Units
+
+let configs =
+  [
+    Rocksdb_bench.Cfg_none;
+    Rocksdb_bench.Cfg_aurora_100hz;
+    Rocksdb_bench.Cfg_wal;
+    Rocksdb_bench.Cfg_aurora_wal;
+  ]
+
+let run () =
+  print_endline "Figure 6: RocksDB configurations, Prefix_dist workload";
+  print_endline
+    "(paper: transparent -83% vs ephemeral and ~half of WAL; Aurora+WAL +75%";
+  print_endline
+    "        over RocksDB+WAL with better 99th but worse 99.9th latency)";
+  print_newline ();
+  let t =
+    Text_table.create
+      ~header:[ "Configuration"; "Group"; "Throughput"; "p99 write"; "p99.9 write" ]
+  in
+  List.iter
+    (fun config ->
+      let o = Rocksdb_bench.run config ~ops:250_000 ~nkeys:200_000 ~seed:31 in
+      Text_table.add_row t
+        [
+          Rocksdb_bench.config_label config;
+          (if Rocksdb_bench.config_is_sync config then "Sync" else "No Sync");
+          Printf.sprintf "%.0f kops/s" (o.Rocksdb_bench.throughput_ops /. 1e3);
+          Units.ns_to_string (int_of_float o.Rocksdb_bench.p99_write_ns);
+          Units.ns_to_string (int_of_float o.Rocksdb_bench.p999_write_ns);
+        ])
+    configs;
+  Text_table.print t;
+  print_newline ()

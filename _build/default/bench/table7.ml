@@ -1,0 +1,91 @@
+(* Table 7: Aurora full-checkpoint performance versus CRIU and Redis' own
+   RDB mechanism, for a 500 MiB Redis instance. *)
+
+module Clock = Aurora_sim.Clock
+module Machine = Aurora_kern.Machine
+module Vfs = Aurora_kern.Vfs
+module Striped = Aurora_block.Striped
+module Sls = Aurora_core.Sls
+module Group = Aurora_core.Group
+module Store = Aurora_objstore.Store
+module Criu = Aurora_criu.Criu
+module Redis_sim = Aurora_apps.Redis_sim
+module Text_table = Aurora_util.Text_table
+module Units = Aurora_util.Units
+
+type breakdown = {
+  os_state : int option;
+  memory : int option;
+  stop : int;
+  io_write : int;
+}
+
+let aurora () =
+  let sys = Sls.boot () in
+  let redis = Redis_sim.create ~machine:sys.Sls.machine ~resident_mib:500 () in
+  let group = Sls.attach sys [ Redis_sim.proc redis ] in
+  let clk = sys.Sls.machine.Machine.clock in
+  let t0 = Clock.now clk in
+  let stats = Group.checkpoint group in
+  let resume_at = Clock.now clk in
+  Store.wait_durable sys.Sls.store;
+  {
+    os_state = Some stats.Group.os_serialize_ns;
+    memory = Some stats.Group.mem_mark_ns;
+    stop = stats.Group.stop_ns;
+    io_write = Clock.now clk - resume_at + (resume_at - t0 - stats.Group.stop_ns);
+  }
+
+let criu () =
+  let machine = Machine.create () in
+  Machine.mount machine (Vfs.ram_ops ~clock:machine.Machine.clock);
+  let redis = Redis_sim.create ~machine ~resident_mib:500 () in
+  let b, _ = Criu.checkpoint machine [ Redis_sim.proc redis ] in
+  {
+    os_state = Some b.Criu.os_state_ns;
+    memory = Some b.Criu.memory_copy_ns;
+    stop = b.Criu.total_stop_ns;
+    io_write = b.Criu.io_write_ns;
+  }
+
+let rdb () =
+  let machine = Machine.create () in
+  Machine.mount machine (Vfs.ram_ops ~clock:machine.Machine.clock);
+  let redis = Redis_sim.create ~machine ~resident_mib:500 () in
+  let dev = Striped.create () in
+  let b = Redis_sim.rdb_save redis ~dev in
+  {
+    os_state = None;
+    memory = None;
+    stop = b.Redis_sim.fork_stop_ns;
+    io_write = b.Redis_sim.serialize_write_ns;
+  }
+
+let cell = function Some ns -> Units.ns_to_string ns | None -> "N/A"
+
+let run () =
+  print_endline "Table 7: full checkpoint, 500 MiB Redis — Aurora vs CRIU vs RDB";
+  print_endline
+    "(paper: Aurora 0.3/3.7/4.0 ms stop, 97.6 ms IO; CRIU 49/413/462/350 ms;";
+  print_endline "        RDB stop 8 ms, IO 300 ms)";
+  print_newline ();
+  let a = aurora () and c = criu () and r = rdb () in
+  let t = Text_table.create ~header:[ "Type"; "Aurora"; "CRIU"; "RDB" ] in
+  Text_table.add_row t [ "OS State"; cell a.os_state; cell c.os_state; cell r.os_state ];
+  Text_table.add_row t [ "Memory"; cell a.memory; cell c.memory; cell r.memory ];
+  Text_table.add_row t
+    [
+      "Total Stop Time";
+      Units.ns_to_string a.stop;
+      Units.ns_to_string c.stop;
+      Units.ns_to_string r.stop;
+    ];
+  Text_table.add_row t
+    [
+      "IO Write";
+      Units.ns_to_string a.io_write;
+      Units.ns_to_string c.io_write;
+      Units.ns_to_string r.io_write;
+    ];
+  Text_table.print t;
+  print_newline ()

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Aurora_core Aurora_kern Aurora_objstore Aurora_util Aurora_vm List Printf

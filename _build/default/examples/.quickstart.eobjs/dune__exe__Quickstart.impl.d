@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aurora_core Aurora_kern Aurora_sim Aurora_util Aurora_vm List Printf

@@ -1,0 +1,1 @@
+examples/serverless_warmstart.ml: Aurora_core Aurora_kern Aurora_sim Aurora_util Aurora_vm List Printf

@@ -1,0 +1,1 @@
+examples/serverless_warmstart.mli:

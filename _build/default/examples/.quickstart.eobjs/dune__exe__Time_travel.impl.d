@@ -1,0 +1,1 @@
+examples/time_travel.ml: Aurora_core Aurora_kern Aurora_objstore Aurora_vm List Printf

@@ -1,0 +1,53 @@
+(* A key-value store on the Aurora API — the paper's RocksDB recipe
+   (section 9.6) in miniature.
+
+   Instead of a log-structured merge tree and its 81k lines of
+   persistence code, the store keeps everything in the memtable and uses:
+   - sls_journal for synchronous write-ahead durability, and
+   - a full Aurora checkpoint whenever the journal fills.
+
+   Recovery is: restore the last checkpoint, replay the journal.
+   Run with: dune exec examples/kv_persistence.exe *)
+
+module Units = Aurora_util.Units
+module Clock = Aurora_sim.Clock
+module Machine = Aurora_kern.Machine
+module Store = Aurora_objstore.Store
+module Sls = Aurora_core.Sls
+module Rocksdb_aurora = Aurora_apps.Rocksdb_aurora
+
+let () =
+  let sys = Sls.boot () in
+  let db =
+    Rocksdb_aurora.create ~sys ~nkeys:10_000 ~wal_limit:(256 * 1024)
+      ~wal_group_size:8 ()
+  in
+  print_endline "customized KV store: memtable + sls_journal, no LSM tree";
+
+  (* Writes are durable on return — same guarantee as a WAL'd database. *)
+  let clk = sys.Sls.machine.Machine.clock in
+  let t0 = Clock.now clk in
+  for key = 0 to 4_999 do
+    ignore (Rocksdb_aurora.put db ~key ~value_bytes:(200 + (key mod 100)))
+  done;
+  Printf.printf "5000 durable puts in %s (virtual) — %d checkpoints triggered\n"
+    (Units.ns_to_string (Clock.now clk - t0))
+    (Rocksdb_aurora.checkpoints_triggered db);
+
+  (* Crash.  The store must come back from checkpoint + journal replay. *)
+  print_endline "-- crash --";
+  Sls.crash sys;
+  let machine = Machine.create () in
+  let store = Store.recover ~dev:sys.Sls.device ~clock:machine.Machine.clock in
+  let sys2 = { sys with Sls.machine; store } in
+  let db2, replayed = Rocksdb_aurora.recover ~sys:sys2 in
+  Printf.printf "recovered: %d journal records replayed on top of epoch %d\n"
+    replayed
+    (Store.last_complete_epoch store);
+  (* Keys written after the last checkpoint come back through the journal
+     replay (earlier ones live in the restored memtable pages). *)
+  (match Rocksdb_aurora.read_value_size db2 ~key:4_997 with
+  | Some size ->
+      Printf.printf "key 4997 -> value of %d bytes (correct: %b)\n" size (size = 297)
+  | None -> print_endline "key 4997 lost — this would be a bug");
+  print_endline "same write consistency as the WAL, a fraction of the code"

@@ -1,0 +1,58 @@
+(* Serverless warm starts: checkpoint a function runtime after its costly
+   initialization, then restore it at invocation time — lazily, so the
+   function starts before its whole image has loaded (the paper's
+   serverless use case, sections 1 and 6).
+   Run with: dune exec examples/serverless_warmstart.exe *)
+
+module Syscall = Aurora_kern.Syscall
+module Process = Aurora_kern.Process
+module Vm_space = Aurora_vm.Vm_space
+module Page = Aurora_vm.Page
+module Units = Aurora_util.Units
+module Clock = Aurora_sim.Clock
+module Machine = Aurora_kern.Machine
+module Sls = Aurora_core.Sls
+module Group = Aurora_core.Group
+module Restore = Aurora_core.Restore
+
+(* A python-ish runtime: importing modules faults in a large heap. *)
+let initialize sys =
+  let m = sys.Sls.machine in
+  let f = Syscall.spawn m ~name:"lambda-runtime" in
+  let heap = Syscall.mmap_anon f ~npages:16384 (* 64 MiB of imports *) in
+  let addr = Vm_space.addr_of_entry heap in
+  let t0 = Clock.now m.Machine.clock in
+  Vm_space.touch_write f.Process.space ~addr ~len:(16384 * Page.logical_size);
+  (* Interpreter startup, imports, JIT warmup... *)
+  Clock.advance m.Machine.clock (180 * Units.ms);
+  Vm_space.write_string f.Process.space ~addr "handler-ready";
+  (f, addr, Clock.now m.Machine.clock - t0)
+
+let () =
+  let sys = Sls.boot () in
+  let f, addr, cold_ns = initialize sys in
+  Printf.printf "cold start (init + imports): %s\n" (Units.ns_to_string cold_ns);
+
+  (* Snapshot the initialized function once. *)
+  let group = Sls.attach sys [ f ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  print_endline "initialized runtime checkpointed";
+
+  (* Each invocation restores from the snapshot — lazily, so only the OS
+     state gates the start; pages stream in on demand. *)
+  let invoke n =
+    let machine = Machine.create () in
+    let result =
+      Restore.restore ~machine ~store:sys.Sls.store ~lazy_pages:true ()
+    in
+    let f' = List.hd result.Restore.procs in
+    let ready = Vm_space.read_string f'.Process.space ~addr ~len:13 in
+    Printf.printf "invocation %d: warm start %s (state %S)\n" n
+      (Units.ns_to_string result.Restore.restore_ns)
+      ready;
+    result.Restore.restore_ns
+  in
+  let warm1 = invoke 1 in
+  let warm2 = invoke 2 in
+  Printf.printf "speedup over cold start: %.0fx\n"
+    (float_of_int cold_ns /. float_of_int ((warm1 + warm2) / 2))

@@ -1,0 +1,1 @@
+lib/apps/memcached_bench.ml: Aurora_core Aurora_kern Aurora_sim Aurora_util Aurora_workloads Memcached_sim

@@ -1,0 +1,1 @@
+lib/apps/memcached_bench.mli:

@@ -1,0 +1,1 @@
+lib/apps/memcached_sim.ml: Aurora_kern Aurora_sim Aurora_vm

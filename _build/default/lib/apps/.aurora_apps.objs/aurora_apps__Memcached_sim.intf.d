@@ -1,0 +1,1 @@
+lib/apps/memcached_sim.mli: Aurora_kern

@@ -1,0 +1,1 @@
+lib/apps/profiles.ml: Aurora_core Aurora_kern Aurora_vm List Printf

@@ -1,0 +1,1 @@
+lib/apps/profiles.mli: Aurora_core Aurora_kern

@@ -1,0 +1,1 @@
+lib/apps/redis_sim.ml: Aurora_block Aurora_kern Aurora_sim Aurora_vm Bytes

@@ -1,0 +1,1 @@
+lib/apps/redis_sim.mli: Aurora_block Aurora_kern

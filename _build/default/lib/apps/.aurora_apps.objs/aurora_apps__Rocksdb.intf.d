@@ -1,0 +1,1 @@
+lib/apps/rocksdb.mli: Aurora_kern

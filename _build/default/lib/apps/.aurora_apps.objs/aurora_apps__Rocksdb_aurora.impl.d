@@ -1,0 +1,1 @@
+lib/apps/rocksdb_aurora.ml: Aurora_core Aurora_kern Aurora_objstore Aurora_sim Aurora_vm Bytes Hashtbl List

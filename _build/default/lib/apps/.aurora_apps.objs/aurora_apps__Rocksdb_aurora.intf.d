@@ -1,0 +1,1 @@
+lib/apps/rocksdb_aurora.mli: Aurora_core Aurora_kern

@@ -1,0 +1,1 @@
+lib/apps/rocksdb_bench.ml: Array Aurora_core Aurora_kern Aurora_sim Aurora_util Aurora_workloads Rocksdb Rocksdb_aurora

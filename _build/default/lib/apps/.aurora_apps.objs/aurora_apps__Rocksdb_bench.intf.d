@@ -1,0 +1,1 @@
+lib/apps/rocksdb_bench.mli:

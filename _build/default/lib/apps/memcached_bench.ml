@@ -1,0 +1,172 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Event_queue = Aurora_sim.Event_queue
+module Resource = Aurora_sim.Resource
+module Histogram = Aurora_util.Histogram
+module Rng = Aurora_util.Rng
+module Machine = Aurora_kern.Machine
+module Syscall = Aurora_kern.Syscall
+module Sls = Aurora_core.Sls
+module Group = Aurora_core.Group
+module Mutilate = Aurora_workloads.Mutilate
+module Extsync = Aurora_core.Extsync
+
+type load = Closed_loop of int | Open_poisson of float
+
+type config = {
+  period_ns : int option;
+  load : load;
+  duration_ns : int;
+  nkeys : int;
+  seed : int;
+  ext_sync : bool;
+}
+
+type outcome = {
+  throughput_ops : float;
+  avg_latency_ns : float;
+  p95_latency_ns : float;
+  completed : int;
+  checkpoints : int;
+  avg_stop_ns : float;
+  avg_set_latency_ns : float;
+  avg_get_latency_ns : float;
+}
+
+type event = Request | Ckpt_due
+
+(* Fixed client-side round trip: two link crossings plus socket CPU at
+   both ends. *)
+let rtt_fixed = (2 * Cost.net_one_way_latency) + (4 * Cost.net_per_message_cpu)
+
+let run cfg =
+  let sys = Sls.boot () in
+  let machine = sys.Sls.machine in
+  let clk = machine.Machine.clock in
+  let app = Memcached_sim.create ~machine ~nkeys:cfg.nkeys in
+  (* The server's client connections are real sockets (they make the OS
+     state of each checkpoint realistic: mutilate uses 4 machines x 12
+     threads x 12 connections). *)
+  let p = Memcached_sim.proc app in
+  for _ = 1 to 288 do
+    let fd = Syscall.socket machine p Aurora_kern.Socket.Inet Aurora_kern.Socket.Tcp in
+    ignore fd
+  done;
+  let workload = Mutilate.create ~nkeys:cfg.nkeys ~seed:cfg.seed () in
+  (* Warm the arena so the first checkpoint is the big one and the
+     measured window is steady-state incremental. *)
+  for key = 0 to cfg.nkeys - 1 do
+    Memcached_sim.set app key ~value_bytes:Mutilate.mean_value_bytes
+  done;
+  let group_opt =
+    match cfg.period_ns with
+    | None -> None
+    | Some period ->
+        let group = Sls.attach ~period_ns:period sys [ p ] in
+        ignore (Group.checkpoint ~wait_durable:true group);
+        Some (group, period)
+  in
+  let server = Resource.create ~name:"memcached-workers" in
+  let q : event Event_queue.t = Event_queue.create () in
+  let rng = Rng.create (cfg.seed + 17) in
+  let latencies = Histogram.create () in
+  let set_lat = Histogram.create () in
+  let get_lat = Histogram.create () in
+  let stops = Histogram.create () in
+  let outbox = Extsync.create () in
+  let completed = ref 0 in
+  let checkpoints = ref 0 in
+  let t_start = Clock.now clk in
+  let warmup_until = t_start + (cfg.duration_ns / 5) in
+  let t_end = t_start + cfg.duration_ns in
+  (* Returns whether the request mutated state (a SET). *)
+  let apply_op () =
+    match Mutilate.next workload with
+    | Mutilate.Get key ->
+        Memcached_sim.get app key;
+        false
+    | Mutilate.Set (key, value_bytes) ->
+        Memcached_sim.set app key ~value_bytes;
+        true
+  in
+  let handle time = function
+    | Request ->
+        (* Execute against the real arena; the clock delta is the op's
+           fault cost (large right after a checkpoint downgraded PTEs). *)
+        let t0 = Clock.now clk in
+        let is_set = apply_op () in
+        let fault_ns = Clock.now clk - t0 in
+        let duration = Memcached_sim.base_service_ns + fault_ns in
+        let completion = Resource.submit server ~now:time ~duration in
+        let record response_sent =
+          let latency = response_sent - time + rtt_fixed in
+          if time >= warmup_until then begin
+            Histogram.add latencies (float_of_int latency);
+            Histogram.add (if is_set then set_lat else get_lat) (float_of_int latency);
+            incr completed
+          end;
+          match cfg.load with
+          | Closed_loop _ ->
+              (* The connection issues its next request when the response
+                 arrives back at the client. *)
+              if response_sent + rtt_fixed < t_end then
+                Event_queue.schedule q ~time:(response_sent + rtt_fixed) Request
+          | Open_poisson _ -> ()
+        in
+        if cfg.ext_sync && is_set && group_opt <> None then
+          (* External synchrony: the response leaves only when the
+             checkpoint covering this mutation is durable. *)
+          Extsync.buffer outbox ~epoch:(!checkpoints + 1)
+            {
+              Extsync.tag = "set-response";
+              deliver = (fun ~release_time -> record (max completion release_time));
+            }
+        else record completion
+    | Ckpt_due -> (
+        match group_opt with
+        | None -> ()
+        | Some (group, period) ->
+            let stats = Group.checkpoint group in
+            incr checkpoints;
+            if time >= warmup_until then
+              Histogram.add stops (float_of_int stats.Group.stop_ns);
+            (* The whole worker pool is quiesced for the stop window. *)
+            ignore (Resource.submit server ~now:time ~duration:stats.Group.stop_ns);
+            (* Withheld responses from the just-covered interval go out
+               once the checkpoint is durable. *)
+            ignore
+              (Extsync.release_up_to outbox ~epoch:!checkpoints
+                 ~now:stats.Group.durable_at);
+            if time + period < t_end then
+              Event_queue.schedule q ~time:(time + period) Ckpt_due)
+  in
+  (* Seed the event streams. *)
+  (match cfg.load with
+  | Closed_loop conns ->
+      for i = 0 to conns - 1 do
+        Event_queue.schedule q ~time:(t_start + (i * 100)) Request
+      done
+  | Open_poisson rate ->
+      let t = ref t_start in
+      while !t < t_end do
+        t := !t + int_of_float (Rng.exponential rng ~mean:(1e9 /. rate));
+        if !t < t_end then Event_queue.schedule q ~time:!t Request
+      done);
+  (match group_opt with
+  | Some (_, period) -> Event_queue.schedule q ~time:(t_start + period) Ckpt_due
+  | None -> ());
+  Event_queue.run q ~clock:clk ~handler:(fun time ev -> handle time ev) ~until:t_end;
+  (* Responses still withheld at the end never reached a client — exactly
+     what external synchrony guarantees on a crash. *)
+  ignore (Extsync.drop_all outbox);
+  let measured_ns = max 1 (min (Clock.now clk) t_end - warmup_until) in
+  {
+    throughput_ops = float_of_int !completed /. (float_of_int measured_ns /. 1e9);
+    avg_latency_ns = Histogram.mean latencies;
+    p95_latency_ns = Histogram.percentile latencies 95.0;
+    completed = !completed;
+    checkpoints = !checkpoints;
+    avg_stop_ns = Histogram.mean stops;
+    avg_set_latency_ns = Histogram.mean set_lat;
+    avg_get_latency_ns = Histogram.mean get_lat;
+  }

@@ -1,0 +1,39 @@
+(** The Memcached client-server experiment (Figures 4 and 5).
+
+    A discrete-event simulation on the machine's clock: request arrivals
+    (closed-loop connections for the max-throughput experiment, an open
+    Poisson process for the fixed-load one), a worker-pool server resource,
+    and — when a checkpoint period is set — real Aurora checkpoints firing
+    on schedule.  Checkpoint stop time blocks the server; the post-shadow
+    refault costs land in the service time of the requests that touch the
+    downgraded pages, because requests execute against the real item
+    arena. *)
+
+type load =
+  | Closed_loop of int  (** concurrent connections (mutilate: 4x12x12/2) *)
+  | Open_poisson of float  (** offered ops/s *)
+
+type config = {
+  period_ns : int option;  (** None: baseline without persistence *)
+  load : load;
+  duration_ns : int;
+  nkeys : int;
+  seed : int;
+  ext_sync : bool;
+      (** withhold SET responses until the covering checkpoint is durable
+          (external synchrony, paper section 3); GET responses go out
+          immediately, the [sls_fdctl] optimization for read-only traffic *)
+}
+
+type outcome = {
+  throughput_ops : float;
+  avg_latency_ns : float;
+  p95_latency_ns : float;
+  completed : int;
+  checkpoints : int;
+  avg_stop_ns : float;
+  avg_set_latency_ns : float;  (** SETs only; carries the ext-sync wait *)
+  avg_get_latency_ns : float;
+}
+
+val run : config -> outcome

@@ -1,0 +1,48 @@
+module Clock = Aurora_sim.Clock
+module Process = Aurora_kern.Process
+module Syscall = Aurora_kern.Syscall
+module Vm_space = Aurora_vm.Vm_space
+module Page = Aurora_vm.Page
+
+(* Items are a few hundred bytes: sixteen per page. *)
+let items_per_page = 16
+let base_service_ns = 850
+
+type t = {
+  mc_proc : Process.t;
+  base : int;
+  nkeys : int;
+  pages : int;
+}
+
+let create ~machine ~nkeys =
+  let proc = Syscall.spawn machine ~name:"memcached" in
+  let pages = (nkeys + items_per_page - 1) / items_per_page in
+  let arena = Syscall.mmap_anon proc ~npages:pages in
+  (* A listening socket and a kqueue, as the real server would hold. *)
+  let sock = Syscall.socket machine proc Aurora_kern.Socket.Inet Aurora_kern.Socket.Tcp in
+  Syscall.bind proc ~fd:sock { Aurora_kern.Socket.host = "0.0.0.0"; port = 11211 };
+  Syscall.listen proc ~fd:sock;
+  ignore (Syscall.kqueue machine proc);
+  { mc_proc = proc; base = Vm_space.addr_of_entry arena; nkeys; pages }
+
+let proc t = t.mc_proc
+
+let item_addr t key =
+  assert (key >= 0 && key < t.nkeys);
+  let page = key / items_per_page in
+  let slot = key mod items_per_page in
+  t.base + (page * Page.logical_size) + (slot * (Page.logical_size / items_per_page))
+
+let get t key =
+  let addr = item_addr t key in
+  ignore (Vm_space.read_byte t.mc_proc.Process.space ~addr)
+
+let set t key ~value_bytes =
+  let addr = item_addr t key in
+  (* An item update dirties its page; large values spill to the next
+     slot's page boundary at most once. *)
+  let len = min value_bytes (Page.logical_size / items_per_page) in
+  Vm_space.touch_write t.mc_proc.Process.space ~addr ~len:(max 1 len)
+
+let arena_pages t = t.pages

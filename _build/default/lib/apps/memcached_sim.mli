@@ -1,0 +1,26 @@
+(** A Memcached miniature running on the simulated kernel.
+
+    The item arena is a real mapped region: every GET touches and every
+    SET dirties the pages the addressed item occupies, so when Aurora
+    transparently checkpoints the process, the dirty sets, the COW marking
+    cost, and the post-checkpoint refault storms all emerge from the real
+    VM machinery rather than from a closed-form model (Figures 4 and 5
+    depend on exactly these effects). *)
+
+type t
+
+val create : machine:Aurora_kern.Machine.t -> nkeys:int -> t
+
+val proc : t -> Aurora_kern.Process.t
+
+val get : t -> int -> unit
+(** Look up a key: hash-table probe cost plus reading the item's page. *)
+
+val set : t -> int -> value_bytes:int -> unit
+(** Store a value: probe cost plus dirtying the item's page(s). *)
+
+val base_service_ns : int
+(** Aggregate per-operation CPU of the server at saturation (the paper's
+    16-core testbed peaks around 1.1 M ops/s without persistence). *)
+
+val arena_pages : t -> int

@@ -1,0 +1,83 @@
+module Machine = Aurora_kern.Machine
+module Process = Aurora_kern.Process
+module Thread = Aurora_kern.Thread
+module Syscall = Aurora_kern.Syscall
+module Vm_space = Aurora_vm.Vm_space
+module Vm_map = Aurora_vm.Vm_map
+module Page = Aurora_vm.Page
+module Sls = Aurora_core.Sls
+
+type profile = {
+  app_name : string;
+  mem_mib : int;
+  nprocs : int;
+  threads_per_proc : int;
+  vm_entries : int;
+  fds : int;
+}
+
+(* Shapes chosen to match the paper's description of each application:
+   firefox is multi-process with a large footprint; tomcat is one big JVM
+   with many threads; pillow (Python) and vim have modest memory but
+   hundreds of mappings (shared libraries, arenas); mosh is small. *)
+
+let firefox =
+  { app_name = "firefox"; mem_mib = 198; nprocs = 4; threads_per_proc = 12; vm_entries = 110; fds = 60 }
+
+let mosh =
+  { app_name = "mosh"; mem_mib = 24; nprocs = 1; threads_per_proc = 2; vm_entries = 60; fds = 12 }
+
+let pillow =
+  { app_name = "pillow"; mem_mib = 75; nprocs = 1; threads_per_proc = 4; vm_entries = 380; fds = 24 }
+
+let tomcat =
+  { app_name = "tomcat"; mem_mib = 197; nprocs = 1; threads_per_proc = 60; vm_entries = 340; fds = 160 }
+
+let vim =
+  { app_name = "vim"; mem_mib = 48; nprocs = 1; threads_per_proc = 1; vm_entries = 290; fds = 15 }
+
+let all = [ firefox; mosh; pillow; tomcat; vim ]
+
+let build sys profile =
+  let machine = sys.Sls.machine in
+  let procs =
+    List.init profile.nprocs (fun i ->
+        Syscall.spawn machine ~name:(Printf.sprintf "%s-%d" profile.app_name i))
+  in
+  let pages_total = profile.mem_mib * 1024 * 1024 / Page.logical_size in
+  let pages_per_proc = pages_total / profile.nprocs in
+  List.iter
+    (fun p ->
+      (* Extra threads beyond the initial one. *)
+      for _ = 2 to profile.threads_per_proc do
+        p.Process.threads <-
+          p.Process.threads @ [ Thread.create ~tid:(Machine.alloc_tid machine) ]
+      done;
+      (* The address space: many mappings sharing the footprint; every
+         page resident (the paper's applications are warmed up). *)
+      let pages_per_entry = max 1 (pages_per_proc / profile.vm_entries) in
+      for _ = 1 to profile.vm_entries do
+        let e = Syscall.mmap_anon p ~npages:pages_per_entry in
+        Vm_space.touch_write p.Process.space
+          ~addr:(Vm_space.addr_of_entry e)
+          ~len:(pages_per_entry * Page.logical_size)
+      done;
+      ignore (Vm_map.entries (Vm_space.map p.Process.space));
+      (* Descriptors: a third files, a third sockets, a third pipes and
+         event queues. *)
+      let n = profile.fds in
+      for i = 0 to (n / 3) - 1 do
+        ignore
+          (Syscall.open_file machine p
+             ~path:(Printf.sprintf "/%s/file%d" profile.app_name i)
+             ~create:true)
+      done;
+      for _ = 0 to (n / 3) - 1 do
+        ignore (Syscall.socket machine p Aurora_kern.Socket.Inet Aurora_kern.Socket.Tcp)
+      done;
+      for _ = 0 to (n / 3) - 1 do
+        ignore (Syscall.pipe machine p)
+      done;
+      ignore (Syscall.kqueue machine p))
+    procs;
+  procs

@@ -1,0 +1,46 @@
+(** A RocksDB miniature: memtable + write-ahead log + LSM tree.
+
+    The three structures the paper names (section 9.6) are all here: a
+    memtable whose nodes live in real mapped pages (so Aurora's transparent
+    mode sees real dirty sets), a group-committed WAL going through the
+    file-system write path (data plus metadata, two device operations per
+    sync), and an LSM tree — memtable flushes to L0 SSTables and a
+    background compaction that consumes device bandwidth and stalls
+    writers when it falls behind.
+
+    For the Figure 6 configurations the memtable is sized to hold the
+    whole database (the paper does the same to keep reads in memory), so
+    flushes never fire during measurement; a small limit exercises the LSM
+    machinery in tests and the ablation bench. *)
+
+type persistence = Ephemeral | Wal_synced
+
+type t
+
+val create :
+  machine:Aurora_kern.Machine.t ->
+  nkeys:int ->
+  ?memtable_limit:int ->
+  ?wal_group_size:int ->
+  ?compaction_factor:int ->
+  persistence ->
+  t
+(** [compaction_factor] scales the bytes a compaction rewrites relative
+    to the memtable (default 8; deep LSM trees reach 20-30x write
+    amplification). *)
+
+val proc : t -> Aurora_kern.Process.t
+
+val put : t -> key:int -> value_bytes:int -> int
+(** Insert/update; returns the operation's latency in ns (clock advance
+    plus commit wait). *)
+
+val get : t -> key:int -> int
+(** Point lookup (served from the memtable); returns latency in ns. *)
+
+val read_value_size : t -> key:int -> int option
+(** The stored value size, for correctness checks. *)
+
+val flushes : t -> int
+val compactions : t -> int
+val stalls : t -> int

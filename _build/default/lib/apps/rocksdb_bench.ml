@@ -1,0 +1,112 @@
+module Clock = Aurora_sim.Clock
+module Histogram = Aurora_util.Histogram
+module Machine = Aurora_kern.Machine
+module Sls = Aurora_core.Sls
+module Group = Aurora_core.Group
+module Prefix_dist = Aurora_workloads.Prefix_dist
+
+type config = Cfg_none | Cfg_aurora_100hz | Cfg_wal | Cfg_aurora_wal
+
+let config_label = function
+  | Cfg_none -> "RocksDB"
+  | Cfg_aurora_100hz -> "Aurora-100Hz"
+  | Cfg_wal -> "RocksDB+WAL"
+  | Cfg_aurora_wal -> "Aurora+WAL"
+
+let config_is_sync = function
+  | Cfg_none | Cfg_aurora_100hz -> false
+  | Cfg_wal | Cfg_aurora_wal -> true
+
+type outcome = {
+  throughput_ops : float;
+  p99_write_ns : float;
+  p999_write_ns : float;
+  ops_run : int;
+}
+
+type instance =
+  | Vanilla of Rocksdb.t * (Group.t * int) option
+  | Customized of Rocksdb_aurora.t
+
+(* Latency is measured through a bounded closed loop of [clients]
+   concurrent requesters multiplexed onto the service timeline: request i
+   is issued when request (i - clients) completes, so a checkpoint stop or
+   a group-commit sync is observed by the whole window of in-flight
+   requests — the way concurrent writers in the real benchmark observe a
+   stop — while the backlog stays bounded, as a closed loop's does. *)
+let clients = 256
+
+let run config ~ops ~nkeys ~seed =
+  let sys = Sls.boot () in
+  let machine = sys.Sls.machine in
+  let clk = machine.Machine.clock in
+  let workload = Prefix_dist.create ~nkeys ~seed () in
+  let instance =
+    match config with
+    | Cfg_none -> Vanilla (Rocksdb.create ~machine ~nkeys Rocksdb.Ephemeral, None)
+    | Cfg_wal -> Vanilla (Rocksdb.create ~machine ~nkeys Rocksdb.Wal_synced, None)
+    | Cfg_aurora_100hz ->
+        let db = Rocksdb.create ~machine ~nkeys Rocksdb.Ephemeral in
+        let period = 10_000_000 in
+        let grp = Sls.attach ~period_ns:period sys [ Rocksdb.proc db ] in
+        Vanilla (db, Some (grp, period))
+    | Cfg_aurora_wal ->
+        Customized
+          (Rocksdb_aurora.create ~sys ~nkeys ~wal_limit:(64 * 1024 * 1024) ())
+  in
+  (* Load phase: populate every key so reads hit and the first checkpoint
+     covers the whole database. *)
+  (match instance with
+  | Vanilla (db, _) ->
+      for key = 0 to nkeys - 1 do
+        ignore (Rocksdb.put db ~key ~value_bytes:Prefix_dist.mean_value_bytes)
+      done
+  | Customized db ->
+      for key = 0 to nkeys - 1 do
+        ignore (Rocksdb_aurora.put db ~key ~value_bytes:Prefix_dist.mean_value_bytes)
+      done);
+  (match instance with
+  | Vanilla (_, Some (grp, _)) -> ignore (Group.checkpoint ~wait_durable:true grp)
+  | Vanilla (_, None) | Customized _ -> ());
+  let next_ckpt = ref (Clock.now clk + 10_000_000) in
+  let service () =
+    (match instance with
+    | Vanilla (_, Some (grp, period)) when Clock.now clk >= !next_ckpt ->
+        ignore (Group.checkpoint grp);
+        next_ckpt := Clock.now clk + period
+    | Vanilla _ | Customized _ -> ());
+    match Prefix_dist.next workload with
+    | Prefix_dist.Db_put (key, value_bytes) ->
+        let lat =
+          match instance with
+          | Vanilla (db, _) -> Rocksdb.put db ~key ~value_bytes
+          | Customized db -> Rocksdb_aurora.put db ~key ~value_bytes
+        in
+        (lat, true)
+    | Prefix_dist.Db_get key ->
+        let lat =
+          match instance with
+          | Vanilla (db, _) -> Rocksdb.get db ~key
+          | Customized db -> Rocksdb_aurora.get db ~key
+        in
+        (lat, false)
+  in
+  let writes = Histogram.create () in
+  let ring = Array.make clients 0 in
+  let completion = ref 0 in
+  for i = 0 to ops - 1 do
+    let svc, is_write = service () in
+    (* The slot's previous completion is when this request was issued. *)
+    let arrival = ring.(i mod clients) in
+    completion := max arrival !completion + svc;
+    ring.(i mod clients) <- !completion;
+    if is_write then Histogram.add writes (float_of_int (!completion - arrival))
+  done;
+  {
+    throughput_ops =
+      (if !completion = 0 then 0.0
+       else float_of_int ops /. (float_of_int !completion /. 1e9));
+    p99_write_ns = Histogram.percentile writes 99.0;
+    p999_write_ns = Histogram.percentile writes 99.9;
+    ops_run = ops;
+  }

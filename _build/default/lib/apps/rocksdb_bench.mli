@@ -1,0 +1,25 @@
+(** The RocksDB comparison (Figure 6): throughput and write tail latency
+    for the four configurations of section 9.6, under the Facebook
+    Prefix_dist workload.
+
+    "No Sync" configurations do not persist writes before acknowledging
+    ([Cfg_none], [Cfg_aurora_100hz]); "Sync" configurations do
+    ([Cfg_wal], [Cfg_aurora_wal]). *)
+
+type config =
+  | Cfg_none  (** unmodified RocksDB, no persistence *)
+  | Cfg_aurora_100hz  (** unmodified RocksDB + transparent Aurora at 10 ms *)
+  | Cfg_wal  (** unmodified RocksDB with its synchronous WAL *)
+  | Cfg_aurora_wal  (** the customized RocksDB on the Aurora API *)
+
+val config_label : config -> string
+val config_is_sync : config -> bool
+
+type outcome = {
+  throughput_ops : float;
+  p99_write_ns : float;
+  p999_write_ns : float;
+  ops_run : int;
+}
+
+val run : config -> ops:int -> nkeys:int -> seed:int -> outcome

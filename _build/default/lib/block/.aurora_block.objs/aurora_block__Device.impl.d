@@ -1,0 +1,1 @@
+lib/block/device.ml: Aurora_sim Bytes Hashtbl List

@@ -1,0 +1,1 @@
+lib/block/device.mli: Aurora_sim

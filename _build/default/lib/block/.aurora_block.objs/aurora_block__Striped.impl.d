@@ -1,0 +1,1 @@
+lib/block/striped.ml: Array Aurora_sim Bytes Device Fun List Printf String

@@ -1,0 +1,1 @@
+lib/block/striped.mli: Aurora_sim

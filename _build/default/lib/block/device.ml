@@ -1,0 +1,155 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Resource = Aurora_sim.Resource
+
+let sector_size = 4096
+
+type pending = { completion : int; off : int; data : bytes }
+
+type t = {
+  dev_name : string;
+  queue : Resource.t;
+  committed : (int, bytes) Hashtbl.t; (* sector index -> sector bytes *)
+  mutable inflight : pending list; (* newest first *)
+  mutable written : int;
+  mutable read_bytes : int;
+  mutable ops : int;
+}
+
+let create ~name =
+  {
+    dev_name = name;
+    queue = Resource.create ~name;
+    committed = Hashtbl.create 4096;
+    inflight = [];
+    written = 0;
+    read_bytes = 0;
+    ops = 0;
+  }
+
+let name t = t.dev_name
+
+(* Apply a byte-range write onto the sector map. *)
+let apply_committed t ~off data =
+  let len = Bytes.length data in
+  let first = off / sector_size and last = (off + len - 1) / sector_size in
+  for s = first to last do
+    let sector =
+      match Hashtbl.find_opt t.committed s with
+      | Some b -> b
+      | None ->
+          let b = Bytes.make sector_size '\000' in
+          Hashtbl.replace t.committed s b;
+          b
+    in
+    let sector_off = s * sector_size in
+    let copy_start = max off sector_off in
+    let copy_end = min (off + len) (sector_off + sector_size) in
+    Bytes.blit data (copy_start - off) sector (copy_start - sector_off)
+      (copy_end - copy_start)
+  done
+
+(* The device queue is occupied for the transfer only; each I/O's
+   completion additionally trails by the device latency.  A lone 4 KiB
+   write therefore costs latency + transfer, while a deep queue of writes
+   streams at full bandwidth — as a real NVMe pipeline does. *)
+let submit_write ?charge t ~now ~off data ~latency =
+  let len = Bytes.length data in
+  let charged = match charge with Some c -> c | None -> len in
+  let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth charged in
+  let completion = Resource.submit t.queue ~now ~duration:transfer + latency in
+  t.inflight <- { completion; off; data = Bytes.copy data } :: t.inflight;
+  t.written <- t.written + charged;
+  t.ops <- t.ops + 1;
+  completion
+
+let write ?charge t ~now ~off data =
+  submit_write ?charge t ~now ~off data ~latency:Cost.nvme_write_latency
+
+let write_sync ?charge t ~clock ~off data =
+  let completion =
+    submit_write ?charge t ~now:(Clock.now clock) ~off data
+      ~latency:Cost.nvme_sync_write_latency
+  in
+  Clock.advance_to clock completion
+
+(* Fold inflight writes whose completion is at or before [now] into the
+   committed store.  Inflight is newest-first, so replay oldest-first to keep
+   last-writer-wins semantics. *)
+let commit_until t now =
+  let durable, pending =
+    List.partition (fun p -> p.completion <= now) t.inflight
+  in
+  List.iter (fun p -> apply_committed t ~off:p.off p.data) (List.rev durable);
+  t.inflight <- pending
+
+let read_committed t ~off ~len =
+  let out = Bytes.make len '\000' in
+  let first = off / sector_size and last = (off + len - 1) / sector_size in
+  for s = first to last do
+    match Hashtbl.find_opt t.committed s with
+    | None -> ()
+    | Some sector ->
+        let sector_off = s * sector_size in
+        let copy_start = max off sector_off in
+        let copy_end = min (off + len) (sector_off + sector_size) in
+        Bytes.blit sector (copy_start - sector_off) out (copy_start - off)
+          (copy_end - copy_start)
+  done;
+  out
+
+(* Newest-data read: committed state overlaid with inflight writes in
+   submission order. *)
+let read_nocharge t ~off ~len =
+  let out = read_committed t ~off ~len in
+  let overlay p =
+    let p_end = p.off + Bytes.length p.data in
+    let copy_start = max off p.off and copy_end = min (off + len) p_end in
+    if copy_start < copy_end then
+      Bytes.blit p.data (copy_start - p.off) out (copy_start - off)
+        (copy_end - copy_start)
+  in
+  List.iter overlay (List.rev t.inflight);
+  out
+
+let charge_read_raw t ~now ~duration = Resource.submit t.queue ~now ~duration
+
+let read t ~clock ~off ~len =
+  let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
+  let completion =
+    Resource.submit t.queue ~now:(Clock.now clock) ~duration:transfer
+    + Cost.nvme_read_latency
+  in
+  Clock.advance_to clock completion;
+  t.read_bytes <- t.read_bytes + len;
+  read_nocharge t ~off ~len
+
+let durable_until t =
+  List.fold_left (fun acc p -> max acc p.completion) 0 t.inflight
+
+let settle t ~clock =
+  Clock.advance_to clock (durable_until t);
+  commit_until t (Clock.now clock)
+
+let apply_durable t ~now = commit_until t now
+
+let crash t ~now =
+  commit_until t now;
+  t.inflight <- [];
+  Resource.reset t.queue
+
+let export_sectors t =
+  Hashtbl.fold (fun idx sector acc -> (idx, Bytes.copy sector) :: acc) t.committed []
+  |> List.sort compare
+
+let import_sectors t sectors =
+  List.iter (fun (idx, sector) -> Hashtbl.replace t.committed idx (Bytes.copy sector)) sectors
+
+let bytes_written t = t.written
+let bytes_read t = t.read_bytes
+let write_ops t = t.ops
+
+let reset_stats t =
+  t.written <- 0;
+  t.read_bytes <- 0;
+  t.ops <- 0

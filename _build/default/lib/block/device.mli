@@ -1,0 +1,86 @@
+(** A simulated NVMe namespace.
+
+    The device stores real bytes (so recovery tests can verify durability
+    bit-for-bit) behind a queued timing model.  Writes are submitted to the
+    device's queue and become durable at their completion time; a simulated
+    power failure ({!crash}) discards every write whose completion time is
+    still in the future, exactly like losing a volatile device queue.
+
+    Reads return the newest submitted data (the device services reads from
+    its internal buffers), but durability is decided strictly by completion
+    times. *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+(** {1 Data path} *)
+
+val write : ?charge:int -> t -> now:int -> off:int -> bytes -> int
+(** [write t ~now ~off data] submits a write and returns its completion
+    time.  The caller chooses whether to wait (synchronous) or not.
+
+    [?charge] is the logical transfer size used for timing when it differs
+    from [Bytes.length data]; the object store uses it because pages carry a
+    64-byte payload standing in for a logical 4 KiB of data (see
+    DESIGN.md).  Defaults to the data length. *)
+
+val write_sync : ?charge:int -> t -> clock:Aurora_sim.Clock.t -> off:int -> bytes -> unit
+(** Submit with the flush-included synchronous latency and advance the clock
+    to completion. *)
+
+val read : t -> clock:Aurora_sim.Clock.t -> off:int -> len:int -> bytes
+(** Read [len] bytes at [off], charging read latency + transfer time.
+    Unwritten ranges read as zeroes, as on a trimmed flash namespace. *)
+
+val read_nocharge : t -> off:int -> len:int -> bytes
+(** Read without charging time; used by integrity checks in tests. *)
+
+val charge_read_raw : t -> now:int -> duration:int -> int
+(** Occupy the device queue for a read of the given duration without
+    transferring data; returns the completion time ({!Striped.charge_read}
+    uses this for bulk streamed reads). *)
+
+(** {1 Durability} *)
+
+val settle : t -> clock:Aurora_sim.Clock.t -> unit
+(** Advance the clock until the device queue is drained and make all
+    submitted writes durable. *)
+
+val durable_until : t -> int
+(** Completion time of the last submitted write (0 if none). *)
+
+val apply_durable : t -> now:int -> unit
+(** Fold writes whose completion is at or before [now] into the committed
+    store without touching the queue; keeps the in-flight list short on
+    long runs.  Durability semantics are unchanged. *)
+
+val crash : t -> now:int -> unit
+(** Power failure at virtual time [now]: writes with completion <= [now]
+    are durable, all others vanish.  The queue resets. *)
+
+(** {1 Host-file persistence}
+
+    A device's durable (committed) bytes can be exported and re-imported,
+    which lets a whole simulated machine image live in a host file across
+    tool invocations.  Only committed state is exported: the caller
+    settles the queue first, exactly like powering a machine down
+    cleanly. *)
+
+val export_sectors : t -> (int * bytes) list
+(** [(sector index, 4 KiB sector)] of every committed sector. *)
+
+val import_sectors : t -> (int * bytes) list -> unit
+(** Load committed sectors into a fresh device. *)
+
+(** {1 Accounting} *)
+
+val bytes_written : t -> int
+(** Logical bytes written: the [?charge] size when given. *)
+
+
+val bytes_read : t -> int
+val write_ops : t -> int
+val reset_stats : t -> unit

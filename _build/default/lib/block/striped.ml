@@ -1,0 +1,148 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Resource = Aurora_sim.Resource
+
+type t = { devs : Device.t array; stripe : int }
+
+let create ?(devices = Cost.nvme_stripe_devices) ?(stripe = Cost.nvme_stripe_size)
+    () =
+  assert (devices > 0 && stripe > 0);
+  let devs =
+    Array.init devices (fun i -> Device.create ~name:(Printf.sprintf "nvme%d" i))
+  in
+  { devs; stripe }
+
+(* Split [off, off+len) into per-device fragments on stripe boundaries and
+   apply [f dev dev_off frag_off frag_len] to each. *)
+let iter_fragments t ~off ~len f =
+  let n = Array.length t.devs in
+  let pos = ref off in
+  let remaining = ref len in
+  while !remaining > 0 do
+    let stripe_idx = !pos / t.stripe in
+    let within = !pos mod t.stripe in
+    let frag_len = min !remaining (t.stripe - within) in
+    let dev = t.devs.(stripe_idx mod n) in
+    (* The device-local offset places consecutive stripes of this device
+       contiguously, as a RAID-0 layout does. *)
+    let dev_off = ((stripe_idx / n) * t.stripe) + within in
+    f dev dev_off (!pos - off) frag_len;
+    pos := !pos + frag_len;
+    remaining := !remaining - frag_len
+  done
+
+(* A fragment of a [charge]-sized logical extent carries whatever slice of
+   the (possibly shorter) payload overlaps it; devices are charged for the
+   full logical fragment. *)
+let payload_slice data frag_off frag_len =
+  let avail = Bytes.length data - frag_off in
+  if avail <= 0 then Bytes.empty else Bytes.sub data frag_off (min avail frag_len)
+
+let write ?charge t ~now ~off data =
+  let len = max (Bytes.length data) (match charge with Some c -> c | None -> 0) in
+  let completion = ref now in
+  iter_fragments t ~off ~len (fun dev dev_off frag_off frag_len ->
+      let frag = payload_slice data frag_off frag_len in
+      let c = Device.write ~charge:frag_len dev ~now ~off:dev_off frag in
+      if c > !completion then completion := c);
+  !completion
+
+let write_sync ?charge t ~clock ~off data =
+  let len = max (Bytes.length data) (match charge with Some c -> c | None -> 0) in
+  iter_fragments t ~off ~len (fun dev dev_off frag_off frag_len ->
+      let frag = payload_slice data frag_off frag_len in
+      Device.write_sync ~charge:frag_len dev ~clock ~off:dev_off frag)
+
+let read t ~clock ~off ~len =
+  let out = Bytes.make len '\000' in
+  iter_fragments t ~off ~len (fun dev dev_off frag_off frag_len ->
+      let frag = Device.read dev ~clock ~off:dev_off ~len:frag_len in
+      Bytes.blit frag 0 out frag_off frag_len);
+  out
+
+let read_nocharge t ~off ~len =
+  let out = Bytes.make len '\000' in
+  iter_fragments t ~off ~len (fun dev dev_off frag_off frag_len ->
+      let frag = Device.read_nocharge dev ~off:dev_off ~len:frag_len in
+      Bytes.blit frag 0 out frag_off frag_len);
+  out
+
+let charge_read t ~clock ~bytes =
+  if bytes > 0 then begin
+    let n = Array.length t.devs in
+    let per_dev = (bytes + n - 1) / n in
+    let duration =
+      Cost.nvme_read_latency
+      + Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth per_dev
+    in
+    let now = Clock.now clock in
+    let completion =
+      Array.fold_left
+        (fun acc d -> max acc (Device.charge_read_raw d ~now ~duration))
+        now t.devs
+    in
+    Clock.advance_to clock completion
+  end
+
+let settle t ~clock = Array.iter (fun d -> Device.settle d ~clock) t.devs
+
+let durable_until t =
+  Array.fold_left (fun acc d -> max acc (Device.durable_until d)) 0 t.devs
+
+let apply_durable t ~now = Array.iter (fun d -> Device.apply_durable d ~now) t.devs
+let crash t ~now = Array.iter (fun d -> Device.crash d ~now) t.devs
+
+let image_magic = "AURIMAGE"
+
+let save_file t ~clock path =
+  settle t ~clock;
+  let oc = open_out_bin path in
+  output_string oc image_magic;
+  output_binary_int oc (Array.length t.devs);
+  output_binary_int oc t.stripe;
+  (* The virtual clock continues across invocations, like wall time. *)
+  output_string oc (Printf.sprintf "%020d" (Clock.now clock));
+  Array.iter
+    (fun d ->
+      let sectors = Device.export_sectors d in
+      output_binary_int oc (List.length sectors);
+      List.iter
+        (fun (idx, sector) ->
+          output_binary_int oc idx;
+          output_binary_int oc (Bytes.length sector);
+          output_bytes oc sector)
+        sectors)
+    t.devs;
+  close_out oc
+
+let load_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let magic = really_input_string ic (String.length image_magic) in
+      if magic <> image_magic then failwith "Striped.load_file: not a machine image";
+      let devices = input_binary_int ic in
+      let stripe = input_binary_int ic in
+      let saved_time = int_of_string (really_input_string ic 20) in
+      let t = create ~devices ~stripe () in
+      Array.iter
+        (fun d ->
+          let n = input_binary_int ic in
+          let sectors =
+            List.init n (fun _ ->
+                let idx = input_binary_int ic in
+                let len = input_binary_int ic in
+                let sector = Bytes.create len in
+                really_input ic sector 0 len;
+                (idx, sector))
+          in
+          Device.import_sectors d sectors)
+        t.devs;
+      (t, saved_time))
+
+let sum f t = Array.fold_left (fun acc d -> acc + f d) 0 t.devs
+let bytes_written t = sum Device.bytes_written t
+let bytes_read t = sum Device.bytes_read t
+let write_ops t = sum Device.write_ops t
+let reset_stats t = Array.iter Device.reset_stats t.devs

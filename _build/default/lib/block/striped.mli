@@ -1,0 +1,49 @@
+(** A striped array of devices (RAID-0), as in the paper's testbed: four
+    Optane 900P namespaces striped at 64 KiB.
+
+    Writes are split on stripe boundaries and submitted to the member
+    devices' independent queues, so a large sequential write approaches the
+    aggregate bandwidth of the array while a 4 KiB write pays a single
+    device's latency. *)
+
+type t
+
+val create : ?devices:int -> ?stripe:int -> unit -> t
+(** Defaults come from {!Cost.nvme_stripe_devices} and
+    {!Cost.nvme_stripe_size}. *)
+
+val write : ?charge:int -> t -> now:int -> off:int -> bytes -> int
+(** Submit a write; returns the completion time of its last fragment.
+    [?charge] gives the logical length used both for stripe fragmentation
+    and timing when it exceeds the payload length (see {!Device.write}). *)
+
+val write_sync : ?charge:int -> t -> clock:Aurora_sim.Clock.t -> off:int -> bytes -> unit
+
+val read : t -> clock:Aurora_sim.Clock.t -> off:int -> len:int -> bytes
+val read_nocharge : t -> off:int -> len:int -> bytes
+
+val charge_read : t -> clock:Aurora_sim.Clock.t -> bytes:int -> unit
+(** Charge a bulk streamed read of [bytes], spread across the member
+    devices (deep-queue sequential read); advances the clock to its
+    completion.  Used by bulk restore paths that fetch many small blocks
+    with high queue depth, where per-block latency amortizes away. *)
+
+val settle : t -> clock:Aurora_sim.Clock.t -> unit
+val durable_until : t -> int
+val apply_durable : t -> now:int -> unit
+val crash : t -> now:int -> unit
+
+val save_file : t -> clock:Aurora_sim.Clock.t -> string -> unit
+(** Settle the queues, then write the array's durable image (all member
+    devices' committed sectors plus the virtual-time high-water mark) to
+    a host file. *)
+
+val load_file : string -> t * int
+(** Rebuild an array from a host image file; returns it with the saved
+    virtual time (to resume the clock from).  Raises [Sys_error] or
+    [Failure] on a missing or corrupt image. *)
+
+val bytes_written : t -> int
+val bytes_read : t -> int
+val write_ops : t -> int
+val reset_stats : t -> unit

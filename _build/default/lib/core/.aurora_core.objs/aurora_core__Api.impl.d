@@ -1,0 +1,1 @@
+lib/core/api.ml: Aurora_kern Aurora_objstore Aurora_sim Aurora_vm Group Restore

@@ -1,0 +1,1 @@
+lib/core/api.mli: Aurora_kern Aurora_objstore Aurora_vm Group Restore

@@ -1,0 +1,1 @@
+lib/core/coredump.ml: Aurora_objstore Buffer List Printf Serial String

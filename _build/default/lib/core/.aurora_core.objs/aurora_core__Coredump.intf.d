@@ -1,0 +1,1 @@
+lib/core/coredump.mli: Aurora_objstore

@@ -1,0 +1,1 @@
+lib/core/group.ml: Aurora_fs Aurora_kern Aurora_objstore Aurora_sim Aurora_vm Either Hashtbl List Option Serial

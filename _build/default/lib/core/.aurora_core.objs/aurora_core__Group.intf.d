@@ -1,0 +1,1 @@
+lib/core/group.mli: Aurora_fs Aurora_kern Aurora_objstore Aurora_sim Aurora_vm

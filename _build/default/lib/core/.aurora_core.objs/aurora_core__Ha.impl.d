@@ -1,0 +1,1 @@
+lib/core/ha.ml: Aurora_kern Aurora_objstore Aurora_sim Group Migrate Restore

@@ -1,0 +1,1 @@
+lib/core/ha.mli: Aurora_kern Aurora_objstore Group Restore

@@ -1,0 +1,1 @@
+lib/core/migrate.ml: Aurora_objstore Aurora_sim Bytes Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Api Aurora_kern Aurora_objstore Aurora_sim Bytes Group List Printf

@@ -1,0 +1,1 @@
+lib/core/replay.mli: Aurora_kern Aurora_objstore Group

@@ -1,0 +1,1 @@
+lib/core/restore.ml: Aurora_fs Aurora_kern Aurora_objstore Aurora_sim Aurora_vm Bytes Either Group Hashtbl List Printf Serial

@@ -1,0 +1,1 @@
+lib/core/restore.mli: Aurora_fs Aurora_kern Aurora_objstore Group

@@ -1,0 +1,1 @@
+lib/core/serial.ml: Array Aurora_kern Aurora_objstore Bytes Either Printf

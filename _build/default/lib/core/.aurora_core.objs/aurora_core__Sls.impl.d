@@ -1,0 +1,1 @@
+lib/core/sls.ml: Aurora_block Aurora_fs Aurora_kern Aurora_objstore Aurora_sim Group Restore

@@ -1,0 +1,1 @@
+lib/core/sls.mli: Aurora_block Aurora_fs Aurora_kern Aurora_objstore Group Restore

@@ -1,0 +1,45 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Store = Aurora_objstore.Store
+module Vm_map = Aurora_vm.Vm_map
+module Process = Aurora_kern.Process
+module Fdesc = Aurora_kern.Fdesc
+
+type journal = Store.journal
+
+let charge g ns = Clock.advance (Group.clock g) ns
+
+let sls_checkpoint g =
+  charge g Cost.syscall_overhead;
+  Group.checkpoint g
+
+let sls_restore = Restore.restore
+
+let sls_memckpt g entry = Group.checkpoint_region g entry
+
+let sls_journal_open g ~size =
+  charge g Cost.syscall_overhead;
+  Store.journal_create (Group.store g) ~size
+
+let sls_journal g j data =
+  charge g Cost.syscall_overhead;
+  Store.journal_append (Group.store g) j data
+
+let sls_journal_truncate g j =
+  charge g Cost.syscall_overhead;
+  Store.journal_truncate (Group.store g) j
+
+let sls_journal_recover g j = Store.journal_records (Group.store g) j
+let journal_of_id g id = Store.journal_find (Group.store g) id
+let journal_id = Store.journal_id
+
+let sls_barrier g =
+  charge g Cost.syscall_overhead;
+  Store.wait_durable (Group.store g)
+
+let sls_mctl (entry : Vm_map.entry) ~persist = entry.Vm_map.excluded <- not persist
+
+let sls_fdctl p ~fd ~ext_sync =
+  match Process.fd p fd with
+  | Some d -> d.Fdesc.ext_sync <- ext_sync
+  | None -> invalid_arg "sls_fdctl: bad fd"

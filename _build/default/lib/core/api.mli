@@ -1,0 +1,48 @@
+(** The Aurora application API (paper Table 3).
+
+    Custom applications use these calls to control and optimize their
+    persistence — the interface the customized RocksDB is built on
+    (section 9.6).  Each call charges the modeled syscall cost and the
+    operation's own costs. *)
+
+type journal
+
+val sls_checkpoint : Group.t -> Group.ckpt_stats
+(** Manually trigger a full group checkpoint. *)
+
+val sls_restore :
+  machine:Aurora_kern.Machine.t ->
+  store:Aurora_objstore.Store.t ->
+  ?epoch:int ->
+  ?lazy_pages:bool ->
+  ?group_oid:int ->
+  unit ->
+  Restore.result
+(** Restore a checkpoint (alias of {!Restore.restore}). *)
+
+val sls_memckpt : Group.t -> Aurora_vm.Vm_map.entry -> Group.ckpt_stats
+(** Asynchronous atomic checkpoint of one mapped region. *)
+
+val sls_journal_open : Group.t -> size:int -> journal
+(** Preallocate a non-COW on-store journal region. *)
+
+val sls_journal : Group.t -> journal -> string -> unit
+(** Synchronous append (a 4 KiB page in ~28 µs); durable on return. *)
+
+val sls_journal_truncate : Group.t -> journal -> unit
+
+val sls_journal_recover : Group.t -> journal -> string list
+(** Scan the journal's durable records (crash recovery). *)
+
+val journal_of_id : Group.t -> int -> journal option
+val journal_id : journal -> int
+
+val sls_barrier : Group.t -> unit
+(** Wait until the most recent checkpoint is fully flushed. *)
+
+val sls_mctl : Aurora_vm.Vm_map.entry -> persist:bool -> unit
+(** Include or exclude a memory region from checkpoints. *)
+
+val sls_fdctl : Aurora_kern.Process.t -> fd:int -> ext_sync:bool -> unit
+(** Enable/disable external synchrony on one descriptor (e.g. disable it
+    for read-only connections). *)

@@ -1,0 +1,9 @@
+(** [sls dump]: render a checkpoint as an ELF-core-style textual dump.
+
+    Any retained checkpoint (or the running state, via a fresh checkpoint)
+    can be extracted for debugging.  The dump lists program headers for
+    each memory object, note sections for each POSIX object, and the
+    register state of every thread, in the spirit of `readelf -a` output
+    over a real coredump. *)
+
+val dump : store:Aurora_objstore.Store.t -> epoch:int -> string

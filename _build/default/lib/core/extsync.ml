@@ -1,0 +1,19 @@
+type release = { tag : string; deliver : release_time:int -> unit }
+
+type t = { mutable buffered : (int * release) list (* newest first *) }
+
+let create () = { buffered = [] }
+let buffer t ~epoch r = t.buffered <- (epoch, r) :: t.buffered
+let pending t = List.length t.buffered
+
+let release_up_to t ~epoch ~now =
+  let ready, held = List.partition (fun (e, _) -> e <= epoch) t.buffered in
+  t.buffered <- held;
+  (* Oldest first, preserving send order per destination. *)
+  List.iter (fun (_, r) -> r.deliver ~release_time:now) (List.rev ready);
+  List.length ready
+
+let drop_all t =
+  let n = List.length t.buffered in
+  t.buffered <- [];
+  n

@@ -1,0 +1,30 @@
+(** External synchrony: withhold outgoing messages until the computation
+    that produced them is durable (Nightingale et al., applied to
+    consistency groups in paper section 3).
+
+    Messages sent outside the consistency group on descriptors with
+    external synchrony enabled are buffered here; when a checkpoint
+    covering the send becomes durable, the buffered messages are released
+    to their destinations with the durability time as their effective send
+    time.  Communication {e within} a group is never buffered — the group
+    is checkpointed atomically. *)
+
+type t
+
+type release = { tag : string; deliver : release_time:int -> unit }
+
+val create : unit -> t
+
+val buffer : t -> epoch:int -> release -> unit
+(** Hold a message produced during checkpoint interval [epoch]. *)
+
+val pending : t -> int
+
+val release_up_to : t -> epoch:int -> now:int -> int
+(** A checkpoint covering intervals up to [epoch] became durable at [now]:
+    deliver every buffered message from those intervals; returns how many
+    were released. *)
+
+val drop_all : t -> int
+(** A crash: buffered messages were never visible outside, which is the
+    correctness property external synchrony buys. *)

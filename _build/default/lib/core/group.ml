@@ -1,0 +1,885 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Machine = Aurora_kern.Machine
+module Process = Aurora_kern.Process
+module Fdesc = Aurora_kern.Fdesc
+module Pipe = Aurora_kern.Pipe
+module Socket = Aurora_kern.Socket
+module Kqueue = Aurora_kern.Kqueue
+module Pty = Aurora_kern.Pty
+module Shm = Aurora_kern.Shm
+module Vnode = Aurora_kern.Vnode
+module Vm_map = Aurora_vm.Vm_map
+module Vm_object = Aurora_vm.Vm_object
+module Vm_space = Aurora_vm.Vm_space
+module Page = Aurora_vm.Page
+module Store = Aurora_objstore.Store
+module Fs = Aurora_fs.Fs
+
+(* Extra per-kind serialization costs beyond [Cost.obj_serialize_base],
+   calibrated to Table 4. *)
+let vnode_extra = 500
+let pipe_extra = 500
+let socket_extra = 600
+let pty_ckpt_extra = 1_900
+let shm_posix_extra = 500
+
+(* One logical memory object: a stable store identity for a VM object whose
+   top shadow rotates every checkpoint.  [logical] is the base that
+   survives reverse collapses; [top] is where writes currently land;
+   [frozen] is the previous epoch's dirty set being flushed. *)
+type memrec = {
+  mo_oid : int;
+  mutable logical : Vm_object.t;
+  mutable top : Vm_object.t;
+  mutable frozen : Vm_object.t option;
+  mutable parent_oid : int option;
+  mutable ever_flushed : bool;
+}
+
+type ckpt_stats = {
+  stop_ns : int;
+  os_serialize_ns : int;
+  mem_mark_ns : int;
+  pages_flushed : int;
+  epoch : int;
+  durable_at : int;
+}
+
+type t = {
+  mach : Machine.t;
+  st : Store.t;
+  filesystem : Fs.t option;
+  mutable member_pids : int list; (* global pids *)
+  mutable period : int;
+  mutable ext_sync : bool;
+  grp_oid : int;
+  proc_oids : (int, int) Hashtbl.t; (* pid_local -> oid *)
+  desc_oids : (int, int) Hashtbl.t; (* desc_id -> oid *)
+  sub_oids : (string * int, int) Hashtbl.t; (* (kind, kernel id) -> oid *)
+  memrecs : (int, memrec) Hashtbl.t; (* logical object id -> memrec *)
+  top_index : (int, memrec) Hashtbl.t; (* current top object id -> memrec *)
+  mutable named : (string * int) list;
+  mutable last_epoch_committed : int;
+  mutable last_ckpt_time : int;
+  seen : (int, unit) Hashtbl.t;
+      (* oids serialized in the current cycle: each object is serialized
+         exactly once per checkpoint no matter how many references reach
+         it — the POSIX-object-model property. *)
+  mutable persist : bool; (* false during memory-only checkpoints *)
+}
+
+let attach ~machine ~store ?fs ?(period_ns = 10_000_000) ?group_oid procs =
+  let t =
+    {
+      mach = machine;
+      st = store;
+      filesystem = fs;
+      member_pids = List.map (fun p -> p.Process.pid_global) procs;
+      period = period_ns;
+      ext_sync = true;
+      grp_oid =
+        (match group_oid with Some oid -> oid | None -> Store.alloc_oid store);
+      proc_oids = Hashtbl.create 16;
+      desc_oids = Hashtbl.create 64;
+      sub_oids = Hashtbl.create 64;
+      memrecs = Hashtbl.create 64;
+      top_index = Hashtbl.create 64;
+      named = [];
+      last_epoch_committed = 0;
+      last_ckpt_time = Clock.now machine.Machine.clock;
+      seen = Hashtbl.create 128;
+      persist = true;
+    }
+  in
+  t
+
+let machine t = t.mach
+let store t = t.st
+let fs t = t.filesystem
+let clock t = t.mach.Machine.clock
+let period_ns t = t.period
+let set_period_ns t p = t.period <- p
+
+let members t =
+  List.filter_map (fun pid -> Machine.proc t.mach pid) t.member_pids
+
+let add_process t p =
+  if not (List.mem p.Process.pid_global t.member_pids) then
+    t.member_pids <- t.member_pids @ [ p.Process.pid_global ]
+
+let detach_process t p =
+  t.member_pids <- List.filter (fun pid -> pid <> p.Process.pid_global) t.member_pids
+
+let ext_sync_enabled t = t.ext_sync
+let set_ext_sync t v = t.ext_sync <- v
+let group_oid t = t.grp_oid
+let last_epoch t = t.last_epoch_committed
+
+let name_checkpoint t name =
+  t.named <- (name, t.last_epoch_committed) :: List.remove_assoc name t.named
+
+let named_checkpoints t = t.named
+
+(* Oid allocation, deduplicated by kernel object identity ------------------- *)
+
+let sub_oid t kind id =
+  match Hashtbl.find_opt t.sub_oids (kind, id) with
+  | Some oid -> oid
+  | None ->
+      let oid = Store.alloc_oid t.st in
+      Hashtbl.replace t.sub_oids (kind, id) oid;
+      oid
+
+let desc_oid t (d : Fdesc.t) =
+  match Hashtbl.find_opt t.desc_oids d.Fdesc.desc_id with
+  | Some oid -> oid
+  | None ->
+      let oid = Store.alloc_oid t.st in
+      Hashtbl.replace t.desc_oids d.Fdesc.desc_id oid;
+      oid
+
+let oid_of_desc t d = Hashtbl.find_opt t.desc_oids d.Fdesc.desc_id
+
+(* Memory records ------------------------------------------------------------ *)
+
+let memrec_of_top t obj = Hashtbl.find_opt t.top_index (Vm_object.id obj)
+
+let memrec_oid_of_object t obj =
+  match memrec_of_top t obj with
+  | Some r -> Some r.mo_oid
+  | None -> (
+      match Hashtbl.find_opt t.memrecs (Vm_object.id obj) with
+      | Some r -> Some r.mo_oid
+      | None -> None)
+
+(* Find the memrec owning [obj] anywhere in its role (logical, top or
+   frozen); used to resolve parent links of fork-created shadows. *)
+let owning_memrec t obj =
+  let id = Vm_object.id obj in
+  match Hashtbl.find_opt t.top_index id with
+  | Some r -> Some r
+  | None -> (
+      match Hashtbl.find_opt t.memrecs id with
+      | Some r -> Some r
+      | None ->
+          Hashtbl.fold
+            (fun _ r acc ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  match r.frozen with
+                  | Some f when Vm_object.id f = id -> Some r
+                  | Some _ | None -> None))
+            t.memrecs None)
+
+(* Ensure a memrec exists for the chain rooted at [obj] (an entry's current
+   object).  Parents discovered along the chain get their own records; the
+   first ancestor already owned by a record becomes the parent link. *)
+let rec ensure_memrec t obj =
+  match memrec_of_top t obj with
+  | Some r -> r
+  | None -> (
+      match Hashtbl.find_opt t.memrecs (Vm_object.id obj) with
+      | Some r -> r
+      | None ->
+          let parent_oid =
+            match Vm_object.parent obj with
+            | None -> None
+            | Some p -> (
+                match owning_memrec t p with
+                | Some pr -> Some pr.mo_oid
+                | None ->
+                    let pr = ensure_memrec t p in
+                    Some pr.mo_oid)
+          in
+          let r =
+            {
+              mo_oid = Store.alloc_oid t.st;
+              logical = obj;
+              top = obj;
+              frozen = None;
+              parent_oid;
+              ever_flushed = false;
+            }
+          in
+          Hashtbl.replace t.memrecs (Vm_object.id obj) r;
+          Hashtbl.replace t.top_index (Vm_object.id obj) r;
+          r)
+
+let seed_proc_oid t ~pid_local ~oid = Hashtbl.replace t.proc_oids pid_local oid
+let seed_desc_oid t ~desc_id ~oid = Hashtbl.replace t.desc_oids desc_id oid
+let seed_sub_oid t ~kind ~id ~oid = Hashtbl.replace t.sub_oids (kind, id) oid
+let set_named t named = t.named <- named
+
+let register_restored_memobj t ~oid obj =
+  let r =
+    {
+      mo_oid = oid;
+      logical = obj;
+      top = obj;
+      frozen = None;
+      parent_oid =
+        (match Vm_object.parent obj with
+        | None -> None
+        | Some p -> (
+            match owning_memrec t p with Some pr -> Some pr.mo_oid | None -> None));
+      ever_flushed = true;
+    }
+  in
+  Hashtbl.replace t.memrecs (Vm_object.id obj) r;
+  Hashtbl.replace t.top_index (Vm_object.id obj) r
+
+(* Serialization of POSIX objects --------------------------------------------- *)
+
+let charge t ns = Clock.advance (clock t) ns
+
+let put_obj t ~oid ~kind ~meta =
+  if t.persist then Store.put_object t.st ~oid ~kind ~meta
+
+let put_pgs t ~oid pages = if t.persist then Store.put_pages t.st ~oid pages
+
+(* [once t oid f]: run [f] only the first time [oid] is reached this
+   cycle. *)
+let once t oid f = if not (Hashtbl.mem t.seen oid) then begin Hashtbl.replace t.seen oid (); f () end
+
+let checkpoint_pipe t pipe =
+  let oid = sub_oid t "pipe" (Pipe.id pipe) in
+  once t oid (fun () ->
+      charge t (Cost.obj_serialize_base + pipe_extra);
+      put_obj t ~oid ~kind:Serial.kind_pipe
+        ~meta:
+          (Serial.pipe_to_string
+             {
+               Serial.i_data = Pipe.peek_all pipe;
+               i_rd_open = Pipe.read_open pipe;
+               i_wr_open = Pipe.write_open pipe;
+             }));
+  oid
+
+let checkpoint_kqueue t kq =
+  let oid = sub_oid t "kqueue" (Kqueue.id kq) in
+  once t oid (fun () ->
+  charge t (Cost.obj_serialize_base + (Kqueue.event_count kq * Cost.kqueue_per_event));
+  let evs =
+    List.map
+      (fun (e : Kqueue.kevent) ->
+        {
+          Serial.i_ident = e.Kqueue.ident;
+          i_filter =
+            (match e.Kqueue.filter with
+            | Kqueue.Ev_read -> 0
+            | Kqueue.Ev_write -> 1
+            | Kqueue.Ev_timer -> 2
+            | Kqueue.Ev_signal -> 3
+            | Kqueue.Ev_proc -> 4);
+          i_flags = e.Kqueue.flags;
+          i_udata = e.Kqueue.udata;
+        })
+      (Kqueue.events kq)
+  in
+  put_obj t ~oid ~kind:Serial.kind_kqueue ~meta:(Serial.kqueue_to_string evs));
+  oid
+
+let checkpoint_pty t pty =
+  let oid = sub_oid t "pty" (Pty.id pty) in
+  once t oid (fun () ->
+      charge t (Cost.obj_serialize_base + pty_ckpt_extra);
+      let tio = Pty.termios pty in
+      put_obj t ~oid ~kind:Serial.kind_pty
+        ~meta:
+          (Serial.pty_to_string
+             {
+               Serial.i_unit = Pty.unit_number pty;
+               i_echo = tio.Pty.echo;
+               i_canonical = tio.Pty.canonical;
+               i_baud = tio.Pty.baud;
+               i_input = Pty.in_buffered pty;
+               i_output = Pty.out_buffered pty;
+             }));
+  oid
+
+let addr_image = function
+  | None -> None
+  | Some { Socket.host; port } -> Some (host, port)
+
+(* Sockets reference in-flight SCM_RIGHTS descriptions, so serializing one
+   may recursively serialize descriptions not present in any fd table. *)
+let rec checkpoint_socket t sock =
+  let oid = sub_oid t "socket" (Socket.id sock) in
+  once t oid (fun () ->
+  let buffered_kib = (Socket.buffered_bytes sock + 1023) / 1024 in
+  charge t
+    (Cost.obj_serialize_base + socket_extra
+    + (buffered_kib * Cost.socket_buffer_scan_per_kib));
+  let msg_image (m : Socket.msg) =
+    {
+      Serial.i_msg_data = m.Socket.data;
+      i_ctl_oids =
+        List.filter_map
+          (fun desc_id ->
+            match Machine.find_description t.mach desc_id with
+            | Some d -> Some (checkpoint_desc t d)
+            | None -> None)
+          m.Socket.ctl_fds;
+    }
+  in
+  let tcp, snd, rcv =
+    match Socket.tcp_state sock with
+    | Socket.Tcp_closed -> (0, 0, 0)
+    | Socket.Tcp_listening -> (1, 0, 0)
+    | Socket.Tcp_established e -> (2, e.snd_seq, e.rcv_seq)
+  in
+  let peer_oid =
+    match Socket.peer sock with
+    | None -> 0
+    | Some p -> sub_oid t "socket" (Socket.id p)
+  in
+  put_obj t ~oid ~kind:Serial.kind_socket
+    ~meta:
+      (Serial.socket_to_string
+         {
+           Serial.i_domain =
+             (match Socket.domain sock with Socket.Inet -> 0 | Socket.Unix_dom -> 1);
+           i_proto = (match Socket.proto sock with Socket.Udp -> 0 | Socket.Tcp -> 1);
+           i_laddr = addr_image (Socket.local_addr sock);
+           i_raddr = addr_image (Socket.remote_addr sock);
+           i_opts = Socket.options sock;
+           i_tcp = tcp;
+           i_snd_seq = snd;
+           i_rcv_seq = rcv;
+           i_peer_oid = peer_oid;
+           (* Listening sockets omit the accept queue (clients retry the
+              SYN): nothing of the queue is serialized. *)
+           i_recvq = List.map msg_image (Socket.recv_buffered sock);
+           i_sendq = List.map msg_image (Socket.send_buffered sock);
+         }));
+  oid
+
+and checkpoint_shm t shm =
+  let oid = sub_oid t "shm" (Shm.id shm) in
+  once t oid (fun () ->
+  (match Shm.kind shm with
+  | Shm.Posix_shm _ -> charge t (Cost.obj_serialize_base + Cost.shm_shadow_setup + shm_posix_extra)
+  | Shm.Sysv_shm _ ->
+      charge t
+        (Cost.obj_serialize_base + Cost.shm_shadow_setup + shm_posix_extra
+        + Cost.sysv_namespace_scan));
+  let backing = ensure_memrec t (Shm.backing shm) in
+  put_obj t ~oid ~kind:Serial.kind_shm
+    ~meta:
+      (Serial.shm_to_string
+         {
+           Serial.i_shm_kind =
+             (match Shm.kind shm with
+             | Shm.Posix_shm name -> Either.Left name
+             | Shm.Sysv_shm key -> Either.Right key);
+           i_npages = Shm.npages shm;
+           i_backing_oid = backing.mo_oid;
+         }));
+  oid
+
+and checkpoint_vnode_ref t vn =
+  (* Vnodes are referenced by inode number: no path lookups in the stop
+     window (the Figure 3 / section 5.2 optimization). *)
+  charge t (Cost.obj_serialize_base + vnode_extra);
+  match t.filesystem with
+  | Some filesystem -> (
+      match Fs.oid_of_inode filesystem (Vnode.inode vn) with
+      | Some oid -> oid
+      | None -> 0 (* flushed later in this same checkpoint by the FS *))
+  | None -> 0
+
+and checkpoint_desc t (d : Fdesc.t) =
+  let oid = desc_oid t d in
+  once t oid (fun () ->
+      let kind_image =
+        match d.Fdesc.kind with
+        | Fdesc.Vnode_file { vn; offset; append } ->
+            ignore (checkpoint_vnode_ref t vn);
+            Serial.I_vnode { inode = Vnode.inode vn; offset; append }
+        | Fdesc.Pipe_read p -> Serial.I_pipe_r (checkpoint_pipe t p)
+        | Fdesc.Pipe_write p -> Serial.I_pipe_w (checkpoint_pipe t p)
+        | Fdesc.Socket_fd s -> Serial.I_socket (checkpoint_socket t s)
+        | Fdesc.Kqueue_fd k -> Serial.I_kqueue (checkpoint_kqueue t k)
+        | Fdesc.Pty_master_fd p -> Serial.I_pty_m (checkpoint_pty t p)
+        | Fdesc.Pty_slave_fd p -> Serial.I_pty_s (checkpoint_pty t p)
+        | Fdesc.Shm_fd s -> Serial.I_shm (checkpoint_shm t s)
+        | Fdesc.Device_fd name -> Serial.I_device name
+      in
+      put_obj t ~oid ~kind:Serial.kind_fdesc
+        ~meta:
+          (Serial.fdesc_to_string
+             { Serial.i_kind = kind_image; i_ext_sync = d.Fdesc.ext_sync }));
+  oid
+
+let entry_image t (e : Vm_map.entry) =
+  charge t Cost.vm_entry_serialize;
+  let obj_oid =
+    match Vm_object.kind e.Vm_map.obj with
+    | Vm_object.Device_backed _ -> 0
+    | Vm_object.Vnode_backed inode -> (
+        match t.filesystem with
+        | Some filesystem ->
+            Option.value ~default:0 (Fs.oid_of_inode filesystem inode)
+        | None -> 0)
+    | Vm_object.Anonymous -> (ensure_memrec t e.Vm_map.obj).mo_oid
+  in
+  {
+    Serial.i_start_vpn = e.Vm_map.start_vpn;
+    i_npages = e.Vm_map.npages;
+    i_read = e.Vm_map.prot.Vm_map.read;
+    i_write = e.Vm_map.prot.Vm_map.write;
+    i_exec = e.Vm_map.prot.Vm_map.exec;
+    i_shared = e.Vm_map.shared;
+    i_excluded = e.Vm_map.excluded;
+    i_obj_oid = obj_oid;
+    i_obj_pgoff = e.Vm_map.obj_pgoff;
+  }
+
+let checkpoint_proc t (p : Process.t) =
+  charge t Cost.proc_serialize;
+  List.iter
+    (fun _thr -> charge t (Cost.thread_serialize + Cost.cpu_state_copy))
+    p.Process.threads;
+  let oid =
+    match Hashtbl.find_opt t.proc_oids p.Process.pid_local with
+    | Some oid -> oid
+    | None ->
+        let oid = Store.alloc_oid t.st in
+        Hashtbl.replace t.proc_oids p.Process.pid_local oid;
+        oid
+  in
+  let fds =
+    List.map (fun (slot, d) -> (slot, checkpoint_desc t d)) (Process.fds p)
+  in
+  let entries =
+    List.filter_map
+      (fun (e : Vm_map.entry) ->
+        if e.Vm_map.excluded then None else Some (entry_image t e))
+      (Vm_map.entries (Vm_space.map p.Process.space))
+  in
+  let ppid_local =
+    match Machine.proc t.mach p.Process.ppid with
+    | Some parent -> parent.Process.pid_local
+    | None -> 0
+  in
+  let aio_reads =
+    List.filter_map
+      (fun (a : Aurora_kern.Aio.t) ->
+        match a.Aurora_kern.Aio.aio_op with
+        | Aurora_kern.Aio.Aio_read ->
+            Some (a.Aurora_kern.Aio.aio_slot, a.Aurora_kern.Aio.aio_off, a.Aurora_kern.Aio.aio_len)
+        | Aurora_kern.Aio.Aio_write -> None)
+      (Aurora_kern.Syscall.aio_pending t.mach p)
+  in
+  let image =
+    {
+      Serial.i_pid_local = p.Process.pid_local;
+      i_ppid_local = ppid_local;
+      i_pgid = p.Process.pgid;
+      i_sid = p.Process.sid;
+      i_name = p.Process.name;
+      i_ephemeral = p.Process.ephemeral;
+      i_cwd = p.Process.cwd;
+      i_threads = List.map Serial.image_of_thread p.Process.threads;
+      i_fds = fds;
+      i_entries = entries;
+      i_proc_pending = p.Process.pending_signals;
+      i_aio_reads = aio_reads;
+    }
+  in
+  put_obj t ~oid ~kind:Serial.kind_proc ~meta:(Serial.proc_to_string image);
+  oid
+
+(* System shadowing ------------------------------------------------------------- *)
+
+(* Re-point every object that shadowed [old_parent] (fork children created
+   since the last checkpoint) at [survivor]. *)
+let repoint_children t ~old_parent ~survivor =
+  let fix obj =
+    match Vm_object.parent obj with
+    | Some p when p == old_parent -> Vm_object.set_parent obj (Some survivor)
+    | Some _ | None -> ()
+  in
+  Hashtbl.iter
+    (fun _ r ->
+      fix r.logical;
+      fix r.top;
+      match r.frozen with Some f -> fix f | None -> ())
+    t.memrecs
+
+(* Collapse the flushed frozen shadow of [r] into its parent. *)
+let collapse_frozen t r =
+  match r.frozen with
+  | None -> ()
+  | Some f when f == r.logical ->
+      (* First epoch: the logical object itself was "frozen" for the full
+         flush; nothing to merge. *)
+      r.frozen <- None
+  | Some f ->
+      let survivor =
+        Vm_object.collapse ~clock:(clock t) ~direction:Vm_object.Aurora_reverse f
+      in
+      repoint_children t ~old_parent:f ~survivor;
+      (* An inactive chain was frozen in place (top == frozen): the
+         survivor takes over as the resting top. *)
+      if r.top == f then begin
+        Hashtbl.remove t.top_index (Vm_object.id f);
+        Hashtbl.replace t.top_index (Vm_object.id survivor) r;
+        r.top <- survivor
+      end;
+      r.frozen <- None
+
+(* Interpose a fresh shadow above [r.top]; all spaces in the group that map
+   the old top are re-pointed, dirty PTEs are downgraded (charged), and
+   shm backmaps swing to the new shadow. *)
+let interpose_shadow t spaces r =
+  let old_top = r.top in
+  let fresh = Vm_object.shadow ~clock:(clock t) old_top in
+  List.iter
+    (fun space -> ignore (Vm_space.replace_object space ~old_obj:old_top ~new_obj:fresh))
+    spaces;
+  Hashtbl.iter
+    (fun _ shm ->
+      if Shm.backing shm == old_top then Shm.set_backing shm fresh)
+    t.mach.Machine.posix_shm;
+  Hashtbl.iter
+    (fun _ shm ->
+      if Shm.backing shm == old_top then Shm.set_backing shm fresh)
+    t.mach.Machine.sysv_shm;
+  Hashtbl.remove t.top_index (Vm_object.id old_top);
+  Hashtbl.replace t.top_index (Vm_object.id fresh) r;
+  r.frozen <- Some old_top;
+  r.top <- fresh
+
+(* Flush ---------------------------------------------------------------------------- *)
+
+let flush_frozen t r =
+  match r.frozen with
+  | None -> 0
+  | Some f ->
+      let pages = ref [] in
+      Vm_object.iter_local f (fun idx page ->
+          pages := (idx, Page.blit_payload page) :: !pages);
+      if not r.ever_flushed then begin
+        (* First flush of this object: the logical base has never been
+           written out (e.g. a memory-only checkpoint rotated the shadow
+           before any persisted one ran), so include its pages too —
+           frozen-shadow versions win. *)
+        if f != r.logical then
+          Vm_object.iter_local r.logical (fun idx page ->
+              if Vm_object.find_local f idx = None then
+                pages := (idx, Page.blit_payload page) :: !pages);
+        put_obj t ~oid:r.mo_oid ~kind:Serial.kind_memobj
+          ~meta:
+            (Serial.memobj_to_string
+               { Serial.i_parent_oid = r.parent_oid; i_anon = true });
+        r.ever_flushed <- true;
+        put_pgs t ~oid:r.mo_oid !pages
+      end
+      else if !pages <> [] then put_pgs t ~oid:r.mo_oid !pages;
+      List.length !pages
+
+(* Read-only ancestors (fork backings, memrecs not under any entry) flush
+   once: all their resident pages. *)
+let flush_static t r =
+  if (not r.ever_flushed) && r.frozen = None then begin
+    let pages = ref [] in
+    Vm_object.iter_local r.logical (fun idx page ->
+        pages := (idx, Page.blit_payload page) :: !pages);
+    put_pgs t ~oid:r.mo_oid !pages;
+    put_obj t ~oid:r.mo_oid ~kind:Serial.kind_memobj
+      ~meta:
+        (Serial.memobj_to_string { Serial.i_parent_oid = r.parent_oid; i_anon = true });
+    r.ever_flushed <- true;
+    List.length !pages
+  end
+  else 0
+
+(* The checkpoint cycle --------------------------------------------------------------- *)
+
+let live_members t =
+  List.filter (fun p -> p.Process.proc_state = Process.Alive) (members t)
+
+let persistent_members t =
+  List.filter (fun p -> not p.Process.ephemeral) (live_members t)
+
+let checkpoint_common t ~flush =
+  let clk = clock t in
+  let procs = persistent_members t in
+  let spaces = List.map (fun p -> p.Process.space) procs in
+  (* The previous checkpoint must be durable before we start another
+     (section 7: "Aurora waits for a checkpoint to fully persist before
+     initiating another one"). *)
+  if flush then Store.wait_durable t.st;
+  t.persist <- flush;
+  Hashtbl.reset t.seen;
+  let epoch = if flush then Store.begin_checkpoint t.st else Store.last_complete_epoch t.st in
+  let stop_begin = Clock.now clk in
+  (* 1. Quiesce. *)
+  Machine.quiesce t.mach procs;
+  charge t Cost.orchestrator_barrier;
+  (* 2. Collapse the flushed shadows of the previous epoch. *)
+  Hashtbl.iter (fun _ r -> collapse_frozen t r) t.memrecs;
+  (* 3. Serialize OS state (each POSIX object into its own store object). *)
+  let os_begin = Clock.now clk in
+  (* Harvest the MMU dirty bits of file-backed mappings into the vnodes'
+     dirty sets: stores through memory persist exactly like write(2)s
+     (files and memory are one in the object store, section 5.2). *)
+  (match t.filesystem with
+  | Some filesystem ->
+      List.iter
+        (fun p ->
+          let space = p.Process.space in
+          List.iter
+            (fun (e : Vm_map.entry) ->
+              match Vm_object.kind e.Vm_map.obj with
+              | Vm_object.Vnode_backed inode -> (
+                  match Fs.vnode_by_inode filesystem inode with
+                  | Some vn ->
+                      Aurora_vm.Pmap.iter (Vm_space.pmap space) (fun vpn pte ->
+                          if
+                            pte.Aurora_vm.Pmap.dirty
+                            && vpn >= e.Vm_map.start_vpn
+                            && vpn < e.Vm_map.start_vpn + e.Vm_map.npages
+                          then begin
+                            Vnode.mark_dirty vn
+                              (vpn - e.Vm_map.start_vpn + e.Vm_map.obj_pgoff);
+                            pte.Aurora_vm.Pmap.dirty <- false
+                          end)
+                  | None -> ())
+              | Vm_object.Anonymous | Vm_object.Device_backed _ -> ())
+            (Vm_map.entries (Vm_space.map space)))
+        procs
+  | None -> ());
+  (match t.filesystem with
+  | Some filesystem when flush -> Fs.flush_to_store filesystem
+  | Some _ | None -> ());
+  let proc_oids = List.map (fun p -> checkpoint_proc t p) procs in
+  (* Shared-memory segments live in global namespaces, not fd tables: the
+     System V namespace is scanned every checkpoint (its Table 4 cost),
+     and named POSIX segments are persisted even when no descriptor is
+     currently open. *)
+  Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.sysv_shm;
+  Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.posix_shm;
+  if flush then begin
+    let ephemeral_parents =
+      List.filter_map
+        (fun p ->
+          if p.Process.ephemeral then
+            match Machine.proc t.mach p.Process.ppid with
+            | Some parent -> Some parent.Process.pid_local
+            | None -> None
+          else None)
+        (live_members t)
+      |> List.sort_uniq compare
+    in
+    put_obj t ~oid:t.grp_oid ~kind:Serial.kind_group
+      ~meta:
+        (Serial.group_to_string
+           {
+             Serial.i_proc_oids = proc_oids;
+             i_period = t.period;
+             i_ext_sync_on = t.ext_sync;
+             i_name_ckpts = t.named;
+             i_ephemeral_parents = ephemeral_parents;
+           })
+  end;
+  let os_ns = Clock.elapsed_since clk os_begin in
+  (* 4. System shadowing: freeze the dirty sets, one shadow per writable
+     object across the whole group. *)
+  let mark_begin = Clock.now clk in
+  let to_shadow =
+    List.concat_map
+      (fun space ->
+        List.filter_map (fun obj -> memrec_of_top t obj) (Vm_space.unique_objects space))
+      spaces
+    (* Shared objects appear once per mapping space; dedup by oid. *)
+    |> List.sort_uniq (fun a b -> compare a.mo_oid b.mo_oid)
+  in
+  List.iter (fun r -> interpose_shadow t spaces r) to_shadow;
+  (* Chains no mapping writes anymore (e.g. a shadow that became a fork
+     backing mid-epoch) still hold unflushed dirty pages: freeze their
+     immutable top in place so the flush below persists it.  Every active
+     object was just interposed (frozen set), so what remains with a bare
+     shadow top is exactly the inactive set. *)
+  Hashtbl.iter
+    (fun _ r -> if r.frozen = None && r.top != r.logical then r.frozen <- Some r.top)
+    t.memrecs;
+  charge t Cost.tlb_shootdown;
+  charge t Cost.async_flush_setup;
+  let mark_ns = Clock.elapsed_since clk mark_begin in
+  (* 5. Resume: end of the stop window. *)
+  Machine.resume t.mach procs;
+  let stop_ns = Clock.elapsed_since clk stop_begin in
+  (* 6. Flush concurrently with execution. *)
+  let pages_flushed =
+    if flush then begin
+      let frozen_pages =
+        Hashtbl.fold (fun _ r acc -> acc + flush_frozen t r) t.memrecs 0
+      in
+      let static_pages =
+        Hashtbl.fold (fun _ r acc -> acc + flush_static t r) t.memrecs 0
+      in
+      charge t Cost.ckpt_record_write;
+      ignore (Store.commit_checkpoint t.st);
+      t.last_epoch_committed <- epoch;
+      frozen_pages + static_pages
+    end
+    else 0
+  in
+  (* In-flight asynchronous writes belong to this checkpoint: it is not
+     complete until they are incorporated (section 5.3). *)
+  let aio_write_done =
+    Hashtbl.fold
+      (fun _ ((a : Aurora_kern.Aio.t), pid) acc ->
+        if
+          a.Aurora_kern.Aio.aio_op = Aurora_kern.Aio.Aio_write
+          && List.mem pid t.member_pids
+        then max acc a.Aurora_kern.Aio.done_at
+        else acc)
+      t.mach.Machine.aios 0
+  in
+  t.persist <- true;
+  t.last_ckpt_time <- Clock.now clk;
+  {
+    stop_ns;
+    os_serialize_ns = os_ns;
+    mem_mark_ns = mark_ns;
+    pages_flushed;
+    epoch;
+    durable_at =
+      (if flush then max (Store.durable_at t.st) aio_write_done
+       else Clock.now clk);
+  }
+
+(* After a restore, entries point directly at the restored logical
+   objects.  Interpose clean shadows so that post-restore writes are
+   tracked and the next checkpoint stays incremental. *)
+let prepare_after_restore t =
+  let spaces = List.map (fun p -> p.Process.space) (persistent_members t) in
+  let to_shadow =
+    List.concat_map
+      (fun space ->
+        List.filter_map (fun obj -> memrec_of_top t obj) (Vm_space.unique_objects space))
+      spaces
+    |> List.sort_uniq (fun a b -> compare a.mo_oid b.mo_oid)
+  in
+  List.iter
+    (fun r ->
+      interpose_shadow t spaces r;
+      (* The "frozen" old top is the fully-flushed restored object: there
+         is nothing to write for it. *)
+      r.frozen <- None)
+    to_shadow
+
+let checkpoint_region t (entry : Vm_map.entry) =
+  let clk = clock t in
+  Store.wait_durable t.st;
+  Hashtbl.reset t.seen;
+  t.persist <- true;
+  let epoch = Store.begin_checkpoint t.st in
+  let stop_begin = Clock.now clk in
+  charge t Cost.syscall_overhead;
+  let r = ensure_memrec t entry.Vm_map.obj in
+  collapse_frozen t r;
+  let spaces = List.map (fun p -> p.Process.space) (persistent_members t) in
+  interpose_shadow t spaces r;
+  charge t Cost.async_flush_setup;
+  let mark_ns = Clock.elapsed_since clk stop_begin in
+  let pages = flush_frozen t r in
+  charge t Cost.ckpt_record_write;
+  ignore (Store.commit_checkpoint t.st);
+  t.last_epoch_committed <- epoch;
+  let stop_ns = Clock.elapsed_since clk stop_begin in
+  {
+    stop_ns;
+    os_serialize_ns = 0;
+    mem_mark_ns = mark_ns;
+    pages_flushed = pages;
+    epoch;
+    durable_at = Store.durable_at t.st;
+  }
+
+(* Memory overcommitment: the unified zero-copy swap path. ------------------ *)
+
+let pager_for t oid =
+  fun idx ->
+    let epoch = Store.last_complete_epoch t.st in
+    if epoch = 0 then None else Store.read_page t.st ~epoch ~oid ~idx
+
+let install_pagers t =
+  Hashtbl.iter
+    (fun _ r ->
+      if r.ever_flushed then Vm_object.set_pager r.logical (Some (pager_for t r.mo_oid)))
+    t.memrecs
+
+let evict_clean_pages t ~target =
+  (* Only durably checkpointed pages are clean. *)
+  Store.wait_durable t.st;
+  install_pagers t;
+  (* madvise hints: regions marked evict-first are preferred victims. *)
+  let preferred = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (e : Vm_map.entry) ->
+          if e.Vm_map.evict_first then
+            match memrec_of_top t e.Vm_map.obj with
+            | Some r -> Hashtbl.replace preferred r.mo_oid ()
+            | None -> ())
+        (Vm_map.entries (Vm_space.map p.Process.space)))
+    (persistent_members t);
+  let evicted = ref 0 in
+  let evict_from r =
+    if r.ever_flushed && !evicted < target then begin
+      (* Pages resident in the logical object sit below the current top
+         shadow: their content is exactly what the last complete
+         checkpoint holds. *)
+      let victims = ref [] in
+      Vm_object.iter_local r.logical (fun idx _ ->
+          if !evicted + List.length !victims < target then
+            victims := idx :: !victims);
+      List.iter (fun idx -> Vm_object.remove_page r.logical idx) !victims;
+      evicted := !evicted + List.length !victims
+    end
+  in
+  Hashtbl.iter (fun _ r -> if Hashtbl.mem preferred r.mo_oid then evict_from r) t.memrecs;
+  Hashtbl.iter
+    (fun _ r -> if not (Hashtbl.mem preferred r.mo_oid) then evict_from r)
+    t.memrecs;
+  !evicted
+
+let resident_group_pages t =
+  List.fold_left
+    (fun acc p -> acc + Vm_space.resident_pages p.Process.space)
+    0 (persistent_members t)
+
+let checkpoint ?(wait_durable = false) t =
+  let stats = checkpoint_common t ~flush:true in
+  if wait_durable then Store.wait_durable t.st;
+  stats
+
+let checkpoint_mem_only t = checkpoint_common t ~flush:false
+
+let suspend t =
+  let stats = checkpoint ~wait_durable:true t in
+  List.iter
+    (fun p -> Machine.remove_proc t.mach p.Process.pid_global)
+    (live_members t);
+  stats.epoch
+
+let run_for t duration =
+  let clk = clock t in
+  let deadline = Clock.now clk + duration in
+  let rec loop () =
+    let next = t.last_ckpt_time + t.period in
+    if next <= deadline then begin
+      Clock.advance_to clk next;
+      ignore (checkpoint t);
+      loop ()
+    end
+    else Clock.advance_to clk deadline
+  in
+  loop ()

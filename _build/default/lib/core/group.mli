@@ -1,0 +1,135 @@
+(** Consistency groups and the checkpoint path — the SLS orchestrator.
+
+    A consistency group is the unit of atomic persistence (paper section 3):
+    a set of processes checkpointed together, by default 100 times per
+    second.  {!checkpoint} implements the full continuous-checkpointing
+    cycle:
+
+    + quiesce every thread at the kernel boundary (IPI; sleeping syscalls
+      transparently restart);
+    + collapse the previous epoch's flushed system shadows into their
+      parents (Aurora's reverse collapse);
+    + serialize every POSIX object reachable from the group into its own
+      store object — processes, threads, descriptions, pipes, sockets
+      (in-flight SCM_RIGHTS descriptors included), kqueues, ptys, shared
+      memory — deduplicated structurally by object identity;
+    + interpose fresh system shadows above every writable anonymous VM
+      object in the group (one shadow per object, shared mappings
+      included, shm backmaps updated) and downgrade the dirty PTEs;
+    + resume the group (end of the stop window);
+    + flush the frozen shadows' pages and the file system's dirty vnodes
+      into the store and commit the checkpoint asynchronously.
+
+    The store's write ordering guarantees a crash during the flush leaves
+    the previous checkpoint intact. *)
+
+type t
+
+type ckpt_stats = {
+  stop_ns : int;  (** application stop time *)
+  os_serialize_ns : int;
+  mem_mark_ns : int;  (** shadowing + PTE downgrades + TLB *)
+  pages_flushed : int;
+  epoch : int;
+  durable_at : int;  (** virtual time the checkpoint is fully durable *)
+}
+
+val attach :
+  machine:Aurora_kern.Machine.t ->
+  store:Aurora_objstore.Store.t ->
+  ?fs:Aurora_fs.Fs.t ->
+  ?period_ns:int ->
+  ?group_oid:int ->
+  Aurora_kern.Process.t list ->
+  t
+(** Create a consistency group over the given processes.  [period_ns]
+    defaults to 10 ms (100 Hz).  [group_oid] is passed by the restore path
+    so the restored group keeps its store identity. *)
+
+val machine : t -> Aurora_kern.Machine.t
+val store : t -> Aurora_objstore.Store.t
+val fs : t -> Aurora_fs.Fs.t option
+val clock : t -> Aurora_sim.Clock.t
+val period_ns : t -> int
+val set_period_ns : t -> int -> unit
+
+val members : t -> Aurora_kern.Process.t list
+
+val add_process : t -> Aurora_kern.Process.t -> unit
+val detach_process : t -> Aurora_kern.Process.t -> unit
+(** [sls detach]: the process becomes ephemeral from the next checkpoint. *)
+
+val ext_sync_enabled : t -> bool
+val set_ext_sync : t -> bool -> unit
+
+val checkpoint : ?wait_durable:bool -> t -> ckpt_stats
+(** One full checkpoint cycle.  With [wait_durable] (default false) the
+    clock additionally advances until the checkpoint is on stable storage
+    ([sls_barrier] semantics). *)
+
+val checkpoint_mem_only : t -> ckpt_stats
+(** Stop, serialize and shadow, but skip the store flush — the "Mem"
+    checkpoint rows of Table 6 (used to isolate stop time from I/O). *)
+
+val checkpoint_region : t -> Aurora_vm.Vm_map.entry -> ckpt_stats
+(** [sls_memckpt]: atomically checkpoint a single memory region without
+    quiescing the whole group or serializing OS state — shadow the
+    region's object and flush it asynchronously (Table 5's "Atomic"
+    column).  On restore the region composes on top of the last full
+    checkpoint. *)
+
+val last_epoch : t -> int
+val name_checkpoint : t -> string -> unit
+(** [sls checkpoint <name>]: associate a name with the latest epoch. *)
+
+val named_checkpoints : t -> (string * int) list
+
+val suspend : t -> int
+(** [sls suspend]: checkpoint the group durably, then remove its
+    processes from the machine (the application exists only in the store).
+    Returns the suspension epoch; {!Restore.restore} (or [sls resume])
+    brings it back. *)
+
+val run_for : t -> int -> unit
+(** Advance virtual time by the given duration, taking periodic
+    checkpoints on schedule (the transparent-persistence driver used when
+    no workload is generating its own timeline). *)
+
+(** {1 Memory overcommitment (paper section 6)}
+
+    Aurora subsumes swap: pages already covered by a durable checkpoint
+    are clean and can be evicted without I/O; a fault brings the most
+    recent version back from the object store through the VM pager.  The
+    same path implements lazy restore. *)
+
+val install_pagers : t -> unit
+(** Attach store-backed pagers to every flushed memory object. *)
+
+val evict_clean_pages : t -> target:int -> int
+(** Evict up to [target] clean resident pages (zero-copy: they are
+    already in the store); waits for the covering checkpoint to be
+    durable first.  Returns the number evicted. *)
+
+val resident_group_pages : t -> int
+
+(** {1 Used by the restore path and the API} *)
+
+val group_oid : t -> int
+val oid_of_desc : t -> Aurora_kern.Fdesc.t -> int option
+val memrec_oid_of_object : t -> Aurora_vm.Vm_object.t -> int option
+val register_restored_memobj :
+  t -> oid:int -> Aurora_vm.Vm_object.t -> unit
+(** Seed the group's memory-object table after a restore so subsequent
+    checkpoints stay incremental. *)
+
+val prepare_after_restore : t -> unit
+(** Interpose clean system shadows above every restored writable object so
+    post-restore writes are tracked incrementally.  Called by the restore
+    path once the group is assembled. *)
+
+val seed_proc_oid : t -> pid_local:int -> oid:int -> unit
+val seed_desc_oid : t -> desc_id:int -> oid:int -> unit
+val seed_sub_oid : t -> kind:string -> id:int -> oid:int -> unit
+val set_named : t -> (string * int) list -> unit
+(** Restore-path hooks: keep store identities stable across a restore so
+    the next checkpoints stay incremental. *)

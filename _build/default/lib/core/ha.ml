@@ -1,0 +1,40 @@
+module Clock = Aurora_sim.Clock
+module Machine = Aurora_kern.Machine
+module Store = Aurora_objstore.Store
+
+type t = {
+  primary : Group.t;
+  standby_store : Store.t;
+  mutable last_shipped : int; (* primary epoch *)
+  mutable total_bytes : int;
+}
+
+let create ~primary ~standby_store =
+  { primary; standby_store; last_shipped = 0; total_bytes = 0 }
+
+let replicate t =
+  let epoch = Group.last_epoch t.primary in
+  if epoch = 0 || epoch = t.last_shipped then 0
+  else begin
+    let store = Group.store t.primary in
+    let stream =
+      if t.last_shipped = 0 then Migrate.serialize ~store ~epoch
+      else Migrate.serialize_incremental ~store ~base:t.last_shipped ~epoch
+    in
+    let bytes = Migrate.stream_size stream in
+    (* The wire time lands on the standby: it can only fail over once the
+       stream has fully arrived and installed. *)
+    Clock.advance
+      (Store.clock t.standby_store)
+      (Migrate.transfer_time_ns ~bytes);
+    ignore (Migrate.install ~store:t.standby_store stream);
+    t.last_shipped <- epoch;
+    t.total_bytes <- t.total_bytes + bytes;
+    bytes
+  end
+
+let shipped_epoch t = t.last_shipped
+let lag_epochs t = Group.last_epoch t.primary - t.last_shipped
+let bytes_replicated t = t.total_bytes
+
+let failover t ~machine = Restore.restore ~machine ~store:t.standby_store ()

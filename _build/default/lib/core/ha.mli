@@ -1,0 +1,29 @@
+(** High availability by continuous checkpoint shipping (paper sections 3
+    and 10): the primary's incremental checkpoints stream to a standby's
+    store over the network; on primary failure the standby restores the
+    last shipped checkpoint and takes over.  The recovery point is the
+    last replicated epoch — with 10 ms checkpoints and page-granular
+    deltas, typically a handful of milliseconds of work. *)
+
+type t
+
+val create :
+  primary:Group.t -> standby_store:Aurora_objstore.Store.t -> t
+
+val replicate : t -> int
+(** Ship everything the standby has not seen (the first call ships the
+    full checkpoint, later calls page-granular deltas); installs it in
+    the standby store and charges the transfer to the standby's clock.
+    Returns the bytes shipped (0 when the standby is current). *)
+
+val shipped_epoch : t -> int
+(** The primary epoch the standby could fail over to right now. *)
+
+val lag_epochs : t -> int
+(** Primary epochs not yet replicated. *)
+
+val bytes_replicated : t -> int
+
+val failover : t -> machine:Aurora_kern.Machine.t -> Restore.result
+(** The primary is gone: restore the last shipped checkpoint on the
+    standby machine. *)

@@ -1,0 +1,99 @@
+module Cost = Aurora_sim.Cost
+module Store = Aurora_objstore.Store
+module Wire = Aurora_objstore.Wire
+
+let magic = "AURSTRM1"
+
+let serialize_objects ~store ~epoch ~pages_of oids =
+  let w = Wire.writer () in
+  Wire.str w magic;
+  Wire.u64 w epoch;
+  Wire.list w
+    (fun (oid, kind) ->
+      Wire.u64 w oid;
+      Wire.str w kind;
+      Wire.str w (Store.read_meta store ~epoch ~oid);
+      Wire.list w
+        (fun (idx, payload) ->
+          Wire.u32 w idx;
+          Wire.str w (Bytes.to_string payload))
+        (pages_of oid))
+    oids;
+  Bytes.to_string (Wire.contents w)
+
+let serialize ~store ~epoch =
+  serialize_objects ~store ~epoch
+    ~pages_of:(fun oid -> Store.read_pages store ~epoch ~oid)
+    (Store.objects_at store ~epoch)
+
+(* Page-granular deltas: an object appears if it is new, its metadata
+   changed, or some of its pages changed — and only the changed pages are
+   shipped (the receiver composes them onto the base it already holds). *)
+let serialize_incremental ~store ~base ~epoch =
+  let base_objects = Store.objects_at store ~epoch:base in
+  let delta_pages oid =
+    let exists_in_base = List.exists (fun (o, _) -> o = oid) base_objects in
+    let current = Store.read_pages store ~epoch ~oid in
+    if not exists_in_base then current
+    else begin
+      let old = Store.read_pages store ~epoch:base ~oid in
+      List.filter
+        (fun (idx, payload) ->
+          match List.assoc_opt idx old with
+          | Some old_payload -> not (Bytes.equal payload old_payload)
+          | None -> true)
+        current
+    end
+  in
+  let changed_meta (oid, _) =
+    (not (List.exists (fun (o, _) -> o = oid) base_objects))
+    || Store.read_meta store ~epoch ~oid <> Store.read_meta store ~epoch:base ~oid
+  in
+  let page_deltas = Hashtbl.create 32 in
+  let objects =
+    List.filter
+      (fun (oid, _) ->
+        let pages = delta_pages oid in
+        Hashtbl.replace page_deltas oid pages;
+        pages <> [] || changed_meta (oid, ""))
+      (Store.objects_at store ~epoch)
+  in
+  serialize_objects ~store ~epoch
+    ~pages_of:(fun oid -> Option.value ~default:[] (Hashtbl.find_opt page_deltas oid))
+    objects
+
+let stream_size s = String.length s
+
+let install ~store stream =
+  let r = Wire.reader (Bytes.of_string stream) in
+  (match Wire.rstr r with
+  | m when m = magic -> ()
+  | _ -> failwith "Migrate.install: bad stream magic"
+  | exception Wire.Corrupt msg -> failwith ("Migrate.install: " ^ msg));
+  let _src_epoch = Wire.ru64 r in
+  let objects =
+    Wire.rlist r (fun r ->
+        let oid = Wire.ru64 r in
+        let kind = Wire.rstr r in
+        let meta = Wire.rstr r in
+        let pages =
+          Wire.rlist r (fun r ->
+              let idx = Wire.ru32 r in
+              let payload = Bytes.of_string (Wire.rstr r) in
+              (idx, payload))
+        in
+        (oid, kind, meta, pages))
+  in
+  let epoch = Store.begin_checkpoint store in
+  List.iter
+    (fun (oid, kind, meta, pages) ->
+      Store.reserve_oids store ~upto:oid;
+      Store.put_object store ~oid ~kind ~meta;
+      Store.put_pages store ~oid pages)
+    objects;
+  ignore (Store.commit_checkpoint store);
+  Store.wait_durable store;
+  epoch
+
+let transfer_time_ns ~bytes =
+  Cost.net_one_way_latency + Cost.transfer_time ~bandwidth:Cost.net_bandwidth bytes

@@ -1,0 +1,25 @@
+(** [sls send] / [sls recv]: ship checkpoints between machines.
+
+    A checkpoint serializes to a self-contained byte stream (all objects,
+    metadata and pages); the receiver installs it as a fresh checkpoint in
+    its own store and can then restore it.  {!send_incremental} ships only
+    the objects whose version changed since a base epoch, which is the
+    building block for live migration and high availability (pre-copy
+    iterations of dirty state). *)
+
+val serialize : store:Aurora_objstore.Store.t -> epoch:int -> string
+(** The full checkpoint as a portable stream. *)
+
+val serialize_incremental :
+  store:Aurora_objstore.Store.t -> base:int -> epoch:int -> string
+(** Only objects whose pages or metadata changed between the epochs. *)
+
+val stream_size : string -> int
+
+val install :
+  store:Aurora_objstore.Store.t -> string -> int
+(** Install a stream as a new checkpoint in the target store; returns its
+    epoch there.  Raises [Failure] on a corrupt stream. *)
+
+val transfer_time_ns : bytes:int -> int
+(** Time to push a stream over the 10 GbE link of the testbed. *)

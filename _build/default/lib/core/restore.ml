@@ -1,0 +1,506 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Machine = Aurora_kern.Machine
+module Process = Aurora_kern.Process
+module Fdesc = Aurora_kern.Fdesc
+module Pipe = Aurora_kern.Pipe
+module Socket = Aurora_kern.Socket
+module Kqueue = Aurora_kern.Kqueue
+module Pty = Aurora_kern.Pty
+module Shm = Aurora_kern.Shm
+module Vnode = Aurora_kern.Vnode
+module Vm_map = Aurora_vm.Vm_map
+module Vm_object = Aurora_vm.Vm_object
+module Vm_space = Aurora_vm.Vm_space
+module Page = Aurora_vm.Page
+module Store = Aurora_objstore.Store
+module Fs = Aurora_fs.Fs
+
+(* Per-kind restore costs beyond [Cost.obj_restore_base] (Table 4). *)
+let pipe_restore_extra = 600
+let socket_restore_extra = 1_600
+let kqueue_restore_extra = 700
+let shm_posix_restore_extra = 1_800
+let shm_sysv_restore_extra = 800
+
+type result = {
+  group : Group.t;
+  procs : Process.t list;
+  fs : Fs.t option;
+  restore_ns : int;
+}
+
+type ctx = {
+  mach : Machine.t;
+  st : Store.t;
+  epoch : int;
+  lazy_pages : bool;
+  kinds : (int, string) Hashtbl.t; (* oid -> kind *)
+  memobjs : (int, Vm_object.t) Hashtbl.t; (* oid -> restored object *)
+  descs : (int, Fdesc.t) Hashtbl.t; (* oid -> restored description *)
+  sockets : (int, Socket.t) Hashtbl.t;
+  pipes : (int, Pipe.t) Hashtbl.t;
+  kqueues : (int, Kqueue.t) Hashtbl.t;
+  ptys : (int, Pty.t) Hashtbl.t;
+  shms : (int, Shm.t) Hashtbl.t;
+  first_install : (int, unit) Hashtbl.t;
+      (* description oids already installed in some fd slot: later slots
+         must take an extra reference (fork/dup sharing) *)
+  restored_fs : Fs.t option;
+}
+
+let charge ctx ns = Clock.advance ctx.mach.Machine.clock ns
+let meta ctx oid = Store.read_meta ctx.st ~epoch:ctx.epoch ~oid
+
+(* Memory objects --------------------------------------------------------------- *)
+
+let load_pages ctx oid obj =
+  List.iter
+    (fun (idx, payload) ->
+      let page = Page.alloc_sized ~payload:(Bytes.length payload) in
+      Page.load_payload page payload;
+      Vm_object.insert_page obj idx page)
+    (Store.read_pages ctx.st ~epoch:ctx.epoch ~oid)
+
+let rec memobj ctx oid =
+  match Hashtbl.find_opt ctx.memobjs oid with
+  | Some obj -> obj
+  | None ->
+      let image = Serial.memobj_of_string (meta ctx oid) in
+      (* Memory objects are plain anonymous objects: cheaper to recreate
+         than descriptor-backed kernel objects. *)
+      charge ctx (Cost.obj_restore_base / 2);
+      let obj = Vm_object.create Vm_object.Anonymous in
+      (* Parents first, so chains relink bottom-up. *)
+      (match image.Serial.i_parent_oid with
+      | Some parent_oid ->
+          let parent = memobj ctx parent_oid in
+          Vm_object.set_parent obj (Some parent)
+      | None -> ());
+      Hashtbl.replace ctx.memobjs oid obj;
+      if ctx.lazy_pages then begin
+        (* Lazy restore: pages come back on demand through the store-backed
+           pager — the paper's unified swap path (section 6). *)
+        let st = ctx.st and epoch = ctx.epoch in
+        Vm_object.set_pager obj (Some (fun idx -> Store.read_page st ~epoch ~oid ~idx))
+      end
+      else load_pages ctx oid obj;
+      obj
+
+(* Sub-objects -------------------------------------------------------------------- *)
+
+let pipe ctx oid =
+  match Hashtbl.find_opt ctx.pipes oid with
+  | Some p -> p
+  | None ->
+      charge ctx (Cost.obj_restore_base + pipe_restore_extra);
+      let image = Serial.pipe_of_string (meta ctx oid) in
+      let p = Pipe.create () in
+      Pipe.refill p image.Serial.i_data;
+      if not image.Serial.i_rd_open then Pipe.close_read p;
+      if not image.Serial.i_wr_open then Pipe.close_write p;
+      Hashtbl.replace ctx.pipes oid p;
+      p
+
+let kqueue ctx oid =
+  match Hashtbl.find_opt ctx.kqueues oid with
+  | Some k -> k
+  | None ->
+      charge ctx (Cost.obj_restore_base + kqueue_restore_extra);
+      let images = Serial.kqueue_of_string (meta ctx oid) in
+      let k = Kqueue.create () in
+      Kqueue.replace_events k
+        (List.map
+           (fun (e : Serial.kevent_image) ->
+             {
+               Kqueue.ident = e.Serial.i_ident;
+               filter =
+                 (match e.Serial.i_filter with
+                 | 0 -> Kqueue.Ev_read
+                 | 1 -> Kqueue.Ev_write
+                 | 2 -> Kqueue.Ev_timer
+                 | 3 -> Kqueue.Ev_signal
+                 | _ -> Kqueue.Ev_proc);
+               flags = e.Serial.i_flags;
+               udata = e.Serial.i_udata;
+             })
+           images);
+      Hashtbl.replace ctx.kqueues oid k;
+      k
+
+let pty ctx oid =
+  match Hashtbl.find_opt ctx.ptys oid with
+  | Some p -> p
+  | None ->
+      (* Recreating the virtual device takes devfs locks — the dominant
+         pty restore cost in Table 4. *)
+      charge ctx (Cost.obj_restore_base + Cost.devfs_lock);
+      let image = Serial.pty_of_string (meta ctx oid) in
+      let p = Pty.create () in
+      let tio = Pty.termios p in
+      tio.Pty.echo <- image.Serial.i_echo;
+      tio.Pty.canonical <- image.Serial.i_canonical;
+      tio.Pty.baud <- image.Serial.i_baud;
+      Pty.refill p ~input:image.Serial.i_input ~output:image.Serial.i_output;
+      Hashtbl.replace ctx.ptys oid p;
+      p
+
+let shm ctx oid =
+  match Hashtbl.find_opt ctx.shms oid with
+  | Some s -> s
+  | None ->
+      let image = Serial.shm_of_string (meta ctx oid) in
+      let kind, extra =
+        match image.Serial.i_shm_kind with
+        | Either.Left name -> (Shm.Posix_shm name, shm_posix_restore_extra)
+        | Either.Right key -> (Shm.Sysv_shm key, shm_sysv_restore_extra)
+      in
+      charge ctx (Cost.obj_restore_base + extra);
+      let s = Shm.create kind ~npages:image.Serial.i_npages in
+      Shm.set_backing s (memobj ctx image.Serial.i_backing_oid);
+      (match kind with
+      | Shm.Posix_shm name -> Hashtbl.replace ctx.mach.Machine.posix_shm name s
+      | Shm.Sysv_shm key -> Hashtbl.replace ctx.mach.Machine.sysv_shm key s);
+      Hashtbl.replace ctx.shms oid s;
+      s
+
+(* Sockets need two phases: create + state now, peers and in-flight
+   SCM_RIGHTS after every socket/description exists. *)
+let rec socket ctx oid =
+  match Hashtbl.find_opt ctx.sockets oid with
+  | Some s -> s
+  | None ->
+      charge ctx (Cost.obj_restore_base + socket_restore_extra);
+      let image = Serial.socket_of_string (meta ctx oid) in
+      let s =
+        Socket.create
+          (if image.Serial.i_domain = 0 then Socket.Inet else Socket.Unix_dom)
+          (if image.Serial.i_proto = 0 then Socket.Udp else Socket.Tcp)
+      in
+      Hashtbl.replace ctx.sockets oid s;
+      (match image.Serial.i_laddr with
+      | Some (host, port) -> Socket.bind s { Socket.host; port }
+      | None -> ());
+      (match image.Serial.i_raddr with
+      | Some (host, port) -> Socket.connect s { Socket.host; port }
+      | None -> ());
+      List.iter (fun (k, v) -> Socket.set_option s k v) (List.rev image.Serial.i_opts);
+      (match image.Serial.i_tcp with
+      | 1 ->
+          (* Listening: the accept queue was dropped at checkpoint; clients
+             retry their SYNs. *)
+          Socket.listen s
+      | 2 ->
+          Socket.set_tcp_state s
+            (Socket.Tcp_established
+               { snd_seq = image.Serial.i_snd_seq; rcv_seq = image.Serial.i_rcv_seq })
+      | _ -> ());
+      let restore_msg (m : Serial.msg_image) =
+        {
+          Socket.data = m.Serial.i_msg_data;
+          ctl_fds =
+            List.map
+              (fun ctl_oid -> (desc ctx ctl_oid).Fdesc.desc_id)
+              m.Serial.i_ctl_oids;
+        }
+      in
+      Socket.refill s
+        ~recvq:(List.map restore_msg image.Serial.i_recvq)
+        ~sendq:(List.map restore_msg image.Serial.i_sendq);
+      s
+
+(* Descriptions ------------------------------------------------------------------------ *)
+
+and desc ctx oid =
+  match Hashtbl.find_opt ctx.descs oid with
+  | Some d -> d
+  | None ->
+      let image = Serial.fdesc_of_string (meta ctx oid) in
+      let kind =
+        match image.Serial.i_kind with
+        | Serial.I_vnode { inode; offset; append } -> (
+            charge ctx Cost.obj_restore_base;
+            match ctx.restored_fs with
+            | Some filesystem -> (
+                match Fs.vnode_by_inode filesystem inode with
+                | Some vn -> Fdesc.Vnode_file { vn; offset; append }
+                | None ->
+                    (* An anonymous file whose vnode object exists in the
+                       store but not the namespace would land here if the
+                       FS failed to restore it; treat as corruption. *)
+                    failwith
+                      (Printf.sprintf "restore: missing vnode inode %d" inode))
+            | None -> failwith "restore: file descriptor but no file system")
+        | Serial.I_pipe_r p -> Fdesc.Pipe_read (pipe ctx p)
+        | Serial.I_pipe_w p -> Fdesc.Pipe_write (pipe ctx p)
+        | Serial.I_socket s -> Fdesc.Socket_fd (socket ctx s)
+        | Serial.I_kqueue k -> Fdesc.Kqueue_fd (kqueue ctx k)
+        | Serial.I_pty_m p -> Fdesc.Pty_master_fd (pty ctx p)
+        | Serial.I_pty_s p -> Fdesc.Pty_slave_fd (pty ctx p)
+        | Serial.I_shm s -> Fdesc.Shm_fd (shm ctx s)
+        | Serial.I_device name -> Fdesc.Device_fd name
+      in
+      let d = Fdesc.create kind in
+      d.Fdesc.ext_sync <- image.Serial.i_ext_sync;
+      Machine.register_description ctx.mach d;
+      Hashtbl.replace ctx.descs oid d;
+      d
+
+(* Processes ---------------------------------------------------------------------------- *)
+
+let restore_proc ctx (image : Serial.proc_image) =
+  let pid_global = Machine.alloc_pid ctx.mach in
+  let p =
+    Process.create ~clock:ctx.mach.Machine.clock ~pid:image.Serial.i_pid_local
+      ~tid:0 ~ppid:0 ~name:image.Serial.i_name
+  in
+  charge ctx Cost.obj_restore_base;
+  p.Process.pid_global <- pid_global;
+  p.Process.pgid <- image.Serial.i_pgid;
+  p.Process.sid <- image.Serial.i_sid;
+  p.Process.ephemeral <- image.Serial.i_ephemeral;
+  p.Process.cwd <- image.Serial.i_cwd;
+  p.Process.pending_signals <- image.Serial.i_proc_pending;
+  p.Process.threads <-
+    List.map
+      (fun ti -> Serial.thread_of_image ti ~tid_global:(Machine.alloc_tid ctx.mach))
+      image.Serial.i_threads;
+  (* File descriptors: slots naming the same description oid share the
+     same restored description. *)
+  List.iter
+    (fun (slot, d_oid) ->
+      charge ctx Cost.restore_object_link;
+      let d = desc ctx d_oid in
+      (* The description's initial reference covers its first slot; every
+         further slot (fork/dup sharing) takes another. *)
+      if Hashtbl.mem ctx.first_install d_oid then Fdesc.retain d
+      else Hashtbl.replace ctx.first_install d_oid ();
+      Process.install_fd_at p slot d)
+    image.Serial.i_fds;
+  (* Address space. *)
+  List.iter
+    (fun (e : Serial.entry_image) ->
+      charge ctx Cost.restore_object_link;
+      let obj =
+        if e.Serial.i_obj_oid = 0 then
+          (* Device mapping / vDSO: inject the current platform's. *)
+          Vm_object.create (Vm_object.Device_backed "vdso")
+        else
+          match Hashtbl.find_opt ctx.kinds e.Serial.i_obj_oid with
+          | Some k when k = Serial.kind_memobj -> memobj ctx e.Serial.i_obj_oid
+          | Some "fs.vnode" -> (
+              match ctx.restored_fs with
+              | Some filesystem -> (
+                  match Fs.vnode_by_oid filesystem e.Serial.i_obj_oid with
+                  | Some vn -> Vnode.backing vn
+                  | None -> Vm_object.create Vm_object.Anonymous)
+              | None -> Vm_object.create Vm_object.Anonymous)
+          | Some _ | None -> memobj ctx e.Serial.i_obj_oid
+      in
+      Vm_object.ref_ obj;
+      ignore
+        (Vm_map.map ~shared:e.Serial.i_shared
+           (Vm_space.map p.Process.space)
+           ~vpn:e.Serial.i_start_vpn ~npages:e.Serial.i_npages
+           ~prot:
+             {
+               Vm_map.read = e.Serial.i_read;
+               write = e.Serial.i_write;
+               exec = e.Serial.i_exec;
+             }
+           ~obj ~obj_pgoff:e.Serial.i_obj_pgoff))
+    image.Serial.i_entries;
+  Machine.add_proc ctx.mach p;
+  (* Reissue the asynchronous reads that were in flight at checkpoint
+     time (section 5.3). *)
+  List.iter
+    (fun (slot, off, len) ->
+      try ignore (Aurora_kern.Syscall.aio_read ctx.mach p ~fd:slot ~off ~len)
+      with Aurora_kern.Syscall.Err _ -> ())
+    image.Serial.i_aio_reads;
+  (p, image)
+
+(* Entry point ------------------------------------------------------------------------------ *)
+
+let groups_at ~store ~epoch =
+  List.filter_map
+    (fun (oid, kind) ->
+      if kind = Serial.kind_group then
+        let image = Serial.group_of_string (Store.read_meta store ~epoch ~oid) in
+        Some (oid, image.Serial.i_proc_oids)
+      else None)
+    (Store.objects_at store ~epoch)
+
+let restore ~machine ~store ?epoch ?(lazy_pages = false) ?group_oid () =
+  let epoch =
+    match epoch with Some e -> e | None -> Store.last_complete_epoch store
+  in
+  let clk = machine.Machine.clock in
+  let start_time = Clock.now clk in
+  let objects = Store.objects_at store ~epoch in
+  let kinds = Hashtbl.create (List.length objects) in
+  List.iter (fun (oid, kind) -> Hashtbl.replace kinds oid kind) objects;
+  (* The file system comes back first: descriptions reference vnodes. *)
+  let has_fs = List.exists (fun (_, kind) -> kind = "fs.namespace") objects in
+  let restored_fs =
+    if has_fs then Some (Fs.restore_from_store ~store ~epoch) else None
+  in
+  let ctx =
+    {
+      mach = machine;
+      st = store;
+      epoch;
+      lazy_pages;
+      kinds;
+      memobjs = Hashtbl.create 64;
+      descs = Hashtbl.create 64;
+      sockets = Hashtbl.create 16;
+      pipes = Hashtbl.create 16;
+      kqueues = Hashtbl.create 16;
+      ptys = Hashtbl.create 16;
+      shms = Hashtbl.create 16;
+      first_install = Hashtbl.create 64;
+      restored_fs;
+    }
+  in
+  (match restored_fs with Some filesystem -> Machine.mount machine (Fs.vfs_ops filesystem) | None -> ());
+  (* The group object drives everything else. *)
+  let group_oid, group_image =
+    let candidates =
+      List.filter_map
+        (fun (oid, kind) ->
+          if kind = Serial.kind_group then
+            Some (oid, Serial.group_of_string (Store.read_meta store ~epoch ~oid))
+          else None)
+        objects
+    in
+    match (candidates, group_oid) with
+    | [], _ -> failwith "restore: no consistency group in checkpoint"
+    | [ g ], None -> g
+    | gs, Some want -> (
+        match List.find_opt (fun (oid, _) -> oid = want) gs with
+        | Some g -> g
+        | None -> failwith (Printf.sprintf "restore: no group with oid %d" want))
+    | _ :: _ :: _, None ->
+        failwith
+          "restore: several consistency groups in this checkpoint; pass \
+           ~group_oid (see Restore.groups_at)"
+  in
+
+  let restored =
+    List.map
+      (fun proc_oid ->
+        restore_proc ctx
+          (Serial.proc_of_string (Store.read_meta store ~epoch ~oid:proc_oid)))
+      group_image.Serial.i_proc_oids
+  in
+  (* Relink the process tree by local pids, now that all exist.  Local
+     pids are meaningful only within this group: resolve among the
+     processes restored here, never against unrelated processes that
+     happen to reuse the same checkpoint-time pid. *)
+  List.iter
+    (fun ((p : Process.t), (image : Serial.proc_image)) ->
+      (match
+         List.find_opt
+           (fun ((q : Process.t), _) ->
+             q.Process.pid_local = image.Serial.i_ppid_local)
+           restored
+       with
+      | Some (parent, _) when parent != p ->
+          p.Process.ppid <- parent.Process.pid_global;
+          parent.Process.children <- p.Process.pid_global :: parent.Process.children
+      | Some _ | None -> ());
+      (* Vnode open counts: one per vnode-backed slot. *)
+      match ctx.restored_fs with
+      | Some filesystem ->
+          List.iter
+            (fun (_, d) ->
+              match d.Fdesc.kind with
+              | Fdesc.Vnode_file { vn; _ } ->
+                  Fs.mark_open_after_restore filesystem (Vnode.inode vn)
+              | _ -> ())
+            (Process.fds p)
+      | None -> ())
+    restored;
+  (* Shared-memory segments come back even when no fd references them
+     (they live in the global namespaces). *)
+  List.iter
+    (fun (oid, kind) -> if kind = Serial.kind_shm then ignore (shm ctx oid))
+    objects;
+  (* UNIX socket pairs: second pass over restored sockets. *)
+  List.iter
+    (fun (oid, kind) ->
+      if kind = Serial.kind_socket then
+        match Hashtbl.find_opt ctx.sockets oid with
+        | None -> ()
+        | Some s -> (
+            let image = Serial.socket_of_string (meta ctx oid) in
+            if image.Serial.i_peer_oid <> 0 then
+              match Hashtbl.find_opt ctx.sockets image.Serial.i_peer_oid with
+              | Some p -> Socket.pair s p
+              | None -> ()))
+    objects;
+  (* SIGCHLD for parents of ephemeral children (again scoped to this
+     group's processes). *)
+  List.iter
+    (fun pid_local ->
+      match
+        List.find_opt
+          (fun ((q : Process.t), _) -> q.Process.pid_local = pid_local)
+          restored
+      with
+      | Some (parent, _) -> Process.signal parent Process.sigchld
+      | None -> ())
+    group_image.Serial.i_ephemeral_parents;
+  let procs = List.map fst restored in
+  let restore_ns = Clock.elapsed_since clk start_time in
+  (* Re-attach a group over the restored processes, seeding identities so
+     the next checkpoints stay incremental. *)
+  let group =
+    Group.attach ~machine ~store ?fs:restored_fs
+      ~period_ns:group_image.Serial.i_period ~group_oid procs
+  in
+  Group.set_ext_sync group group_image.Serial.i_ext_sync_on;
+  Group.set_named group group_image.Serial.i_name_ckpts;
+  List.iter
+    (fun (p : Process.t) ->
+      match
+        List.find_opt
+          (fun (oid, kind) ->
+            kind = Serial.kind_proc
+            && (Serial.proc_of_string (Store.read_meta store ~epoch ~oid)).Serial.i_pid_local
+               = p.Process.pid_local)
+          objects
+      with
+      | Some (oid, _) -> Group.seed_proc_oid group ~pid_local:p.Process.pid_local ~oid
+      | None -> ())
+    procs;
+  Hashtbl.iter
+    (fun oid (d : Fdesc.t) -> Group.seed_desc_oid group ~desc_id:d.Fdesc.desc_id ~oid)
+    ctx.descs;
+  Hashtbl.iter (fun oid p -> Group.seed_sub_oid group ~kind:"pipe" ~id:(Pipe.id p) ~oid) ctx.pipes;
+  Hashtbl.iter
+    (fun oid s -> Group.seed_sub_oid group ~kind:"socket" ~id:(Socket.id s) ~oid)
+    ctx.sockets;
+  Hashtbl.iter
+    (fun oid k -> Group.seed_sub_oid group ~kind:"kqueue" ~id:(Kqueue.id k) ~oid)
+    ctx.kqueues;
+  Hashtbl.iter (fun oid p -> Group.seed_sub_oid group ~kind:"pty" ~id:(Pty.id p) ~oid) ctx.ptys;
+  Hashtbl.iter (fun oid s -> Group.seed_sub_oid group ~kind:"shm" ~id:(Shm.id s) ~oid) ctx.shms;
+  (* Memory objects: parents before children so parent links resolve. *)
+  let registered = Hashtbl.create 16 in
+  let rec register oid obj =
+    if not (Hashtbl.mem registered oid) then begin
+      Hashtbl.replace registered oid ();
+      (match Vm_object.parent obj with
+      | Some parent ->
+          Hashtbl.iter
+            (fun p_oid p_obj -> if p_obj == parent then register p_oid p_obj)
+            ctx.memobjs
+      | None -> ());
+      Group.register_restored_memobj group ~oid obj
+    end
+  in
+  Hashtbl.iter register ctx.memobjs;
+  Group.prepare_after_restore group;
+  { group; procs; fs = restored_fs; restore_ns }

@@ -1,0 +1,47 @@
+(** Restore: recreate a consistency group from a store checkpoint.
+
+    Restore inverts the POSIX object model: each store object is recreated
+    exactly once and the identifier references between them relink the
+    sharing — two fd-table slots that named the same description oid share
+    one description again, a description and a memory mapping that named
+    the same vnode meet at the same vnode, UNIX socket pairs are re-paired,
+    and in-flight SCM_RIGHTS descriptors come back inside their socket
+    buffers.
+
+    PIDs and TIDs are virtualized (section 5.3): the restored process
+    keeps its checkpoint-time local pid while the machine assigns a fresh
+    global pid.  Parents of ephemeral (unpersisted) children receive
+    SIGCHLD.  Device mappings are re-injected fresh — the vDSO of the
+    restoring platform, not the checkpointed one. *)
+
+type result = {
+  group : Group.t;
+  procs : Aurora_kern.Process.t list;
+  fs : Aurora_fs.Fs.t option;
+  restore_ns : int;  (** charged virtual time of the restore itself *)
+}
+
+val groups_at :
+  store:Aurora_objstore.Store.t -> epoch:int -> (int * int list) list
+(** The consistency groups in a checkpoint: [(group oid, member process
+    oids)].  A store hosts one group per application or container
+    (paper section 3); list them to pick which to restore. *)
+
+val restore :
+  machine:Aurora_kern.Machine.t ->
+  store:Aurora_objstore.Store.t ->
+  ?epoch:int ->
+  ?lazy_pages:bool ->
+  ?group_oid:int ->
+  unit ->
+  result
+(** Rebuild the group checkpointed in [epoch] (default: the last complete
+    checkpoint) into [machine].  When the checkpoint holds several
+    consistency groups, [group_oid] selects one (see {!groups_at});
+    omitting it with multiple groups raises [Failure].
+
+    With [lazy_pages] (default false) the restore charges only the OS
+    state reconstruction — memory pages are brought in after the measured
+    window, modeling Aurora's lazy restore where the application pages in
+    its working set on demand (section 6, "Memory Overcommitment").
+    Contents are identical either way. *)

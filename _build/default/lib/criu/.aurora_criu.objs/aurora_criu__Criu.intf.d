@@ -1,0 +1,1 @@
+lib/criu/criu.mli: Aurora_kern

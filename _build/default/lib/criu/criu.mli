@@ -1,0 +1,34 @@
+(** The CRIU baseline: a process-centric stop-the-world checkpointer.
+
+    This reimplements the architecture the paper compares against
+    (Tables 1 and 7): state is collected {e from the outside} by walking
+    each process and querying per-object views (the procfs/parasite
+    approach), sharing relationships are {e inferred} by scanning and
+    deduplicating rather than being structural, the target stays frozen
+    for the whole collection {e and} the memory copy (no incremental
+    tracking, no COW), and the image is written out afterwards without a
+    flush.
+
+    The checkpoint produces a real self-contained image (the same wire
+    format discipline as the SLS) and {!restore} rebuilds processes from
+    it, so correctness tests hold for the baseline too; only its costs
+    differ, and they differ for the architectural reasons above. *)
+
+type breakdown = {
+  os_state_ns : int;  (** per-object traversal and sharing inference *)
+  memory_copy_ns : int;  (** copying pages while the target is stopped *)
+  total_stop_ns : int;
+  io_write_ns : int;  (** writing the image, no flush *)
+  image_bytes : int;
+}
+
+val checkpoint :
+  Aurora_kern.Machine.t -> Aurora_kern.Process.t list -> breakdown * string
+(** Stop, collect, copy, resume, write.  Returns the cost breakdown and
+    the image. *)
+
+val restore :
+  Aurora_kern.Machine.t -> string -> Aurora_kern.Process.t list
+(** Recreate the processes from an image (anonymous memory, pipes,
+    sockets, kqueues; the supported subset mirrors the fraction of POSIX
+    CRIU handles well). *)

@@ -1,0 +1,1 @@
+lib/fs/aurora_bench.ml: Aurora_block Aurora_objstore Aurora_sim Aurora_vm Bench_fs Bytes Hashtbl Printf

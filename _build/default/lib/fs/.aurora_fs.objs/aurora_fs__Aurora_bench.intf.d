@@ -1,0 +1,1 @@
+lib/fs/aurora_bench.mli: Bench_fs

@@ -1,0 +1,1 @@
+lib/fs/bench_fs.ml: Aurora_sim

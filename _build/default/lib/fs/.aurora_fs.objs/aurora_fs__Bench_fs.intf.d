@@ -1,0 +1,1 @@
+lib/fs/bench_fs.mli: Aurora_sim

@@ -1,0 +1,1 @@
+lib/fs/ffs_model.ml: Aurora_block Aurora_sim Bench_fs Bytes Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/fs/fs.ml: Aurora_kern Aurora_objstore Aurora_sim Aurora_vm Bytes Hashtbl List String

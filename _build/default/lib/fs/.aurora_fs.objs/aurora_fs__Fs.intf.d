@@ -1,0 +1,1 @@
+lib/fs/fs.mli: Aurora_kern Aurora_objstore Aurora_sim

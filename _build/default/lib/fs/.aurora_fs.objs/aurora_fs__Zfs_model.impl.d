@@ -1,0 +1,1 @@
+lib/fs/zfs_model.ml: Aurora_block Aurora_sim Bench_fs Bytes Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/fs/zfs_model.mli: Bench_fs

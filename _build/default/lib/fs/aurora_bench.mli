@@ -1,0 +1,8 @@
+(** FileBench adapter for the Aurora file system / object store.
+
+    Runs the real store write path: dirty pages accumulate per file and a
+    store checkpoint commits every [period_ns] of virtual time (default
+    10 ms, the paper's configuration for Figure 3).  fsync is a no-op
+    under checkpoint consistency. *)
+
+val make : ?period_ns:int -> unit -> Bench_fs.t

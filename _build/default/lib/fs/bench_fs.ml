@@ -1,0 +1,11 @@
+type t = {
+  fs_label : string;
+  fs_clock : Aurora_sim.Clock.t;
+  create_file : string -> unit;
+  delete_file : string -> unit;
+  write_file : path:string -> off:int -> len:int -> unit;
+  read_file : path:string -> off:int -> len:int -> unit;
+  fsync_file : string -> unit;
+  drain : unit -> unit;
+  device_bytes_written : unit -> int;
+}

@@ -1,0 +1,22 @@
+(** The common file-system surface FileBench drives.
+
+    Figure 3 compares four write paths — Aurora's object store, ZFS with
+    and without checksumming, and FFS with soft-updates journaling — over
+    identical operation streams.  Each implementation owns its own striped
+    device array (the paper's 4x Optane testbed) and charges its
+    architecture's CPU and device costs; FileBench measures bytes and
+    operations against elapsed virtual time. *)
+
+type t = {
+  fs_label : string;
+  fs_clock : Aurora_sim.Clock.t;
+  create_file : string -> unit;
+  delete_file : string -> unit;
+  write_file : path:string -> off:int -> len:int -> unit;
+  read_file : path:string -> off:int -> len:int -> unit;
+  fsync_file : string -> unit;
+  drain : unit -> unit;
+      (** Wait for asynchronous device work to settle (end of a run). *)
+  device_bytes_written : unit -> int;
+      (** Write amplification accounting. *)
+}

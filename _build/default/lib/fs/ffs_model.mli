@@ -1,0 +1,11 @@
+(** A cost model of the FFS (UFS2, SU+J) write path for Figure 3.
+
+    Architecture modeled: in-place writes with fragments — sub-block
+    writes go straight to their fragments without read-modify-write, and
+    delayed allocation promotes them to full blocks before the I/O is
+    issued (the optimized small-write path the paper credits for FFS's
+    Figure 3b lead).  Soft-updates journaling makes metadata updates
+    asynchronous with small journal records; fsync synchronously flushes
+    the file's dirty data plus a journal record. *)
+
+val make : unit -> Bench_fs.t

@@ -1,0 +1,108 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Striped = Aurora_block.Striped
+
+let record_size = 64 * 1024
+
+(* Per-record CPU on the write path: block pointer updates, dbuf management,
+   compression pipeline bookkeeping. *)
+let per_record_cpu = 3_800
+
+(* Checksum throughput (fletcher4 over the record), bytes/s. *)
+let checksum_bandwidth = 11 * 1024 * 1024 * 1024
+
+(* Metadata write amplification: COW indirect chain + dittoed metadata
+   copies, as a fraction of data written. *)
+let metadata_amplification = 0.32
+
+(* Extra ZIL overhead beyond the raw sync write (paper 9.1: "ZFS syncs are
+   slower than FFS and Aurora because its COW mechanism generates complex
+   changes to file system state"). *)
+let zil_record_cpu = 9_500
+
+type file = { mutable size : int; cached : (int, unit) Hashtbl.t (* hot records *) }
+
+let make ~checksum () =
+  let clk = Clock.create () in
+  let dev = Striped.create () in
+  let files : (string, file) Hashtbl.t = Hashtbl.create 256 in
+  let file_of path =
+    match Hashtbl.find_opt files path with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "zfs_model: no such file %s" path)
+  in
+  let checksum_cost len =
+    if checksum then Cost.transfer_time ~bandwidth:checksum_bandwidth len else 0
+  in
+  (* Rotate offsets so the allocator's writes stripe across the array. *)
+  let next_off = ref 0 in
+  let submit_async len =
+    ignore (Striped.write ~charge:len dev ~now:(Clock.now clk) ~off:!next_off Bytes.empty);
+    next_off := (!next_off + len) mod (64 * 1024 * 1024 * 1024)
+  in
+  let create_file path =
+    Clock.advance clk (Cost.syscall_overhead + 6_000 + checksum_cost 4096);
+    (* dnode + directory ZAP update, batched into the txg. *)
+    submit_async (2 * 4096);
+    if not (Hashtbl.mem files path) then
+      Hashtbl.replace files path { size = 0; cached = Hashtbl.create 16 }
+  in
+  let delete_file path =
+    Clock.advance clk (Cost.syscall_overhead + 5_000);
+    Hashtbl.remove files path
+  in
+  let write_file ~path ~off ~len =
+    let f = file_of path in
+    Clock.advance clk (Cost.syscall_overhead + Cost.copy_time len);
+    let first = off / record_size and last = (off + len - 1) / record_size in
+    for rec_idx = first to last do
+      let rec_off = rec_idx * record_size in
+      let in_record = min (off + len) (rec_off + record_size) - max off rec_off in
+      let partial = in_record < record_size && rec_off + record_size <= max f.size (off + len) in
+      (* A partial write to an uncached record is a read-modify-write of
+         the full record: the read consumes device bandwidth, and a small
+         amortized stall hits the writer (FileBench threads overlap most
+         of the read latency). *)
+      if partial && not (Hashtbl.mem f.cached rec_idx) then begin
+        submit_async record_size;
+        Clock.advance clk 2_500
+      end;
+      Hashtbl.replace f.cached rec_idx ();
+      let written = if partial then record_size else in_record in
+      Clock.advance clk (per_record_cpu + checksum_cost written);
+      submit_async written;
+      (* COW indirect chain + ditto blocks. *)
+      submit_async (int_of_float (float_of_int written *. metadata_amplification))
+    done;
+    if off + len > f.size then f.size <- off + len
+  in
+  let read_file ~path ~off ~len =
+    let f = file_of path in
+    ignore off;
+    ignore f;
+    Clock.advance clk (Cost.syscall_overhead + Cost.copy_time len + checksum_cost len)
+  in
+  let fsync_file path =
+    let f = file_of path in
+    ignore f;
+    (* ZIL: a synchronous log write plus the COW metadata bookkeeping. *)
+    Clock.advance clk (Cost.syscall_overhead + zil_record_cpu);
+    let c =
+      Striped.write ~charge:(3 * 4096) dev ~now:(Clock.now clk) ~off:!next_off Bytes.empty
+    in
+    next_off := !next_off + (3 * 4096);
+    (* The ZIL write plus the transaction-group pressure it creates. *)
+    Clock.advance_to clk (c + (2 * Cost.nvme_sync_write_latency))
+  in
+  let drain () = Striped.settle dev ~clock:clk in
+  {
+    Bench_fs.fs_label = (if checksum then "ZFS+CSUM" else "ZFS");
+    fs_clock = clk;
+    create_file;
+    delete_file;
+    write_file;
+    read_file;
+    fsync_file;
+    drain;
+    device_bytes_written = (fun () -> Striped.bytes_written dev);
+  }

@@ -1,0 +1,11 @@
+(** A cost model of the ZFS write path for the Figure 3 comparison.
+
+    Architecture modeled: 64 KiB records, copy-on-write of data and the
+    indirect-block chain, dittoed (duplicated) metadata, transaction-group
+    batching for async writes, and the ZFS intent log (ZIL) for synchronous
+    semantics.  A sub-record write to an uncached record costs a
+    read-modify-write of the whole record — the reason ZFS trails badly at
+    4 KiB in Figure 3b.  The [checksum] variant adds the per-record
+    checksumming CPU cost (ZFS+CSUM in Figure 3a/b). *)
+
+val make : checksum:bool -> unit -> Bench_fs.t

@@ -1,0 +1,1 @@
+lib/kern/fdesc.ml: Kqueue Pipe Pty Shm Socket Vnode

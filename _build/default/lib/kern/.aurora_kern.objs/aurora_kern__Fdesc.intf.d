@@ -1,0 +1,1 @@
+lib/kern/fdesc.mli: Kqueue Pipe Pty Shm Socket Vnode

@@ -1,0 +1,1 @@
+lib/kern/machine.ml: Aio Aurora_sim Fdesc Hashtbl List Process Shm Thread Vfs

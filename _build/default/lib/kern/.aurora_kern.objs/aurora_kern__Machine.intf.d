@@ -1,0 +1,1 @@
+lib/kern/machine.mli: Aio Aurora_sim Fdesc Hashtbl Process Shm Vfs

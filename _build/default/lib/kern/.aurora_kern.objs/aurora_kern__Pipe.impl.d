@@ -1,0 +1,1 @@
+lib/kern/pipe.ml: Buffer String

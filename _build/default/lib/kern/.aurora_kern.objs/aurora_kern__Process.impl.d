@@ -1,0 +1,1 @@
+lib/kern/process.ml: Aurora_vm Fdesc Hashtbl List Thread

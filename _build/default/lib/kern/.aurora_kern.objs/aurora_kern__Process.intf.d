@@ -1,0 +1,1 @@
+lib/kern/process.mli: Aurora_sim Aurora_vm Fdesc Hashtbl Thread

@@ -1,0 +1,1 @@
+lib/kern/pty.ml: Buffer

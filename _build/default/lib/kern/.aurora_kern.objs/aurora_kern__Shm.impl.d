@@ -1,0 +1,1 @@
+lib/kern/shm.ml: Aurora_vm

@@ -1,0 +1,1 @@
+lib/kern/shm.mli: Aurora_vm

@@ -1,0 +1,1 @@
+lib/kern/socket.ml: List Queue String

@@ -1,0 +1,1 @@
+lib/kern/syscall.ml: Aio Array Aurora_sim Aurora_vm Bytes Fdesc Hashtbl Kqueue List Machine Option Pipe Process Pty Shm Socket String Thread Vfs Vnode

@@ -1,0 +1,1 @@
+lib/kern/syscall.mli: Aio Aurora_vm Fdesc Kqueue Machine Process Shm Socket Thread

@@ -1,0 +1,1 @@
+lib/kern/thread.ml: Array Aurora_sim Bytes

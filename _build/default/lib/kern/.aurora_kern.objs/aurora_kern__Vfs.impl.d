@@ -1,0 +1,1 @@
+lib/kern/vfs.ml: Hashtbl Vnode

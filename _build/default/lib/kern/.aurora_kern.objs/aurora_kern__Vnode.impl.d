@@ -1,0 +1,1 @@
+lib/kern/vnode.ml: Aurora_sim Aurora_vm Hashtbl List String

@@ -1,0 +1,1 @@
+lib/kern/vnode.mli: Aurora_sim Aurora_vm

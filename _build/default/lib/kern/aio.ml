@@ -1,0 +1,25 @@
+type op = Aio_read | Aio_write
+
+type t = {
+  aio_id : int;
+  aio_op : op;
+  aio_slot : int;
+  aio_off : int;
+  aio_len : int;
+  mutable done_at : int;
+  mutable result : string option;
+}
+
+let next_id = ref 0
+
+let create ~op ~slot ~off ~len ~done_at =
+  incr next_id;
+  {
+    aio_id = !next_id;
+    aio_op = op;
+    aio_slot = slot;
+    aio_off = off;
+    aio_len = len;
+    done_at;
+    result = None;
+  }

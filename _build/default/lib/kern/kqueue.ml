@@ -1,0 +1,23 @@
+type filter = Ev_read | Ev_write | Ev_timer | Ev_signal | Ev_proc
+type kevent = { ident : int; filter : filter; flags : int; udata : int }
+type t = { kq_id : int; mutable evs : kevent list }
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { kq_id = !next_id; evs = [] }
+
+let id t = t.kq_id
+
+let same_slot a ~ident ~filter = a.ident = ident && a.filter = filter
+
+let register t ev =
+  t.evs <- ev :: List.filter (fun e -> not (same_slot e ~ident:ev.ident ~filter:ev.filter)) t.evs
+
+let deregister t ~ident ~filter =
+  t.evs <- List.filter (fun e -> not (same_slot e ~ident ~filter)) t.evs
+
+let events t = t.evs
+let event_count t = List.length t.evs
+let replace_events t evs = t.evs <- evs

@@ -1,0 +1,25 @@
+(** Kqueues: kernel event queues (FreeBSD's select/poll successor).
+
+    Checkpointing a kqueue must lock and serialize every registered event —
+    the reason it is the slowest POSIX object in the paper's Table 4. *)
+
+type filter = Ev_read | Ev_write | Ev_timer | Ev_signal | Ev_proc
+
+type kevent = {
+  ident : int;  (** fd, signal number, pid, ... depending on the filter *)
+  filter : filter;
+  flags : int;
+  udata : int;  (** opaque user cookie *)
+}
+
+type t
+
+val create : unit -> t
+val id : t -> int
+
+val register : t -> kevent -> unit
+val deregister : t -> ident:int -> filter:filter -> unit
+val events : t -> kevent list
+val event_count : t -> int
+val replace_events : t -> kevent list -> unit
+(** Restore path. *)

@@ -1,0 +1,96 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+
+type t = {
+  clock : Clock.t;
+  procs : (int, Process.t) Hashtbl.t;
+  mutable next_pid : int;
+  mutable next_tid : int;
+  posix_shm : (string, Shm.t) Hashtbl.t;
+  sysv_shm : (int, Shm.t) Hashtbl.t;
+  descriptions : (int, Fdesc.t) Hashtbl.t;
+  aios : (int, Aio.t * int) Hashtbl.t;
+  mutable vfs : Vfs.ops option;
+  ncpus : int;
+  device_whitelist : string list;
+}
+
+let create ?(ncpus = 24) () =
+  {
+    clock = Clock.create ();
+    procs = Hashtbl.create 64;
+    next_pid = 0;
+    next_tid = 0;
+    posix_shm = Hashtbl.create 16;
+    sysv_shm = Hashtbl.create 16;
+    descriptions = Hashtbl.create 256;
+    aios = Hashtbl.create 16;
+    vfs = None;
+    ncpus;
+    device_whitelist = [ "hpet0"; "vdso"; "null"; "zero"; "urandom" ];
+  }
+
+let mount t ops = t.vfs <- Some ops
+
+let vfs_exn t =
+  match t.vfs with Some ops -> ops | None -> failwith "Machine: no file system mounted"
+
+let alloc_pid t =
+  t.next_pid <- t.next_pid + 1;
+  t.next_pid
+
+let alloc_tid t =
+  t.next_tid <- t.next_tid + 1;
+  100_000 + t.next_tid
+
+let register_description t d = Hashtbl.replace t.descriptions d.Fdesc.desc_id d
+let find_description t id = Hashtbl.find_opt t.descriptions id
+let proc t pid = Hashtbl.find_opt t.procs pid
+
+(* The root of a process's tree by global ppid links — stands in for the
+   jail/group boundary that scopes virtualized ids. *)
+let rec tree_root t p =
+  match Hashtbl.find_opt t.procs p.Process.ppid with
+  | Some parent when parent != p -> tree_root t parent
+  | Some _ | None -> p.Process.pid_global
+
+let proc_by_local_pid ?scope t pid_local =
+  let candidates =
+    Hashtbl.fold
+      (fun _ p acc -> if p.Process.pid_local = pid_local then p :: acc else acc)
+      t.procs []
+  in
+  match (candidates, scope) with
+  | [], _ -> None
+  | [ p ], _ -> Some p
+  | ps, Some caller -> (
+      (* Prefer the caller's own process tree: that is the group whose
+         checkpoint-time ids the caller knows. *)
+      let root = tree_root t caller in
+      match List.find_opt (fun p -> tree_root t p = root) ps with
+      | Some p -> Some p
+      | None -> Some (List.hd ps))
+  | p :: _, None -> Some p
+
+let add_proc t p = Hashtbl.replace t.procs p.Process.pid_global p
+let remove_proc t pid = Hashtbl.remove t.procs pid
+
+let live_procs t =
+  Hashtbl.fold
+    (fun _ p acc -> if p.Process.proc_state = Process.Alive then p :: acc else acc)
+    t.procs []
+  |> List.sort (fun a b -> compare a.Process.pid_global b.Process.pid_global)
+
+let quiesce t procs =
+  (* One broadcast IPI reaches all cores running the group, then each
+     thread drains to the boundary. *)
+  Clock.advance t.clock Cost.ipi_roundtrip;
+  List.iter
+    (fun p ->
+      List.iter (fun thr -> Thread.quiesce thr ~clock:t.clock) p.Process.threads)
+    procs
+
+let resume _t procs =
+  List.iter (fun p -> List.iter Thread.resume p.Process.threads) procs
+
+let device_allowed t name = List.mem name t.device_whitelist

@@ -1,0 +1,53 @@
+(** The simulated machine: one kernel instance.
+
+    Owns the virtual clock, the process table, the global shared-memory
+    namespaces, the description registry used for SCM_RIGHTS and
+    checkpointing, and the mounted file system. *)
+
+type t = {
+  clock : Aurora_sim.Clock.t;
+  procs : (int, Process.t) Hashtbl.t;  (** keyed by global pid *)
+  mutable next_pid : int;
+  mutable next_tid : int;
+  posix_shm : (string, Shm.t) Hashtbl.t;
+  sysv_shm : (int, Shm.t) Hashtbl.t;
+  descriptions : (int, Fdesc.t) Hashtbl.t;  (** by [Fdesc.desc_id] *)
+  aios : (int, Aio.t * int) Hashtbl.t;
+      (** in-flight asynchronous I/O, by [Aio.aio_id]; the second component
+          is the issuing process's global pid *)
+  mutable vfs : Vfs.ops option;
+  ncpus : int;
+  device_whitelist : string list;
+}
+
+val create : ?ncpus:int -> unit -> t
+
+val mount : t -> Vfs.ops -> unit
+val vfs_exn : t -> Vfs.ops
+
+val alloc_pid : t -> int
+val alloc_tid : t -> int
+
+val register_description : t -> Fdesc.t -> unit
+val find_description : t -> int -> Fdesc.t option
+
+val proc : t -> int -> Process.t option
+(** By global pid. *)
+
+val proc_by_local_pid : ?scope:Process.t -> t -> int -> Process.t option
+(** By the application-visible pid.  Local pids are virtualized per
+    consistency group (paper section 5.3), so after restores two
+    processes may share one: [?scope] resolves within the caller's
+    session first, which is how signals route to the right sibling. *)
+
+val add_proc : t -> Process.t -> unit
+val remove_proc : t -> int -> unit
+val live_procs : t -> Process.t list
+
+val quiesce : t -> Process.t list -> unit
+(** Drive every thread of the given processes to the kernel boundary:
+    one IPI broadcast plus per-thread CPU-state capture. *)
+
+val resume : t -> Process.t list -> unit
+
+val device_allowed : t -> string -> bool

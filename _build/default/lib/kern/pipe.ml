@@ -1,0 +1,42 @@
+let capacity = 64 * 1024
+
+type t = {
+  pipe_id : int;
+  buf : Buffer.t;
+  mutable rd_open : bool;
+  mutable wr_open : bool;
+}
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  { pipe_id = !next_id; buf = Buffer.create 256; rd_open = true; wr_open = true }
+
+let id t = t.pipe_id
+
+let write t data =
+  let room = capacity - Buffer.length t.buf in
+  let n = min room (String.length data) in
+  Buffer.add_substring t.buf data 0 n;
+  n
+
+let read t ~len =
+  let n = min len (Buffer.length t.buf) in
+  let out = Buffer.sub t.buf 0 n in
+  let rest = Buffer.sub t.buf n (Buffer.length t.buf - n) in
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf rest;
+  out
+
+let buffered t = Buffer.length t.buf
+let peek_all t = Buffer.contents t.buf
+
+let refill t data =
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf data
+
+let close_read t = t.rd_open <- false
+let close_write t = t.wr_open <- false
+let read_open t = t.rd_open
+let write_open t = t.wr_open

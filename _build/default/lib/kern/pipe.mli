@@ -1,0 +1,27 @@
+(** Pipes: a bounded in-kernel byte queue with a read end and a write end. *)
+
+type t
+
+val capacity : int
+(** 64 KiB, as in FreeBSD. *)
+
+val create : unit -> t
+val id : t -> int
+
+val write : t -> string -> int
+(** Append up to the free space; returns the number of bytes accepted. *)
+
+val read : t -> len:int -> string
+(** Consume up to [len] buffered bytes (may be empty). *)
+
+val buffered : t -> int
+val peek_all : t -> string
+(** Buffered contents without consuming (checkpoint serialization). *)
+
+val refill : t -> string -> unit
+(** Replace the buffer contents (restore path). *)
+
+val close_read : t -> unit
+val close_write : t -> unit
+val read_open : t -> bool
+val write_open : t -> bool

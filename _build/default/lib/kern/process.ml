@@ -1,0 +1,86 @@
+module Vm_space = Aurora_vm.Vm_space
+
+type state = Alive | Zombie of int
+
+type t = {
+  pid_local : int;
+  mutable pid_global : int;
+  mutable ppid : int;
+  mutable pgid : int;
+  mutable sid : int;
+  mutable name : string;
+  mutable threads : Thread.t list;
+  fdtable : (int, Fdesc.t) Hashtbl.t;
+  mutable next_fd : int;
+  space : Vm_space.t;
+  mutable proc_state : state;
+  mutable children : int list;
+  mutable pending_signals : int list;
+  mutable ephemeral : bool;
+  mutable cwd : string;
+}
+
+let sigchld = 20 (* FreeBSD SIGCHLD *)
+
+let create ~clock ~pid ~tid ~ppid ~name =
+  {
+    pid_local = pid;
+    pid_global = pid;
+    ppid;
+    pgid = pid;
+    sid = pid;
+    name;
+    threads = [ Thread.create ~tid ];
+    fdtable = Hashtbl.create 16;
+    next_fd = 0;
+    space = Vm_space.create ~clock;
+    proc_state = Alive;
+    children = [];
+    pending_signals = [];
+    ephemeral = false;
+    cwd = "/";
+  }
+
+let alloc_fd t desc =
+  let rec free n = if Hashtbl.mem t.fdtable n then free (n + 1) else n in
+  let slot = free 0 in
+  Hashtbl.replace t.fdtable slot desc;
+  slot
+
+let install_fd_at t slot desc =
+  (match Hashtbl.find_opt t.fdtable slot with
+  | Some old -> Fdesc.release old
+  | None -> ());
+  Hashtbl.replace t.fdtable slot desc
+
+let fd t slot = Hashtbl.find_opt t.fdtable slot
+
+let close_fd t slot =
+  match Hashtbl.find_opt t.fdtable slot with
+  | None -> false
+  | Some desc ->
+      Fdesc.release desc;
+      Hashtbl.remove t.fdtable slot;
+      true
+
+let fd_count t = Hashtbl.length t.fdtable
+
+let fds t =
+  Hashtbl.fold (fun slot desc acc -> (slot, desc) :: acc) t.fdtable []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let main_thread t =
+  match t.threads with
+  | thr :: _ -> thr
+  | [] -> invalid_arg "Process.main_thread: no threads"
+
+let signal t signo =
+  if not (List.mem signo t.pending_signals) then
+    t.pending_signals <- t.pending_signals @ [ signo ]
+
+let take_signal t =
+  match t.pending_signals with
+  | [] -> None
+  | signo :: rest ->
+      t.pending_signals <- rest;
+      Some signo

@@ -1,0 +1,59 @@
+(** Processes: the unit of the process tree.
+
+    Carries the grouping state POSIX job control needs (process group,
+    session), the file-descriptor table (slots point at shared
+    {!Fdesc.t} descriptions), the address space, and the thread list.
+
+    PIDs are virtualized exactly as the paper describes (section 5.3):
+    [pid_local] is the identifier the application saw at checkpoint time
+    and continues to see after restore; [pid_global] is the identifier the
+    host kernel allocated, unique machine-wide.  The two coincide until a
+    restore makes them diverge. *)
+
+type state = Alive | Zombie of int  (** exit status *)
+
+type t = {
+  pid_local : int;
+  mutable pid_global : int;
+  mutable ppid : int;  (** global pid of the parent *)
+  mutable pgid : int;
+  mutable sid : int;
+  mutable name : string;
+  mutable threads : Thread.t list;
+  fdtable : (int, Fdesc.t) Hashtbl.t;
+  mutable next_fd : int;
+  space : Aurora_vm.Vm_space.t;
+  mutable proc_state : state;
+  mutable children : int list;  (** global pids, newest first *)
+  mutable pending_signals : int list;
+  mutable ephemeral : bool;
+      (** part of a consistency group but not persisted (worker processes
+          the application recreates; restore sends the parent SIGCHLD) *)
+  mutable cwd : string;
+}
+
+val create :
+  clock:Aurora_sim.Clock.t -> pid:int -> tid:int -> ppid:int -> name:string -> t
+
+val alloc_fd : t -> Fdesc.t -> int
+(** Install a description in the lowest free slot. *)
+
+val install_fd_at : t -> int -> Fdesc.t -> unit
+(** dup2-style: closes whatever was in the slot first. *)
+
+val fd : t -> int -> Fdesc.t option
+val close_fd : t -> int -> bool
+(** Returns false if the slot was empty. *)
+
+val fd_count : t -> int
+val fds : t -> (int * Fdesc.t) list
+(** Slots in ascending order. *)
+
+val main_thread : t -> Thread.t
+
+val signal : t -> int -> unit
+(** Queue a signal (unless already pending). *)
+
+val take_signal : t -> int option
+
+val sigchld : int

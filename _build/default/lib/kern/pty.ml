@@ -1,0 +1,46 @@
+type termios = { mutable echo : bool; mutable canonical : bool; mutable baud : int }
+
+type t = {
+  pty_id : int;
+  unit_no : int;
+  tio : termios;
+  input : Buffer.t; (* master -> slave *)
+  output : Buffer.t; (* slave -> master *)
+}
+
+let next_id = ref 0
+
+let create () =
+  incr next_id;
+  {
+    pty_id = !next_id;
+    unit_no = !next_id - 1;
+    tio = { echo = true; canonical = true; baud = 38400 };
+    input = Buffer.create 128;
+    output = Buffer.create 128;
+  }
+
+let id t = t.pty_id
+let unit_number t = t.unit_no
+let termios t = t.tio
+
+let drain buf ~len =
+  let n = min len (Buffer.length buf) in
+  let out = Buffer.sub buf 0 n in
+  let rest = Buffer.sub buf n (Buffer.length buf - n) in
+  Buffer.clear buf;
+  Buffer.add_string buf rest;
+  out
+
+let master_write t s = Buffer.add_string t.input s
+let slave_read t ~len = drain t.input ~len
+let slave_write t s = Buffer.add_string t.output s
+let master_read t ~len = drain t.output ~len
+let in_buffered t = Buffer.contents t.input
+let out_buffered t = Buffer.contents t.output
+
+let refill t ~input ~output =
+  Buffer.clear t.input;
+  Buffer.add_string t.input input;
+  Buffer.clear t.output;
+  Buffer.add_string t.output output

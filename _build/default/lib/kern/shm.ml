@@ -1,0 +1,27 @@
+module Vm_object = Aurora_vm.Vm_object
+
+type kind = Posix_shm of string | Sysv_shm of int
+
+type t = {
+  shm_id : int;
+  shm_kind : kind;
+  pages : int;
+  mutable vobj : Vm_object.t;
+}
+
+let next_id = ref 0
+
+let create shm_kind ~npages =
+  incr next_id;
+  {
+    shm_id = !next_id;
+    shm_kind;
+    pages = npages;
+    vobj = Vm_object.create Vm_object.Anonymous;
+  }
+
+let id t = t.shm_id
+let kind t = t.shm_kind
+let npages t = t.pages
+let backing t = t.vobj
+let set_backing t o = t.vobj <- o

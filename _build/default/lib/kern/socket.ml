@@ -1,0 +1,91 @@
+type domain = Inet | Unix_dom
+type proto = Udp | Tcp
+type addr = { host : string; port : int }
+type msg = { data : string; ctl_fds : int list }
+
+type tcp_state =
+  | Tcp_closed
+  | Tcp_listening
+  | Tcp_established of { mutable snd_seq : int; mutable rcv_seq : int }
+
+type t = {
+  sock_id : int;
+  dom : domain;
+  prot : proto;
+  mutable laddr : addr option;
+  mutable raddr : addr option;
+  mutable opts : (string * int) list;
+  mutable state : tcp_state;
+  mutable accept_q : t list; (* oldest first *)
+  mutable sock_peer : t option;
+  recvq : msg Queue.t;
+  sendq : msg Queue.t;
+}
+
+let next_id = ref 0
+
+let create dom prot =
+  incr next_id;
+  {
+    sock_id = !next_id;
+    dom;
+    prot;
+    laddr = None;
+    raddr = None;
+    opts = [];
+    state = Tcp_closed;
+    accept_q = [];
+    sock_peer = None;
+    recvq = Queue.create ();
+    sendq = Queue.create ();
+  }
+
+let id t = t.sock_id
+let domain t = t.dom
+let proto t = t.prot
+let bind t a = t.laddr <- Some a
+let connect t a = t.raddr <- Some a
+let local_addr t = t.laddr
+let remote_addr t = t.raddr
+
+let set_option t k v = t.opts <- (k, v) :: List.remove_assoc k t.opts
+let options t = t.opts
+let tcp_state t = t.state
+let set_tcp_state t s = t.state <- s
+let listen t = t.state <- Tcp_listening
+let accept_enqueue t conn = t.accept_q <- t.accept_q @ [ conn ]
+
+let accept_dequeue t =
+  match t.accept_q with
+  | [] -> None
+  | conn :: rest ->
+      t.accept_q <- rest;
+      Some conn
+
+let accept_queue_length t = List.length t.accept_q
+let drop_accept_queue t = t.accept_q <- []
+
+let pair a b =
+  a.sock_peer <- Some b;
+  b.sock_peer <- Some a
+
+let peer t = t.sock_peer
+
+let send t m =
+  match t.sock_peer with
+  | Some p -> Queue.push m p.recvq
+  | None -> Queue.push m t.sendq
+
+let recv t = Queue.take_opt t.recvq
+let recv_buffered t = List.of_seq (Queue.to_seq t.recvq)
+let send_buffered t = List.of_seq (Queue.to_seq t.sendq)
+
+let refill t ~recvq ~sendq =
+  Queue.clear t.recvq;
+  List.iter (fun m -> Queue.push m t.recvq) recvq;
+  Queue.clear t.sendq;
+  List.iter (fun m -> Queue.push m t.sendq) sendq
+
+let buffered_bytes t =
+  let sum q = Queue.fold (fun acc m -> acc + String.length m.data) 0 q in
+  sum t.recvq + sum t.sendq

@@ -1,0 +1,34 @@
+type ops = {
+  lookup : string -> Vnode.t option;
+  create : string -> Vnode.t;
+  unlink : string -> bool;
+  fsync : Vnode.t -> unit;
+  sync_cost : unit -> int;
+}
+
+let ram_ops ~clock =
+  ignore clock;
+  let table : (string, Vnode.t) Hashtbl.t = Hashtbl.create 64 in
+  let next_inode = ref 0 in
+  let lookup path = Hashtbl.find_opt table path in
+  let create path =
+    match Hashtbl.find_opt table path with
+    | Some vn ->
+        Vnode.set_size vn 0;
+        vn
+    | None ->
+        incr next_inode;
+        let vn = Vnode.create ~inode:!next_inode in
+        Vnode.link vn;
+        Hashtbl.replace table path vn;
+        vn
+  in
+  let unlink path =
+    match Hashtbl.find_opt table path with
+    | None -> false
+    | Some vn ->
+        Vnode.unlink vn;
+        Hashtbl.remove table path;
+        true
+  in
+  { lookup; create; unlink; fsync = (fun _ -> ()); sync_cost = (fun () -> 0) }

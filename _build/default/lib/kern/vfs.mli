@@ -1,0 +1,15 @@
+(** The VFS boundary: the operations the kernel needs from a mounted file
+    system.  The Aurora FS (lib/fs) provides an implementation backed by
+    the object store; tests can mount a trivial in-memory one. *)
+
+type ops = {
+  lookup : string -> Vnode.t option;
+  create : string -> Vnode.t;  (** creates (or truncates) a regular file *)
+  unlink : string -> bool;  (** removes the name; false if absent *)
+  fsync : Vnode.t -> unit;  (** charged by the implementation *)
+  sync_cost : unit -> int;  (** modeled nanoseconds for one fsync *)
+}
+
+val ram_ops : clock:Aurora_sim.Clock.t -> ops
+(** A minimal RAM filesystem for kernel tests: no persistence, fsync is a
+    no-op namespace over {!Vnode.t}. *)

@@ -1,0 +1,84 @@
+module Clock = Aurora_sim.Clock
+module Page = Aurora_vm.Page
+module Vm_object = Aurora_vm.Vm_object
+
+type t = {
+  ino : int;
+  vobj : Vm_object.t;
+  mutable bytes : int;
+  mutable nlinks : int;
+  mutable nopen : int;
+  dirty : (int, unit) Hashtbl.t; (* page indices written since last flush *)
+}
+
+let create ~inode =
+  {
+    ino = inode;
+    vobj = Vm_object.create (Vm_object.Vnode_backed inode);
+    bytes = 0;
+    nlinks = 0;
+    nopen = 0;
+    dirty = Hashtbl.create 16;
+  }
+
+let inode t = t.ino
+let backing t = t.vobj
+let size t = t.bytes
+let set_size t n = t.bytes <- n
+let links t = t.nlinks
+let link t = t.nlinks <- t.nlinks + 1
+
+let unlink t =
+  assert (t.nlinks > 0);
+  t.nlinks <- t.nlinks - 1
+
+let open_count t = t.nopen
+let opened t = t.nopen <- t.nopen + 1
+
+let closed t =
+  assert (t.nopen > 0);
+  t.nopen <- t.nopen - 1
+
+let is_anonymous t = t.nlinks = 0 && t.nopen > 0
+
+let page_of t idx =
+  match Vm_object.find_local t.vobj idx with
+  | Some p -> p
+  | None ->
+      (* File pages carry the faithful full-size payload: file contents
+         must survive read/write round trips byte for byte. *)
+      let p = Page.alloc_full () in
+      Vm_object.insert_page t.vobj idx p;
+      p
+
+let read t ~clock ~off ~len =
+  ignore clock;
+  let len = max 0 (min len (t.bytes - off)) in
+  String.init len (fun i ->
+      let pos = off + i in
+      Page.get (page_of t (pos / Page.logical_size)) (pos mod Page.logical_size))
+
+let write t ~clock ~off data =
+  ignore clock;
+  String.iteri
+    (fun i c ->
+      let pos = off + i in
+      let idx = pos / Page.logical_size in
+      Page.set (page_of t idx) (pos mod Page.logical_size) c;
+      Hashtbl.replace t.dirty idx ())
+    data;
+  t.bytes <- max t.bytes (off + String.length data)
+
+let mark_dirty t idx = Hashtbl.replace t.dirty idx ()
+let dirty_count t = Hashtbl.length t.dirty
+
+let take_dirty t =
+  let idxs = Hashtbl.fold (fun idx () acc -> idx :: acc) t.dirty [] in
+  Hashtbl.reset t.dirty;
+  List.sort compare idxs
+
+let page : t -> int -> Page.t option = fun t idx -> Vm_object.find_local t.vobj idx
+
+let load_page t idx payload =
+  let p = page_of t idx in
+  Page.load_payload p payload

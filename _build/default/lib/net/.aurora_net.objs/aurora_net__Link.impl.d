@@ -1,0 +1,1 @@
+lib/net/link.ml: Aurora_sim

@@ -1,0 +1,18 @@
+module Cost = Aurora_sim.Cost
+module Resource = Aurora_sim.Resource
+
+type t = { wire : Resource.t }
+
+let create ?(name = "10gbe") () = { wire = Resource.create ~name }
+
+let delivery_time t ~now ~bytes =
+  let serialize = Cost.transfer_time ~bandwidth:Cost.net_bandwidth bytes in
+  let sent = Resource.submit t.wire ~now ~duration:serialize in
+  sent + Cost.net_one_way_latency
+
+let rtt ~bytes =
+  (2 * Cost.net_one_way_latency)
+  + Cost.transfer_time ~bandwidth:Cost.net_bandwidth bytes
+  + (2 * Cost.net_per_message_cpu)
+
+let reset t = Resource.reset t.wire

@@ -1,0 +1,19 @@
+(** A 10 GbE point-to-point link (client machines to the server under
+    test, as in the paper's client-server benchmarks).
+
+    Messages pay a one-way latency plus serialization at link bandwidth;
+    the link queues (it is a {!Aurora_sim.Resource}), so saturating
+    offered load produces realistic queueing delay. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val delivery_time : t -> now:int -> bytes:int -> int
+(** When a message of [bytes] sent at [now] arrives at the other end. *)
+
+val rtt : bytes:int -> int
+(** Unloaded round-trip estimate for a request/response pair of the given
+    total size. *)
+
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/objstore/store.ml: Aurora_block Aurora_sim Bytes Hashtbl List Option Printf Wire

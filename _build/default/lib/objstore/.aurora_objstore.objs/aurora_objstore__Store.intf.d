@@ -1,0 +1,1 @@
+lib/objstore/store.mli: Aurora_block Aurora_sim

@@ -1,0 +1,1 @@
+lib/objstore/wire.ml: Buffer Bytes Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/objstore/wire.mli:

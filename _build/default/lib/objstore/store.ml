@@ -1,0 +1,715 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Resource = Aurora_sim.Resource
+module Striped = Aurora_block.Striped
+
+exception Corrupt_store of string
+
+let block_size = 4096
+(* 250 entries x 16 bytes + header fits one 4 KiB block. *)
+let leaf_span = 250
+let magic = "AURSTORE"
+let superblock_block = 0
+
+(* In-memory view of one committed object version.  [leaves] maps leaf
+   index -> leaf block; [own_blocks] are the blocks written for this
+   version (records + leaves + fresh data blocks), used by pruning. *)
+type version = {
+  v_kind : string;
+  v_meta : string;
+  v_block : int; (* first block of the serialized version record *)
+  v_leaves : (int * int) list;
+  v_own_blocks : int list;
+}
+
+type epoch_info = {
+  e_epoch : int;
+  e_record_block : int;
+  e_table : (int, version) Hashtbl.t; (* oid -> version *)
+}
+
+type staged = {
+  mutable s_kind : string;
+  mutable s_meta : string;
+  mutable s_pages : (int * bytes) list; (* newest first *)
+}
+
+type journal = {
+  j_id : int;
+  j_start : int; (* first block *)
+  j_blocks : int;
+  mutable j_head : int; (* append offset in bytes within the journal *)
+  mutable j_gen : int;
+      (* truncation generation: records from earlier generations that
+         survive beyond the new head are stale and must not be replayed *)
+}
+
+type t = {
+  dev : Striped.t;
+  clk : Clock.t;
+  jqueue : Resource.t; (* serializes synchronous journal appends *)
+  mutable next_oid : int;
+  mutable next_block : int;
+  mutable free_list : int list; (* single reusable blocks *)
+  mutable freed : int;
+  refcounts : (int, int) Hashtbl.t; (* data block -> referencing leaves *)
+  mutable epochs : epoch_info list; (* oldest first *)
+  mutable current_epoch : int;
+  mutable staging : (int, staged) Hashtbl.t option;
+  mutable staging_epoch : int;
+  mutable data_done : int; (* completion time of staged data writes *)
+  mutable durable : int; (* completion time of the last superblock write *)
+  mutable journals : journal list;
+  mutable oldest_retained : int; (* chain-walk bound after pruning; 0 = all *)
+}
+
+(* Block allocation -------------------------------------------------------- *)
+
+let alloc_block t =
+  match t.free_list with
+  | b :: rest ->
+      t.free_list <- rest;
+      b
+  | [] ->
+      let b = t.next_block in
+      t.next_block <- t.next_block + 1;
+      b
+
+let alloc_contiguous t n =
+  let b = t.next_block in
+  t.next_block <- t.next_block + n;
+  b
+
+let free_block t b =
+  t.free_list <- b :: t.free_list;
+  t.freed <- t.freed + 1
+
+let off_of_block b = b * block_size
+
+(* Superblock --------------------------------------------------------------- *)
+
+let write_superblock t ~now ~last_epoch ~record_block =
+  let w = Wire.writer () in
+  Wire.str w magic;
+  Wire.u64 w last_epoch;
+  Wire.u64 w record_block;
+  Wire.u64 w t.next_block;
+  Wire.u64 w t.next_oid;
+  Wire.u64 w t.oldest_retained;
+  Wire.list w
+    (fun j ->
+      Wire.u64 w j.j_id;
+      Wire.u64 w j.j_start;
+      Wire.u64 w j.j_blocks;
+      Wire.u64 w j.j_gen)
+    t.journals;
+  Striped.write t.dev ~now ~off:(off_of_block superblock_block) (Wire.contents w)
+
+(* Version records ----------------------------------------------------------- *)
+
+let serialize_version ~oid ~epoch v =
+  let w = Wire.writer () in
+  Wire.u8 w 0xA2;
+  Wire.u64 w oid;
+  Wire.u64 w epoch;
+  Wire.str w v.v_kind;
+  Wire.str w v.v_meta;
+  Wire.list w
+    (fun (leaf_idx, blk) ->
+      Wire.u32 w leaf_idx;
+      Wire.u64 w blk)
+    v.v_leaves;
+  Wire.contents w
+
+let parse_version data =
+  let r = Wire.reader data in
+  if Wire.ru8 r <> 0xA2 then raise (Corrupt_store "bad version magic");
+  let oid = Wire.ru64 r in
+  let _epoch = Wire.ru64 r in
+  let kind = Wire.rstr r in
+  let meta = Wire.rstr r in
+  let leaves =
+    Wire.rlist r (fun r ->
+        let leaf_idx = Wire.ru32 r in
+        let blk = Wire.ru64 r in
+        (leaf_idx, blk))
+  in
+  (oid, kind, meta, leaves)
+
+(* Leaf blocks: a leaf covers page indices [k*leaf_span, (k+1)*leaf_span) and
+   stores (index, data block) pairs for the resident ones. *)
+
+(* Leaf entries are (page index, data block, payload length): payloads are
+   variable-sized (compact for anonymous memory, full for file pages). *)
+let serialize_leaf entries =
+  let w = Wire.writer () in
+  Wire.u8 w 0xA3;
+  Wire.list w
+    (fun (idx, blk, len) ->
+      Wire.u32 w idx;
+      Wire.u64 w blk;
+      Wire.u32 w len)
+    entries;
+  Wire.contents w
+
+let parse_leaf data =
+  let r = Wire.reader data in
+  if Wire.ru8 r <> 0xA3 then raise (Corrupt_store "bad leaf magic");
+  Wire.rlist r (fun r ->
+      let idx = Wire.ru32 r in
+      let blk = Wire.ru64 r in
+      let len = Wire.ru32 r in
+      (idx, blk, len))
+
+let read_block_nocharge t blk = Striped.read_nocharge t.dev ~off:(off_of_block blk) ~len:block_size
+
+let read_blocks t ~blk ~nblocks =
+  Striped.read t.dev ~clock:t.clk ~off:(off_of_block blk) ~len:(nblocks * block_size)
+
+(* Lifecycle ------------------------------------------------------------------ *)
+
+let fresh dev clk =
+  {
+    dev;
+    clk;
+    jqueue = Resource.create ~name:"journal";
+    next_oid = 0;
+    next_block = 1;
+    free_list = [];
+    freed = 0;
+    refcounts = Hashtbl.create 4096;
+    epochs = [];
+    current_epoch = 0;
+    staging = None;
+    staging_epoch = 0;
+    data_done = 0;
+    durable = 0;
+    journals = [];
+    oldest_retained = 0;
+  }
+
+let format ~dev ~clock =
+  let t = fresh dev clock in
+  let c = write_superblock t ~now:(Clock.now clock) ~last_epoch:0 ~record_block:0 in
+  Clock.advance_to clock c;
+  Striped.settle dev ~clock;
+  t
+
+let clock t = t.clk
+let device t = t.dev
+
+let alloc_oid t =
+  t.next_oid <- t.next_oid + 1;
+  t.next_oid
+
+let reserve_oids t ~upto = if upto > t.next_oid then t.next_oid <- upto
+
+(* Checkpoint records ----------------------------------------------------------- *)
+
+let serialize_record ~epoch ~prev_block table =
+  let w = Wire.writer () in
+  Wire.u8 w 0xA1;
+  Wire.u64 w epoch;
+  Wire.u64 w prev_block;
+  Wire.list w
+    (fun (oid, vblock) ->
+      Wire.u64 w oid;
+      Wire.u64 w vblock)
+    table;
+  Wire.contents w
+
+let parse_record data =
+  let r = Wire.reader data in
+  if Wire.ru8 r <> 0xA1 then raise (Corrupt_store "bad record magic");
+  let epoch = Wire.ru64 r in
+  let prev = Wire.ru64 r in
+  let table =
+    Wire.rlist r (fun r ->
+        let oid = Wire.ru64 r in
+        let vblock = Wire.ru64 r in
+        (oid, vblock))
+  in
+  (epoch, prev, table)
+
+let blocks_of_len len = max 1 ((len + block_size - 1) / block_size)
+
+(* Write a variable-length record into freshly allocated contiguous blocks;
+   returns (first block, completion time, blocks used). *)
+let write_record t ~now data =
+  let n = blocks_of_len (Bytes.length data) in
+  let blk = if n = 1 then alloc_block t else alloc_contiguous t n in
+  let c = Striped.write t.dev ~now ~off:(off_of_block blk) data in
+  (blk, c, List.init n (fun i -> blk + i))
+
+let last_epoch_info t =
+  match List.rev t.epochs with [] -> None | e :: _ -> Some e
+
+let begin_checkpoint t =
+  if t.staging <> None then invalid_arg "Store.begin_checkpoint: already staging";
+  (* Housekeeping: fold already-durable writes into the committed device
+     state so the in-flight lists stay short on long runs. *)
+  Striped.apply_durable t.dev ~now:(Clock.now t.clk);
+  t.current_epoch <- t.current_epoch + 1;
+  t.staging <- Some (Hashtbl.create 64);
+  t.staging_epoch <- t.current_epoch;
+  t.data_done <- Clock.now t.clk;
+  t.current_epoch
+
+let staging_exn t =
+  match t.staging with
+  | Some s -> s
+  | None -> invalid_arg "Store: no checkpoint in progress"
+
+let staged_for t oid =
+  let s = staging_exn t in
+  match Hashtbl.find_opt s oid with
+  | Some st -> st
+  | None ->
+      let st = { s_kind = ""; s_meta = ""; s_pages = [] } in
+      Hashtbl.replace s oid st;
+      st
+
+let put_object t ~oid ~kind ~meta =
+  let st = staged_for t oid in
+  st.s_kind <- kind;
+  st.s_meta <- meta
+
+let put_pages t ~oid pages =
+  let st = staged_for t oid in
+  st.s_pages <- List.rev_append pages st.s_pages
+
+(* Merge staged dirty pages into the previous version's leaves, writing new
+   data blocks for dirty pages and rewriting only the touched leaves. *)
+let build_version t ~now ~prev st =
+  let own = ref [] in
+  let completion = ref now in
+  let submit_data payload =
+    let blk = alloc_block t in
+    let c =
+      Striped.write ~charge:block_size t.dev ~now ~off:(off_of_block blk) payload
+    in
+    if c > !completion then completion := c;
+    own := blk :: !own;
+    Hashtbl.replace t.refcounts blk 1;
+    blk
+  in
+  (* Group dirty pages by leaf. *)
+  let by_leaf = Hashtbl.create 16 in
+  List.iter
+    (fun (idx, payload) ->
+      let leaf = idx / leaf_span in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_leaf leaf) in
+      (* Newest staged version of a page wins: s_pages is newest-first, so
+         only take the first occurrence of each index. *)
+      if not (List.mem_assoc idx cur) then
+        Hashtbl.replace by_leaf leaf ((idx, payload) :: cur))
+    st.s_pages;
+  let prev_leaves = match prev with Some v -> v.v_leaves | None -> [] in
+  let untouched =
+    List.filter (fun (leaf_idx, _) -> not (Hashtbl.mem by_leaf leaf_idx)) prev_leaves
+  in
+  let rebuilt =
+    Hashtbl.fold
+      (fun leaf_idx dirty acc ->
+        (* Carry over unchanged entries of this leaf from the device. *)
+        let old_entries =
+          match List.assoc_opt leaf_idx prev_leaves with
+          | None -> []
+          | Some blk -> parse_leaf (read_block_nocharge t blk)
+        in
+        let carried =
+          List.filter (fun (idx, _, _) -> not (List.mem_assoc idx dirty)) old_entries
+        in
+        let replaced =
+          List.filter (fun (idx, _, _) -> List.mem_assoc idx dirty) old_entries
+        in
+        List.iter
+          (fun (_, blk, _) ->
+            match Hashtbl.find_opt t.refcounts blk with
+            | Some n when n > 1 -> Hashtbl.replace t.refcounts blk (n - 1)
+            | Some _ -> Hashtbl.remove t.refcounts blk
+            | None -> ())
+          replaced;
+        let fresh_entries =
+          List.map
+            (fun (idx, payload) -> (idx, submit_data payload, Bytes.length payload))
+            dirty
+        in
+        let entries =
+          List.sort compare (fresh_entries @ carried)
+        in
+        let leaf_blk = alloc_block t in
+        let c =
+          Striped.write t.dev ~now ~off:(off_of_block leaf_blk)
+            (serialize_leaf entries)
+        in
+        if c > !completion then completion := c;
+        own := leaf_blk :: !own;
+        (leaf_idx, leaf_blk) :: acc)
+      by_leaf []
+  in
+  let leaves = List.sort compare (rebuilt @ untouched) in
+  (leaves, !own, !completion)
+
+let commit_checkpoint t =
+  let s = staging_exn t in
+  let now = Clock.now t.clk in
+  let epoch = t.staging_epoch in
+  let prev_table =
+    match last_epoch_info t with
+    | Some e -> e.e_table
+    | None -> Hashtbl.create 0
+  in
+  let new_table : (int, version) Hashtbl.t = Hashtbl.copy prev_table in
+  let data_done = ref now in
+  (* Write object versions for every staged object. *)
+  Hashtbl.iter
+    (fun oid st ->
+      let prev = Hashtbl.find_opt prev_table oid in
+      let kind =
+        if st.s_kind <> "" then st.s_kind
+        else match prev with Some v -> v.v_kind | None -> "memory"
+      in
+      let meta =
+        if st.s_meta <> "" then st.s_meta
+        else match prev with Some v -> v.v_meta | None -> ""
+      in
+      let leaves, own, c = build_version t ~now ~prev st in
+      let v = { v_kind = kind; v_meta = meta; v_block = 0; v_leaves = leaves; v_own_blocks = own } in
+      let record = serialize_version ~oid ~epoch v in
+      let vblock, vc, vblocks = write_record t ~now record in
+      let v = { v with v_block = vblock; v_own_blocks = vblocks @ own } in
+      if c > !data_done then data_done := c;
+      if vc > !data_done then data_done := vc;
+      Hashtbl.replace new_table oid v)
+    s;
+  (* Checkpoint record after all object data (write ordering). *)
+  let table_list =
+    Hashtbl.fold (fun oid v acc -> (oid, v.v_block) :: acc) new_table []
+    |> List.sort compare
+  in
+  let prev_block =
+    match last_epoch_info t with Some e -> e.e_record_block | None -> 0
+  in
+  let record = serialize_record ~epoch ~prev_block table_list in
+  let rblock, rc, _rblocks = write_record t ~now:!data_done record in
+  (* Superblock strictly after the record. *)
+  let sc = write_superblock t ~now:rc ~last_epoch:epoch ~record_block:rblock in
+  t.epochs <-
+    t.epochs @ [ { e_epoch = epoch; e_record_block = rblock; e_table = new_table } ];
+  t.staging <- None;
+  t.durable <- sc;
+  sc
+
+let durable_at t = t.durable
+let wait_durable t = Clock.advance_to t.clk t.durable
+
+let last_complete_epoch t =
+  match last_epoch_info t with Some e -> e.e_epoch | None -> 0
+
+let checkpoint_epochs t = List.map (fun e -> e.e_epoch) t.epochs
+
+(* Recovery ---------------------------------------------------------------------- *)
+
+let recover ~dev ~clock =
+  let t = fresh dev clock in
+  let sb = Striped.read dev ~clock ~off:(off_of_block superblock_block) ~len:block_size in
+  let r = Wire.reader sb in
+  let m = try Wire.rstr r with Wire.Corrupt _ -> "" in
+  if m <> magic then raise (Corrupt_store "no superblock");
+  let last_epoch = Wire.ru64 r in
+  let record_block = Wire.ru64 r in
+  t.next_block <- Wire.ru64 r;
+  t.next_oid <- Wire.ru64 r;
+  t.oldest_retained <- Wire.ru64 r;
+  t.journals <-
+    Wire.rlist r (fun r ->
+        let j_id = Wire.ru64 r in
+        let j_start = Wire.ru64 r in
+        let j_blocks = Wire.ru64 r in
+        let j_gen = Wire.ru64 r in
+        { j_id; j_start; j_blocks; j_head = 0; j_gen });
+  t.current_epoch <- last_epoch;
+  (* Walk the record chain, oldest last; rebuild every retained epoch. *)
+  let rec walk block acc =
+    if block = 0 then acc
+    else begin
+      (* Records may span blocks; read generously (table of ~thousands). *)
+      let data = read_blocks t ~blk:block ~nblocks:64 in
+      let epoch, prev, table_list = parse_record data in
+      (* Pruned epochs' blocks may have been reused: stop at the oldest
+         retained record instead of following its prev pointer. *)
+      let prev = if epoch <= t.oldest_retained then 0 else prev in
+      let table = Hashtbl.create (List.length table_list) in
+      List.iter
+        (fun (oid, vblock) ->
+          let vdata = read_blocks t ~blk:vblock ~nblocks:64 in
+          let v_oid, kind, meta, leaves = parse_version vdata in
+          if v_oid <> oid then raise (Corrupt_store "version/oid mismatch");
+          Hashtbl.replace table oid
+            { v_kind = kind; v_meta = meta; v_block = vblock; v_leaves = leaves; v_own_blocks = [] })
+        table_list;
+      walk prev ({ e_epoch = epoch; e_record_block = block; e_table = table } :: acc)
+    end
+  in
+  t.epochs <- walk record_block [];
+  (* Rebuild data-block refcounts from the retained leaves. *)
+  List.iter
+    (fun e ->
+      Hashtbl.iter
+        (fun _ v ->
+          List.iter
+            (fun (_, leaf_blk) ->
+              List.iter
+                (fun (_, data_blk, _) ->
+                  let cur = Option.value ~default:0 (Hashtbl.find_opt t.refcounts data_blk) in
+                  Hashtbl.replace t.refcounts data_blk (cur + 1))
+                (parse_leaf (read_block_nocharge t leaf_blk)))
+            v.v_leaves)
+        e.e_table)
+    t.epochs;
+  (* Journal heads are recovered lazily by scanning; see journal_records. *)
+  t
+
+(* Reading ------------------------------------------------------------------------- *)
+
+let epoch_info t epoch =
+  match List.find_opt (fun e -> e.e_epoch = epoch) t.epochs with
+  | Some e -> e
+  | None -> raise (Corrupt_store (Printf.sprintf "unknown epoch %d" epoch))
+
+let version_exn t ~epoch ~oid =
+  match Hashtbl.find_opt (epoch_info t epoch).e_table oid with
+  | Some v -> v
+  | None -> raise (Corrupt_store (Printf.sprintf "oid %d not in epoch %d" oid epoch))
+
+let objects_at t ~epoch =
+  Hashtbl.fold (fun oid v acc -> (oid, v.v_kind) :: acc) (epoch_info t epoch).e_table []
+  |> List.sort compare
+
+let read_meta t ~epoch ~oid = (version_exn t ~epoch ~oid).v_meta
+
+let leaf_entries_charged t blk =
+  let data = read_blocks t ~blk ~nblocks:1 in
+  parse_leaf data
+
+let read_page t ~epoch ~oid ~idx =
+  let v = version_exn t ~epoch ~oid in
+  match List.assoc_opt (idx / leaf_span) v.v_leaves with
+  | None -> None
+  | Some leaf_blk -> (
+      match
+        List.find_opt (fun (i, _, _) -> i = idx) (leaf_entries_charged t leaf_blk)
+      with
+      | None -> None
+      | Some (_, data_blk, len) ->
+          (* The data block logically holds 4 KiB; the stored payload is
+             its leading bytes (see Page). *)
+          let data =
+            Striped.read t.dev ~clock:t.clk ~off:(off_of_block data_blk) ~len
+          in
+          Some data)
+
+(* Bulk page reads are issued at depth (restore, migration): charge one
+   leaf I/O plus a streamed read of the pages' logical bytes instead of a
+   full device round trip per page. *)
+let read_pages t ~epoch ~oid =
+  let v = version_exn t ~epoch ~oid in
+  List.concat_map
+    (fun (_, leaf_blk) ->
+      let entries = leaf_entries_charged t leaf_blk in
+      Striped.charge_read t.dev ~clock:t.clk ~bytes:(List.length entries * block_size);
+      List.map
+        (fun (idx, data_blk, len) ->
+          (idx, Striped.read_nocharge t.dev ~off:(off_of_block data_blk) ~len))
+        entries)
+    v.v_leaves
+  |> List.sort compare
+
+let page_indices t ~epoch ~oid =
+  let v = version_exn t ~epoch ~oid in
+  List.concat_map
+    (fun (_, leaf_blk) ->
+      List.map (fun (idx, _, _) -> idx) (parse_leaf (read_block_nocharge t leaf_blk)))
+    v.v_leaves
+  |> List.sort compare
+
+(* Journals --------------------------------------------------------------------------- *)
+
+let journal_id j = j.j_id
+let journal_find t id = List.find_opt (fun j -> j.j_id = id) t.journals
+
+let journal_create t ~size =
+  let nblocks = blocks_of_len size in
+  let start = alloc_contiguous t nblocks in
+  let id = List.length t.journals + 1 in
+  let j = { j_id = id; j_start = start; j_blocks = nblocks; j_head = 0; j_gen = 0 } in
+  t.journals <- t.journals @ [ j ];
+  (* The registry lives in the superblock; persist it synchronously so the
+     journal survives a crash that happens before the next checkpoint. *)
+  let c =
+    write_superblock t ~now:(Clock.now t.clk)
+      ~last_epoch:(last_complete_epoch t)
+      ~record_block:(match last_epoch_info t with Some e -> e.e_record_block | None -> 0)
+  in
+  Clock.advance_to t.clk c;
+  j
+
+let journal_capacity j = j.j_blocks * block_size
+
+let journal_append t j data =
+  let w = Wire.writer () in
+  Wire.u8 w 0xA4;
+  Wire.u32 w j.j_gen;
+  Wire.str w data;
+  let payload = Wire.contents w in
+  let len = Bytes.length payload in
+  if j.j_head + len > journal_capacity j then invalid_arg "journal full";
+  let now = Clock.now t.clk in
+  (* The device write carries the real bytes; the visible latency is the
+     synchronous single-stream append path (26 us + bytes at ~2.6 GiB/s,
+     the Table 5 journal column).  Synchronous appends ride the device's
+     priority lane: they do not wait behind queued background checkpoint
+     flushes, so the caller-visible completion is the sync lane's, not the
+     shared queue's.  (The payload lands via the shared queue for
+     bandwidth accounting; the window in which a crash could catch a
+     sync-acknowledged record still in the background queue is the
+     priority-arbitration window of a real controller, microseconds.) *)
+  ignore
+    (Striped.write t.dev ~now ~off:(off_of_block j.j_start + j.j_head) payload);
+  let sync_done =
+    Resource.submit t.jqueue ~now
+      ~duration:
+        (Cost.nvme_sync_write_latency
+        + Cost.transfer_time ~bandwidth:Cost.journal_stream_bandwidth len)
+  in
+  j.j_head <- j.j_head + len;
+  Clock.advance_to t.clk sync_done
+
+let journal_truncate t j =
+  j.j_head <- 0;
+  (* Bump the generation so stale records beyond the new head are never
+     replayed, and persist it (superblock) before invalidating the first
+     header — the standard WAL-reset ordering. *)
+  j.j_gen <- j.j_gen + 1;
+  let sb_done =
+    write_superblock t ~now:(Clock.now t.clk)
+      ~last_epoch:(last_complete_epoch t)
+      ~record_block:
+        (match last_epoch_info t with Some e -> e.e_record_block | None -> 0)
+  in
+  Clock.advance_to t.clk sb_done;
+  let c =
+    Striped.write t.dev ~now:(Clock.now t.clk) ~off:(off_of_block j.j_start)
+      (Bytes.make 8 '\000')
+  in
+  Clock.advance_to t.clk c
+
+let journal_records t j =
+  let data =
+    Striped.read t.dev ~clock:t.clk ~off:(off_of_block j.j_start)
+      ~len:(journal_capacity j)
+  in
+  let r = Wire.reader data in
+  let rec scan acc =
+    if Wire.remaining r < 9 then List.rev acc
+    else
+      let tag = Wire.ru8 r in
+      if tag <> 0xA4 then List.rev acc
+      else
+        match
+          let gen = Wire.ru32 r in
+          (gen, Wire.rstr r)
+        with
+        | gen, s when gen = j.j_gen -> scan (s :: acc)
+        | _, _ -> List.rev acc
+        | exception Wire.Corrupt _ -> List.rev acc
+  in
+  scan []
+
+(* History ------------------------------------------------------------------------------- *)
+
+(* Every block reachable from one epoch: its checkpoint record, each
+   version record, each leaf, and each data block.  Computed structurally
+   so it is exact even for a store instance rebuilt by recovery. *)
+let reachable_blocks t e =
+  let out = Hashtbl.create 256 in
+  let add_record blk len =
+    for i = 0 to blocks_of_len len - 1 do
+      Hashtbl.replace out (blk + i) ()
+    done
+  in
+  let table_list =
+    Hashtbl.fold (fun oid v acc -> (oid, v.v_block) :: acc) e.e_table []
+  in
+  add_record e.e_record_block
+    (Bytes.length (serialize_record ~epoch:e.e_epoch ~prev_block:0 table_list));
+  Hashtbl.iter
+    (fun oid v ->
+      add_record v.v_block
+        (Bytes.length (serialize_version ~oid ~epoch:e.e_epoch v));
+      List.iter
+        (fun (_, leaf_blk) ->
+          Hashtbl.replace out leaf_blk ();
+          List.iter
+            (fun (_, data_blk, _) -> Hashtbl.replace out data_blk ())
+            (parse_leaf (read_block_nocharge t leaf_blk)))
+        v.v_leaves)
+    e.e_table;
+  out
+
+let prune_history t ~keep =
+  let n = List.length t.epochs in
+  if n <= keep then 0
+  else begin
+    let drop = n - keep in
+    let dropped, kept =
+      let rec split i acc = function
+        | rest when i = drop -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | e :: rest -> split (i + 1) (e :: acc) rest
+      in
+      split 0 [] t.epochs
+    in
+    (* Mark everything the kept epochs reach, sweep what only the dropped
+       epochs reached. *)
+    let live = Hashtbl.create 1024 in
+    List.iter
+      (fun e -> Hashtbl.iter (fun b () -> Hashtbl.replace live b ()) (reachable_blocks t e))
+      kept;
+    (* Deduplicate across the dropped epochs: several of them typically
+       share blocks, and a block must enter the free list exactly once. *)
+    let candidates = Hashtbl.create 1024 in
+    List.iter
+      (fun e ->
+        Hashtbl.iter
+          (fun b () -> Hashtbl.replace candidates b ())
+          (reachable_blocks t e))
+      dropped;
+    let freed = ref 0 in
+    Hashtbl.iter
+      (fun b () ->
+        if not (Hashtbl.mem live b) then begin
+          Hashtbl.remove t.refcounts b;
+          free_block t b;
+          incr freed
+        end)
+      candidates;
+    t.epochs <- kept;
+    (match kept with
+    | e :: _ -> t.oldest_retained <- e.e_epoch
+    | [] -> ());
+    (* Persist the new chain bound so recovery never follows a prev
+       pointer into reused blocks. *)
+    let c =
+      write_superblock t ~now:(Clock.now t.clk)
+        ~last_epoch:(last_complete_epoch t)
+        ~record_block:
+          (match last_epoch_info t with Some e -> e.e_record_block | None -> 0)
+    in
+    Clock.advance_to t.clk c;
+    !freed
+  end
+
+let blocks_allocated t = t.next_block - List.length t.free_list
+let blocks_free t = List.length t.free_list

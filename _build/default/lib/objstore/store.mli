@@ -1,0 +1,116 @@
+(** The Aurora object store: a copy-on-write store of first-class objects.
+
+    Every POSIX object, memory object and file checkpointed by the SLS
+    becomes an object here, named by a 64-bit identifier.  Checkpoints map
+    one-to-one onto application checkpoints (section 7): a checkpoint is a
+    record listing every live object's current version; unchanged objects
+    carry their previous version forward, and memory objects share
+    unchanged data blocks between versions through per-object radix page
+    maps — no log cleaning, no garbage-collection pauses on the write path.
+
+    {2 On-store format}
+
+    Block 0 holds the superblock (magic, last complete checkpoint, journal
+    registry).  A checkpoint commit orders its writes like a real COW file
+    system: object data and version records first, then the checkpoint
+    record, then the superblock — so a crash anywhere leaves the previous
+    checkpoint intact, and {!recover} finds the last complete checkpoint by
+    reading exactly what is durable on the device.
+
+    {2 Non-COW journals}
+
+    [sls_journal] regions are preallocated block ranges updated in place
+    with synchronous appends (a 4 KiB append costs ~28 µs, Table 5) and
+    recovered by scanning self-describing records. *)
+
+type t
+
+exception Corrupt_store of string
+
+val block_size : int
+val leaf_span : int
+(** Pages covered by one radix leaf block. *)
+
+(** {1 Lifecycle} *)
+
+val format : dev:Aurora_block.Striped.t -> clock:Aurora_sim.Clock.t -> t
+(** Initialize an empty store on the device (writes the superblock). *)
+
+val recover : dev:Aurora_block.Striped.t -> clock:Aurora_sim.Clock.t -> t
+(** Mount after a crash or reboot: parses the superblock and the last
+    complete checkpoint's records off the device.  Raises
+    {!Corrupt_store} if no valid superblock is found. *)
+
+val clock : t -> Aurora_sim.Clock.t
+val device : t -> Aurora_block.Striped.t
+val alloc_oid : t -> int
+
+val reserve_oids : t -> upto:int -> unit
+(** Ensure future allocations exceed [upto] (migration installs objects
+    with their source identifiers). *)
+
+(** {1 Checkpointing} *)
+
+val begin_checkpoint : t -> int
+(** Open a staging epoch; returns its number.  At most one staging epoch
+    may be open. *)
+
+val put_object : t -> oid:int -> kind:string -> meta:string -> unit
+(** Stage the serialized state of an object for the open epoch. *)
+
+val put_pages : t -> oid:int -> (int * bytes) list -> unit
+(** Stage dirty page payloads [(page index, payload)] for a memory
+    object.  Pages not mentioned carry over from the previous version
+    (copy-on-write). *)
+
+val commit_checkpoint : t -> int
+(** Write out the staged epoch asynchronously; returns the virtual time at
+    which the checkpoint is fully durable (superblock written).  The
+    caller decides whether to wait (sls_barrier) or continue running. *)
+
+val durable_at : t -> int
+(** Durability time of the most recently committed checkpoint. *)
+
+val wait_durable : t -> unit
+(** Advance the clock to {!durable_at}. *)
+
+val last_complete_epoch : t -> int
+(** 0 when no checkpoint has committed. *)
+
+val checkpoint_epochs : t -> int list
+(** All retained complete epochs, oldest first (the execution history). *)
+
+(** {1 Reading} *)
+
+val objects_at : t -> epoch:int -> (int * string) list
+(** [(oid, kind)] of every object in the checkpoint. *)
+
+val read_meta : t -> epoch:int -> oid:int -> string
+val read_page : t -> epoch:int -> oid:int -> idx:int -> bytes option
+val read_pages : t -> epoch:int -> oid:int -> (int * bytes) list
+(** All resident pages, charged as device reads. *)
+
+val page_indices : t -> epoch:int -> oid:int -> int list
+
+(** {1 Journals} *)
+
+type journal
+
+val journal_create : t -> size:int -> journal
+val journal_id : journal -> int
+val journal_find : t -> int -> journal option
+val journal_append : t -> journal -> string -> unit
+(** Synchronous in-place append; the caller's clock advances to the
+    flush's completion. *)
+
+val journal_truncate : t -> journal -> unit
+val journal_records : t -> journal -> string list
+(** Parse the journal's records off the device (recovery path). *)
+
+(** {1 History and space} *)
+
+val prune_history : t -> keep:int -> int
+(** Drop the oldest checkpoints beyond [keep]; returns freed blocks. *)
+
+val blocks_allocated : t -> int
+val blocks_free : t -> int

@@ -1,0 +1,61 @@
+type writer = Buffer.t
+
+let writer () = Buffer.create 256
+let u8 w v = Buffer.add_uint8 w (v land 0xff)
+
+let u32 w v =
+  assert (v >= 0 && v < 0x1_0000_0000);
+  Buffer.add_int32_le w (Int32.of_int v)
+
+let u64 w v = Buffer.add_int64_le w (Int64.of_int v)
+
+let str w s =
+  u32 w (String.length s);
+  Buffer.add_string w s
+
+let list w f l =
+  u32 w (List.length l);
+  List.iter f l
+
+let contents w = Buffer.to_bytes w
+
+type reader = { data : bytes; mutable pos : int }
+
+exception Corrupt of string
+
+let reader data = { data; pos = 0 }
+
+let need r n =
+  if r.pos + n > Bytes.length r.data then
+    raise (Corrupt (Printf.sprintf "short read at %d (+%d of %d)" r.pos n (Bytes.length r.data)))
+
+let ru8 r =
+  need r 1;
+  let v = Bytes.get_uint8 r.data r.pos in
+  r.pos <- r.pos + 1;
+  v
+
+let ru32 r =
+  need r 4;
+  let v = Int32.to_int (Bytes.get_int32_le r.data r.pos) land 0xffff_ffff in
+  r.pos <- r.pos + 4;
+  v
+
+let ru64 r =
+  need r 8;
+  let v = Int64.to_int (Bytes.get_int64_le r.data r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let rstr r =
+  let n = ru32 r in
+  need r n;
+  let s = Bytes.sub_string r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let rlist r f =
+  let n = ru32 r in
+  List.init n (fun _ -> f r)
+
+let remaining r = Bytes.length r.data - r.pos

@@ -1,0 +1,36 @@
+(** Binary serialization for on-store records.
+
+    Everything the object store persists (superblock, checkpoint records,
+    object versions) goes through this little-endian, length-prefixed
+    format, and recovery parses the exact bytes back off the simulated
+    device — there is no in-memory shortcut on the recovery path. *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : unit -> writer
+val u8 : writer -> int -> unit
+val u32 : writer -> int -> unit
+val u64 : writer -> int -> unit
+val str : writer -> string -> unit
+(** Length-prefixed. *)
+
+val list : writer -> ('a -> unit) -> 'a list -> unit
+(** Count-prefixed; the callback writes each element. *)
+
+val contents : writer -> bytes
+
+(** {1 Reading} *)
+
+type reader
+
+exception Corrupt of string
+
+val reader : bytes -> reader
+val ru8 : reader -> int
+val ru32 : reader -> int
+val ru64 : reader -> int
+val rstr : reader -> string
+val rlist : reader -> (reader -> 'a) -> 'a list
+val remaining : reader -> int

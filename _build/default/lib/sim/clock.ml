@@ -1,0 +1,11 @@
+type t = { mutable time : int }
+
+let create () = { time = 0 }
+let now t = t.time
+
+let advance t ns =
+  assert (ns >= 0);
+  t.time <- t.time + ns
+
+let advance_to t when_ = if when_ > t.time then t.time <- when_
+let elapsed_since t start = t.time - start

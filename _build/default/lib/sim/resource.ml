@@ -1,0 +1,15 @@
+type t = { name : string; mutable free_at : int }
+
+let create ~name = { name; free_at = 0 }
+let name t = t.name
+let next_free t = t.free_at
+let busy_until t = t.free_at
+
+let submit t ~now ~duration =
+  assert (duration >= 0);
+  let start = max now t.free_at in
+  let completion = start + duration in
+  t.free_at <- completion;
+  completion
+
+let reset t = t.free_at <- 0

@@ -1,0 +1,29 @@
+(** A first-come-first-served queued resource.
+
+    Models a device (an NVMe namespace, a network link, a CPU serving
+    requests) that serves one request at a time.  Work submitted while the
+    resource is busy queues behind it; the returned completion time reflects
+    the queueing delay.  The resource does not advance any clock itself —
+    callers decide whether to block (advance the clock to the completion
+    time) or to continue and observe the completion later, which is how the
+    orchestrator models asynchronous checkpoint flushing. *)
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val next_free : t -> int
+(** The earliest virtual time at which newly submitted work can start. *)
+
+val busy_until : t -> int
+(** Alias of {!next_free}; reads better at call sites that wait for drain. *)
+
+val submit : t -> now:int -> duration:int -> int
+(** [submit t ~now ~duration] enqueues work of the given duration at virtual
+    time [now] and returns its completion time:
+    [max now (next_free t) + duration]. *)
+
+val reset : t -> unit
+(** Forget all queued work (used between benchmark runs). *)

@@ -1,0 +1,29 @@
+(** Sample accumulation and percentile reporting.
+
+    Used by the benchmark harness for latency distributions and by tests for
+    statistical assertions.  Samples are stored exactly (growable array), so
+    percentiles are exact order statistics rather than bucket approximations;
+    the workloads in this repository produce at most a few million samples. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val clear : t -> unit
+
+val mean : t -> float
+(** Mean of the samples; 0 when empty. *)
+
+val stddev : t -> float
+(** Population standard deviation; 0 when empty. *)
+
+val min : t -> float
+val max : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0, 100]; nearest-rank order statistic.
+    Returns 0 when empty. *)
+
+val merge : t -> t -> unit
+(** [merge dst src] adds all samples from [src] into [dst]. *)

@@ -1,0 +1,77 @@
+type row = Cells of string list | Separator
+
+type t = { header : string list; mutable rows : row list }
+
+let create ~header = { header; rows = [] }
+let add_row t cells = t.rows <- Cells cells :: t.rows
+let add_separator t = t.rows <- Separator :: t.rows
+
+(* Column width = max over the header and all rows; cells are left-aligned
+   except numeric-looking cells, which are right-aligned. *)
+
+let numericish s =
+  String.length s > 0
+  &&
+  match s.[0] with
+  | '0' .. '9' | '-' | '+' | '.' -> true
+  | _ -> false
+
+let widths t rows =
+  let ncols =
+    List.fold_left
+      (fun acc r ->
+        match r with Cells c -> max acc (List.length c) | Separator -> acc)
+      (List.length t.header)
+      rows
+  in
+  let w = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> w.(i) <- max w.(i) (String.length c)) cells
+  in
+  measure t.header;
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  w
+
+let pad width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else if numericish s then String.make n ' ' ^ s
+  else s ^ String.make n ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let w = widths t rows in
+  let buf = Buffer.create 256 in
+  let emit cells =
+    let cells = Array.of_list cells in
+    for i = 0 to Array.length w - 1 do
+      let c = if i < Array.length cells then cells.(i) else "" in
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad w.(i) c)
+    done;
+    (* Trim trailing spaces so the output diffs cleanly. *)
+    let line = Buffer.contents buf in
+    Buffer.clear buf;
+    let len = ref (String.length line) in
+    while !len > 0 && line.[!len - 1] = ' ' do
+      decr len
+    done;
+    String.sub line 0 !len
+  in
+  let total = Array.fold_left ( + ) 0 w + (2 * (Array.length w - 1)) in
+  let rule = String.make (max 1 total) '-' in
+  let out = Buffer.create 1024 in
+  Buffer.add_string out (emit t.header);
+  Buffer.add_char out '\n';
+  Buffer.add_string out rule;
+  Buffer.add_char out '\n';
+  List.iter
+    (fun r ->
+      (match r with
+      | Cells c -> Buffer.add_string out (emit c)
+      | Separator -> Buffer.add_string out rule);
+      Buffer.add_char out '\n')
+    rows;
+  Buffer.contents out
+
+let print t = print_string (render t)

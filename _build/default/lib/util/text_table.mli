@@ -1,0 +1,20 @@
+(** Aligned plain-text tables for benchmark output.
+
+    The benchmark harness prints each reproduced paper table and figure as an
+    aligned text table; this module does the column-width bookkeeping. *)
+
+type t
+
+val create : header:string list -> t
+
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells render empty. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+(** Full table including header, rule, and rows. *)
+
+val print : t -> unit
+(** [render] followed by a newline on stdout. *)

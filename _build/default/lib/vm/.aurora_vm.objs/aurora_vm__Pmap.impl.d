@@ -1,0 +1,1 @@
+lib/vm/pmap.ml: Aurora_sim Hashtbl Page

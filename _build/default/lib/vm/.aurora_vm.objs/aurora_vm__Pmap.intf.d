@@ -1,0 +1,1 @@
+lib/vm/pmap.mli: Aurora_sim Page

@@ -1,0 +1,1 @@
+lib/vm/vm_map.ml: List Vm_object

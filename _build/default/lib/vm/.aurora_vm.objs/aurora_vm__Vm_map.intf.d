@@ -1,0 +1,1 @@
+lib/vm/vm_map.mli: Vm_object

@@ -1,0 +1,1 @@
+lib/vm/vm_object.ml: Aurora_sim Hashtbl Page

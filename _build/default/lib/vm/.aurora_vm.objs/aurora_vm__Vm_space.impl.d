@@ -1,0 +1,1 @@
+lib/vm/vm_space.ml: Aurora_sim Bytes Hashtbl List Page Pmap Printf String Vm_map Vm_object

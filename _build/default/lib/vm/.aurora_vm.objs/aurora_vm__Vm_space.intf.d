@@ -1,0 +1,1 @@
+lib/vm/vm_space.mli: Aurora_sim Pmap Vm_map Vm_object

@@ -1,0 +1,48 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+
+type pte = { mutable page : Page.t; mutable writable : bool; mutable dirty : bool }
+type t = { ptes : (int, pte) Hashtbl.t }
+
+let create () = { ptes = Hashtbl.create 256 }
+let find t vpn = Hashtbl.find_opt t.ptes vpn
+
+let install t vpn page ~writable =
+  Hashtbl.replace t.ptes vpn { page; writable; dirty = false }
+
+let remove t vpn = Hashtbl.remove t.ptes vpn
+
+let remove_range t ~vpn ~npages =
+  for v = vpn to vpn + npages - 1 do
+    Hashtbl.remove t.ptes v
+  done
+
+let downgrade_range t ~clock ~vpn ~npages =
+  let count = ref 0 in
+  (* Walk whichever side is smaller: the range or the installed PTEs. *)
+  if npages < Hashtbl.length t.ptes then
+    for v = vpn to vpn + npages - 1 do
+      match Hashtbl.find_opt t.ptes v with
+      | Some pte when pte.writable ->
+          pte.writable <- false;
+          incr count
+      | Some _ | None -> ()
+    done
+  else
+    Hashtbl.iter
+      (fun v pte ->
+        if v >= vpn && v < vpn + npages && pte.writable then begin
+          pte.writable <- false;
+          incr count
+        end)
+      t.ptes;
+  Clock.advance clock (!count * Cost.cow_mark_page);
+  !count
+
+let resident t = Hashtbl.length t.ptes
+
+let writable_count t =
+  Hashtbl.fold (fun _ pte acc -> if pte.writable then acc + 1 else acc) t.ptes 0
+
+let iter t f = Hashtbl.iter f t.ptes
+let clear t = Hashtbl.reset t.ptes

@@ -1,0 +1,36 @@
+(** The physical map: simulated hardware page tables.
+
+    The pmap is a cache of the VM map (the paper's Figure 2): entries can be
+    discarded and rebuilt from the VM objects at any time.  A PTE caches the
+    page resolved by a previous fault plus its writable bit; the dirty bit
+    records hardware-set modification state used by incremental
+    checkpointing.
+
+    Addresses are in page units (virtual page numbers). *)
+
+type pte = { mutable page : Page.t; mutable writable : bool; mutable dirty : bool }
+
+type t
+
+val create : unit -> t
+
+val find : t -> int -> pte option
+val install : t -> int -> Page.t -> writable:bool -> unit
+val remove : t -> int -> unit
+val remove_range : t -> vpn:int -> npages:int -> unit
+
+val downgrade_range : t -> clock:Aurora_sim.Clock.t -> vpn:int -> npages:int -> int
+(** Clear the writable bit of every writable PTE in the range, charging
+    {!Aurora_sim.Cost.cow_mark_page} each; returns the number downgraded.
+    This is the linear page-table walk that dominates checkpoint stop time
+    (Table 5). *)
+
+val resident : t -> int
+(** Number of installed PTEs. *)
+
+val writable_count : t -> int
+
+val iter : t -> (int -> pte -> unit) -> unit
+
+val clear : t -> unit
+(** Drop every PTE (the page tables are ephemeral; used by restore). *)

@@ -1,0 +1,310 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+
+exception Fault of string
+
+type stats = {
+  mutable soft_faults : int;
+  mutable cow_faults : int;
+  mutable zero_fills : int;
+  mutable stale_refaults : int;
+  mutable pageins : int;
+}
+
+type t = {
+  clk : Clock.t;
+  vmap : Vm_map.t;
+  phys : Pmap.t;
+  st : stats;
+}
+
+let create ~clock =
+  {
+    clk = clock;
+    vmap = Vm_map.create ();
+    phys = Pmap.create ();
+    st =
+      {
+        soft_faults = 0;
+        cow_faults = 0;
+        zero_fills = 0;
+        stale_refaults = 0;
+        pageins = 0;
+      };
+  }
+
+let clock t = t.clk
+let map t = t.vmap
+let pmap t = t.phys
+let stats t = t.st
+
+let map_anonymous t ~npages ~prot =
+  let obj = Vm_object.create Vm_object.Anonymous in
+  let vpn = Vm_map.find_free_range t.vmap ~npages in
+  Vm_map.map t.vmap ~vpn ~npages ~prot ~obj ~obj_pgoff:0
+
+let map_object ?shared t ~obj ~obj_pgoff ~npages ~prot =
+  Vm_object.ref_ obj;
+  let vpn = Vm_map.find_free_range t.vmap ~npages in
+  Vm_map.map ?shared t.vmap ~vpn ~npages ~prot ~obj ~obj_pgoff
+
+let unmap t entry =
+  Pmap.remove_range t.phys ~vpn:entry.Vm_map.start_vpn ~npages:entry.Vm_map.npages;
+  Vm_map.unmap t.vmap entry
+
+let addr_of_entry (e : Vm_map.entry) = e.start_vpn * Page.logical_size
+
+(* Uncharged chain walk used to validate cached PTEs; the charged walk in
+   Vm_object.lookup models the fault path only. *)
+let lookup_nocharge obj idx =
+  let rec walk o =
+    match Vm_object.find_local o idx with
+    | Some page -> Some (page, o)
+    | None -> ( match Vm_object.parent o with None -> None | Some p -> walk p)
+  in
+  walk obj
+
+let entry_of_vpn t vpn =
+  match Vm_map.find t.vmap vpn with
+  | Some e -> e
+  | None -> raise (Fault (Printf.sprintf "no mapping at vpn %#x" vpn))
+
+let obj_index (e : Vm_map.entry) vpn = vpn - e.start_vpn + e.obj_pgoff
+
+(* Resolve a fault: find or create the page, install a PTE, charge the
+   appropriate cost.  Returns the page the access should hit. *)
+let rec handle_fault t (e : Vm_map.entry) vpn ~write =
+  let idx = obj_index e vpn in
+  (match Vm_object.kind e.obj with
+  | Vm_object.Device_backed _ when write -> raise (Fault "write to device mapping")
+  | Vm_object.Anonymous | Vm_object.Vnode_backed _ | Vm_object.Device_backed _ -> ());
+  match Vm_object.lookup ~clock:t.clk e.obj idx with
+  | Some (page, src) when src == e.obj ->
+      (* Resident in the top object: plain soft fault. *)
+      t.st.soft_faults <- t.st.soft_faults + 1;
+      Clock.advance t.clk Cost.soft_fault;
+      Pmap.install t.phys vpn page ~writable:(write && e.prot.write);
+      page
+  | Some (page, _ancestor) ->
+      if write then begin
+        (* COW: copy into the top object. *)
+        t.st.cow_faults <- t.st.cow_faults + 1;
+        Clock.advance t.clk Cost.cow_fault;
+        let private_page = Page.copy page in
+        Vm_object.insert_page e.obj idx private_page;
+        Pmap.install t.phys vpn private_page ~writable:true;
+        private_page
+      end
+      else begin
+        (* Ancestor pages map read-only so a later write still faults. *)
+        t.st.soft_faults <- t.st.soft_faults + 1;
+        Clock.advance t.clk Cost.soft_fault;
+        Pmap.install t.phys vpn page ~writable:false;
+        page
+      end
+  | None -> (
+      (* The chain has no resident page.  A pager along the chain (swap,
+         lazy restore) supplies the payload; otherwise zero-fill into the
+         top object. *)
+      let rec find_pager obj =
+        match Vm_object.pager obj with
+        | Some pager -> (
+            match pager idx with
+            | Some payload -> Some (obj, payload)
+            | None -> (
+                match Vm_object.parent obj with
+                | None -> None
+                | Some p -> find_pager p))
+        | None -> (
+            match Vm_object.parent obj with
+            | None -> None
+            | Some p -> find_pager p)
+      in
+      match find_pager e.obj with
+      | Some (owner, payload) ->
+          (* Page-in at the pager's level so sharers see it too; the I/O
+             cost was charged by the pager itself.  Retry the fault: the
+             page may still need a COW copy into the top. *)
+          t.st.pageins <- t.st.pageins + 1;
+          let page = Page.alloc_sized ~payload:(Bytes.length payload) in
+          Page.load_payload page payload;
+          Vm_object.insert_page owner idx page;
+          handle_fault t e vpn ~write
+      | None ->
+          t.st.zero_fills <- t.st.zero_fills + 1;
+          Clock.advance t.clk Cost.soft_fault;
+          let page = Page.alloc () in
+          Vm_object.insert_page e.obj idx page;
+          Pmap.install t.phys vpn page ~writable:(write && e.prot.write);
+          page)
+
+let access t ~vpn ~write =
+  let e = entry_of_vpn t vpn in
+  if write && not e.prot.write then raise (Fault "write to read-only mapping");
+  if (not write) && not e.prot.read then raise (Fault "read from PROT_NONE mapping");
+  match Pmap.find t.phys vpn with
+  | Some pte -> (
+      (* Validate the cached translation: a sharer's COW or a checkpoint
+         collapse may have changed which page backs this address. *)
+      let idx = obj_index e vpn in
+      match lookup_nocharge e.obj idx with
+      | Some (page, _) when Page.id page = Page.id pte.page ->
+          if write && not pte.writable then
+            (* Downgraded by checkpoint shadowing or fork: refault. *)
+            handle_fault t e vpn ~write:true
+          else begin
+            if write then pte.dirty <- true;
+            pte.page
+          end
+      | Some _ | None ->
+          t.st.stale_refaults <- t.st.stale_refaults + 1;
+          Pmap.remove t.phys vpn;
+          handle_fault t e vpn ~write)
+  | None ->
+      let page = handle_fault t e vpn ~write in
+      (if write then
+         match Pmap.find t.phys vpn with
+         | Some pte -> pte.dirty <- true
+         | None -> ());
+      page
+
+let split_addr addr = (addr / Page.logical_size, addr mod Page.logical_size)
+
+let write_byte t ~addr c =
+  let vpn, off = split_addr addr in
+  let page = access t ~vpn ~write:true in
+  Page.set page off c
+
+let read_byte t ~addr =
+  let vpn, off = split_addr addr in
+  let page = access t ~vpn ~write:false in
+  Page.get page off
+
+let write_string t ~addr s =
+  String.iteri (fun i c -> write_byte t ~addr:(addr + i) c) s
+
+let read_string t ~addr ~len = String.init len (fun i -> read_byte t ~addr:(addr + i))
+
+let touch_write t ~addr ~len =
+  let first = addr / Page.logical_size
+  and last = (addr + len - 1) / Page.logical_size in
+  for vpn = first to last do
+    let page = access t ~vpn ~write:true in
+    (* One byte per page keeps content checks meaningful without paying a
+       per-byte loop on multi-MiB regions. *)
+    Page.set page 0 'd'
+  done
+
+let touch_read t ~addr ~len =
+  let first = addr / Page.logical_size
+  and last = (addr + len - 1) / Page.logical_size in
+  for vpn = first to last do
+    ignore (access t ~vpn ~write:false)
+  done
+
+let shadowable (e : Vm_map.entry) =
+  (not e.excluded) && e.prot.write
+  &&
+  match Vm_object.kind e.obj with
+  | Vm_object.Anonymous -> true
+  | Vm_object.Vnode_backed _ | Vm_object.Device_backed _ ->
+      (* The Aurora FS provides COW for file-backed memory; devices are
+         read-only. *)
+      false
+
+let unique_objects t =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (e : Vm_map.entry) ->
+      if shadowable e && not (Hashtbl.mem seen (Vm_object.id e.obj)) then begin
+        Hashtbl.replace seen (Vm_object.id e.obj) ();
+        e.obj :: acc
+      end
+      else acc)
+    [] (Vm_map.entries t.vmap)
+  |> List.rev
+
+let replace_object t ~old_obj ~new_obj =
+  let downgraded = ref 0 in
+  List.iter
+    (fun (e : Vm_map.entry) ->
+      if e.obj == old_obj then begin
+        e.obj <- new_obj;
+        (* The page-table walk that clears writable bits is the stop-time
+           marking cost... *)
+        downgraded :=
+          !downgraded
+          + Pmap.downgrade_range t.phys ~clock:t.clk ~vpn:e.start_vpn
+              ~npages:e.npages;
+        (* ...and the accompanying TLB flush invalidates every cached
+           translation of the region: reads refault too after a
+           checkpoint ("applications frequently fault in pages because
+           system shadowing flushes the TLB", section 6). *)
+        Pmap.remove_range t.phys ~vpn:e.start_vpn ~npages:e.npages
+      end)
+    (Vm_map.entries t.vmap);
+  !downgraded
+
+let fork t =
+  let child = create ~clock:t.clk in
+  List.iter
+    (fun (e : Vm_map.entry) ->
+      if e.shared then begin
+        Vm_object.ref_ e.obj;
+        ignore
+          (Vm_map.map ~shared:true child.vmap ~vpn:e.start_vpn ~npages:e.npages
+             ~prot:e.prot ~obj:e.obj ~obj_pgoff:e.obj_pgoff)
+      end
+      else if not e.prot.write then begin
+        (* Read-only private regions (text) can alias the same object. *)
+        Vm_object.ref_ e.obj;
+        ignore
+          (Vm_map.map child.vmap ~vpn:e.start_vpn ~npages:e.npages ~prot:e.prot
+             ~obj:e.obj ~obj_pgoff:e.obj_pgoff)
+      end
+      else begin
+        (* Symmetric shadowing: the old object becomes a shared read-only
+           backing object; parent and child each write into a private
+           shadow above it. *)
+        let backing = e.obj in
+        let parent_shadow = Vm_object.shadow ~clock:t.clk backing in
+        Vm_object.ref_ backing;
+        let child_shadow = Vm_object.shadow ~clock:t.clk backing in
+        e.obj <- parent_shadow;
+        ignore
+          (Pmap.downgrade_range t.phys ~clock:t.clk ~vpn:e.start_vpn
+             ~npages:e.npages);
+        ignore
+          (Vm_map.map child.vmap ~vpn:e.start_vpn ~npages:e.npages ~prot:e.prot
+             ~obj:child_shadow ~obj_pgoff:e.obj_pgoff)
+      end)
+    (Vm_map.entries t.vmap);
+  child
+
+let resident_pages t =
+  let seen = Hashtbl.create 16 in
+  let total = ref 0 in
+  let rec count_chain obj =
+    if not (Hashtbl.mem seen (Vm_object.id obj)) then begin
+      Hashtbl.replace seen (Vm_object.id obj) ();
+      total := !total + Vm_object.resident_pages obj;
+      match Vm_object.parent obj with None -> () | Some p -> count_chain p
+    end
+  in
+  List.iter (fun (e : Vm_map.entry) -> count_chain e.obj) (Vm_map.entries t.vmap);
+  !total
+
+let dirty_top_pages t =
+  let seen = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (e : Vm_map.entry) ->
+      if
+        e.prot.write
+        && (not e.excluded)
+        && not (Hashtbl.mem seen (Vm_object.id e.obj))
+      then begin
+        Hashtbl.replace seen (Vm_object.id e.obj) ();
+        acc + Vm_object.resident_pages e.obj
+      end
+      else acc)
+    0 (Vm_map.entries t.vmap)

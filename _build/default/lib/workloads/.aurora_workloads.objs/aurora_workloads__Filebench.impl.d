@@ -1,0 +1,1 @@
+lib/workloads/filebench.ml: Aurora_fs Aurora_sim Aurora_util Hashtbl Printf

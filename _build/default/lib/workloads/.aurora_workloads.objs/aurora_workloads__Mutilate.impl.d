@@ -1,0 +1,1 @@
+lib/workloads/mutilate.ml: Aurora_util Zipf

@@ -1,0 +1,1 @@
+lib/workloads/prefix_dist.ml: Aurora_util Zipf

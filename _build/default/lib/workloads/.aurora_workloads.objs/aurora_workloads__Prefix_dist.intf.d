@@ -1,0 +1,1 @@
+lib/workloads/prefix_dist.mli:

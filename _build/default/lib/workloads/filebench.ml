@@ -1,0 +1,173 @@
+module Clock = Aurora_sim.Clock
+module Rng = Aurora_util.Rng
+module Bench_fs = Aurora_fs.Bench_fs
+
+type result = { label : string; ops : int; bytes : int; elapsed_ns : int }
+
+let throughput_gib_s r =
+  if r.elapsed_ns = 0 then 0.0
+  else
+    float_of_int r.bytes /. (1024.0 ** 3.0) /. (float_of_int r.elapsed_ns /. 1e9)
+
+let ops_per_sec r =
+  if r.elapsed_ns = 0 then 0.0
+  else float_of_int r.ops /. (float_of_int r.elapsed_ns /. 1e9)
+
+let measure (fs : Bench_fs.t) label f =
+  let t0 = Clock.now fs.Bench_fs.fs_clock in
+  let ops, bytes = f () in
+  fs.Bench_fs.drain ();
+  { label; ops; bytes; elapsed_ns = Clock.now fs.Bench_fs.fs_clock - t0 }
+
+let working_file = "/bench/data"
+let file_size = 256 * 1024 * 1024
+
+let prepare_file (fs : Bench_fs.t) =
+  fs.Bench_fs.create_file working_file;
+  (* Preallocate so random writes hit existing blocks (no append path). *)
+  fs.Bench_fs.write_file ~path:working_file ~off:0 ~len:file_size;
+  fs.Bench_fs.drain ()
+
+let random_write fs ~io_size ~total ~seed =
+  prepare_file fs;
+  let rng = Rng.create seed in
+  let slots = file_size / io_size in
+  measure fs "random write" (fun () ->
+      let n = total / io_size in
+      for _ = 1 to n do
+        let off = Rng.int rng slots * io_size in
+        fs.Bench_fs.write_file ~path:working_file ~off ~len:io_size
+      done;
+      (n, n * io_size))
+
+let sequential_write fs ~io_size ~total =
+  prepare_file fs;
+  measure fs "sequential write" (fun () ->
+      let n = total / io_size in
+      for i = 0 to n - 1 do
+        let off = i * io_size mod file_size in
+        fs.Bench_fs.write_file ~path:working_file ~off ~len:io_size
+      done;
+      (n, n * io_size))
+
+let create_files fs ~count ~mean_size ~seed =
+  let rng = Rng.create seed in
+  measure fs "createfiles" (fun () ->
+      let bytes = ref 0 in
+      for i = 0 to count - 1 do
+        let path = Printf.sprintf "/create/f%06d" i in
+        fs.Bench_fs.create_file path;
+        let size = max 512 (Rng.int_in rng (mean_size / 2) (3 * mean_size / 2)) in
+        fs.Bench_fs.write_file ~path ~off:0 ~len:size;
+        bytes := !bytes + size
+      done;
+      (count, !bytes))
+
+let write_fsync fs ~io_size ~count =
+  let path = "/fsync/log" in
+  fs.Bench_fs.create_file path;
+  fs.Bench_fs.drain ();
+  measure fs "write+fsync" (fun () ->
+      for i = 0 to count - 1 do
+        fs.Bench_fs.write_file ~path ~off:(i * io_size) ~len:io_size;
+        fs.Bench_fs.fsync_file path
+      done;
+      (count, count * io_size))
+
+(* Application personalities.  Sizes follow the classic FileBench
+   profiles: fileserver 128 KiB files with whole-file reads/writes;
+   varmail 16 KiB messages with fsync after each append; webserver reads
+   with a 16 KiB mean and an 8 KiB log append every 10th op. *)
+
+let fileserver fs ~ops ~seed =
+  let rng = Rng.create seed in
+  let nfiles = 500 in
+  let fsize = 128 * 1024 in
+  for i = 0 to nfiles - 1 do
+    let path = Printf.sprintf "/srv/f%04d" i in
+    fs.Bench_fs.create_file path;
+    fs.Bench_fs.write_file ~path ~off:0 ~len:fsize
+  done;
+  fs.Bench_fs.drain ();
+  measure fs "fileserver" (fun () ->
+      let bytes = ref 0 in
+      for _ = 1 to ops do
+        let path = Printf.sprintf "/srv/f%04d" (Rng.int rng nfiles) in
+        match Rng.int rng 4 with
+        | 0 ->
+            (* whole-file write *)
+            fs.Bench_fs.write_file ~path ~off:0 ~len:fsize;
+            bytes := !bytes + fsize
+        | 1 ->
+            (* append *)
+            fs.Bench_fs.write_file ~path ~off:fsize ~len:(16 * 1024);
+            bytes := !bytes + (16 * 1024)
+        | 2 | _ ->
+            (* whole-file read (two read ops for one write-ish op mirrors
+               the 1:2 write:read profile) *)
+            fs.Bench_fs.read_file ~path ~off:0 ~len:fsize;
+            bytes := !bytes + fsize
+      done;
+      (ops, !bytes))
+
+let varmail fs ~ops ~seed =
+  let rng = Rng.create seed in
+  let msg = 16 * 1024 in
+  let exists = Hashtbl.create 256 in
+  let ensure path =
+    if not (Hashtbl.mem exists path) then begin
+      fs.Bench_fs.create_file path;
+      Hashtbl.replace exists path ()
+    end
+  in
+  measure fs "varmail" (fun () ->
+      let bytes = ref 0 in
+      for i = 0 to ops - 1 do
+        let path = Printf.sprintf "/mail/m%06d" (i mod 2000) in
+        match Rng.int rng 4 with
+        | 0 ->
+            ensure path;
+            fs.Bench_fs.write_file ~path ~off:0 ~len:msg;
+            fs.Bench_fs.fsync_file path;
+            bytes := !bytes + msg
+        | 1 ->
+            ensure path;
+            fs.Bench_fs.write_file ~path ~off:msg ~len:msg;
+            fs.Bench_fs.fsync_file path;
+            bytes := !bytes + msg
+        | 2 ->
+            ensure path;
+            fs.Bench_fs.read_file ~path ~off:0 ~len:msg;
+            bytes := !bytes + msg
+        | _ ->
+            ensure path;
+            fs.Bench_fs.delete_file path;
+            Hashtbl.remove exists path
+      done;
+      (ops, !bytes))
+
+let webserver fs ~ops ~seed =
+  let rng = Rng.create seed in
+  let nfiles = 1000 in
+  let fsize = 16 * 1024 in
+  for i = 0 to nfiles - 1 do
+    let path = Printf.sprintf "/www/p%04d" i in
+    fs.Bench_fs.create_file path;
+    fs.Bench_fs.write_file ~path ~off:0 ~len:fsize
+  done;
+  fs.Bench_fs.create_file "/www/access.log";
+  fs.Bench_fs.drain ();
+  measure fs "webserver" (fun () ->
+      let bytes = ref 0 in
+      let log_off = ref 0 in
+      for i = 1 to ops do
+        let path = Printf.sprintf "/www/p%04d" (Rng.int rng nfiles) in
+        fs.Bench_fs.read_file ~path ~off:0 ~len:fsize;
+        bytes := !bytes + fsize;
+        if i mod 10 = 0 then begin
+          fs.Bench_fs.write_file ~path:"/www/access.log" ~off:!log_off ~len:8192;
+          log_off := !log_off + 8192;
+          bytes := !bytes + 8192
+        end
+      done;
+      (ops, !bytes))

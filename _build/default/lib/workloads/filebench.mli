@@ -1,0 +1,44 @@
+(** FileBench personalities (paper section 9.1, Figure 3).
+
+    Each personality drives an identical operation stream into any
+    {!Aurora_fs.Bench_fs.t} implementation and reports operations, bytes
+    and elapsed virtual time.  The micro personalities reproduce Figures
+    3a–3c; fileserver, varmail and webserver reproduce Figure 3d. *)
+
+type result = {
+  label : string;
+  ops : int;
+  bytes : int;
+  elapsed_ns : int;
+}
+
+val throughput_gib_s : result -> float
+val ops_per_sec : result -> float
+
+(** {1 Micro personalities (Figures 3a–3c)} *)
+
+val random_write :
+  Aurora_fs.Bench_fs.t -> io_size:int -> total:int -> seed:int -> result
+(** Random-offset writes of [io_size] into a preallocated file until
+    [total] bytes are written. *)
+
+val sequential_write : Aurora_fs.Bench_fs.t -> io_size:int -> total:int -> result
+
+val create_files : Aurora_fs.Bench_fs.t -> count:int -> mean_size:int -> seed:int -> result
+(** Create many small files, writing [mean_size] bytes into each. *)
+
+val write_fsync : Aurora_fs.Bench_fs.t -> io_size:int -> count:int -> result
+(** Each operation writes [io_size] bytes and fsyncs. *)
+
+(** {1 Application personalities (Figure 3d)} *)
+
+val fileserver : Aurora_fs.Bench_fs.t -> ops:int -> seed:int -> result
+(** Whole-file writes, appends, reads and deletes over a working set of
+    files (FileBench's fileserver profile). *)
+
+val varmail : Aurora_fs.Bench_fs.t -> ops:int -> seed:int -> result
+(** Mail-server pattern: create/append/fsync/read/delete — fsync-bound on
+    conventional file systems. *)
+
+val webserver : Aurora_fs.Bench_fs.t -> ops:int -> seed:int -> result
+(** Read-mostly with a small append-only log. *)

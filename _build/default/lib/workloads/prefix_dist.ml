@@ -1,0 +1,34 @@
+module Rng = Aurora_util.Rng
+
+type op = Db_get of int | Db_put of int * int
+
+(* Prefix_dist: popularity is skewed per prefix group; keys inside a
+   group are uniform.  Modeled as a zipf over prefixes and a uniform draw
+   within the chosen prefix. *)
+type t = {
+  prefixes : Zipf.t;
+  keys_per_prefix : int;
+  rng : Rng.t;
+  put_ratio : float;
+}
+
+let mean_value_bytes = 400
+
+let create ?(nkeys = 1_000_000) ?(put_ratio = 0.5) ~seed () =
+  let rng = Rng.create seed in
+  let nprefixes = max 1 (nkeys / 1000) in
+  {
+    prefixes = Zipf.create ~n:nprefixes ~theta:0.92 (Rng.split rng);
+    keys_per_prefix = nkeys / max 1 (nkeys / 1000);
+    rng;
+    put_ratio;
+  }
+
+let next t =
+  let prefix = Zipf.sample t.prefixes in
+  let key = (prefix * t.keys_per_prefix) + Rng.int t.rng t.keys_per_prefix in
+  if Rng.float t.rng 1.0 < t.put_ratio then
+    Db_put (key, Rng.int_in t.rng 100 (2 * mean_value_bytes))
+  else Db_get key
+
+let nkeys t = Zipf.n t.prefixes * t.keys_per_prefix

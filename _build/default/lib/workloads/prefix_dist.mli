@@ -1,0 +1,15 @@
+(** The RocksDB Prefix_dist workload (Cao et al., FAST'20): keys are
+    grouped under prefixes whose popularity is heavily skewed; used for
+    the Figure 6 RocksDB comparison. *)
+
+type op = Db_get of int | Db_put of int * int  (** Db_put (key, value_bytes) *)
+
+type t
+
+val create : ?nkeys:int -> ?put_ratio:float -> seed:int -> unit -> t
+(** Defaults: 1M keys, 0.5 put ratio (the sync-write comparison needs a
+    write-heavy mix). *)
+
+val next : t -> op
+val nkeys : t -> int
+val mean_value_bytes : int

@@ -1,0 +1,28 @@
+module Rng = Aurora_util.Rng
+
+type t = { cdf : float array; rng : Rng.t }
+
+let create ~n ~theta rng =
+  assert (n > 0);
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** theta)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cdf.(i) <- !acc
+  done;
+  cdf.(n - 1) <- 1.0;
+  { cdf; rng }
+
+let sample t =
+  let u = Rng.float t.rng 1.0 in
+  (* First index whose cumulative weight covers u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let n t = Array.length t.cdf

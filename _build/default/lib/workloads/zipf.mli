@@ -1,0 +1,16 @@
+(** Zipfian key popularity, the distribution behind both the Facebook
+    Memcached workload (Atikoglu et al., SIGMETRICS'12) and the RocksDB
+    Prefix_dist workload (Cao et al., FAST'20).
+
+    The sampler precomputes the cumulative distribution and draws by
+    binary search: exact, and fast enough for millions of samples. *)
+
+type t
+
+val create : n:int -> theta:float -> Aurora_util.Rng.t -> t
+(** [n] keys with skew exponent [theta] (typical workloads use 0.9–1.0). *)
+
+val sample : t -> int
+(** A key index in [0, n), rank 0 being the most popular. *)
+
+val n : t -> int

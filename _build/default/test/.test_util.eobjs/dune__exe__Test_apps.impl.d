@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Aurora_apps Aurora_block Aurora_core Aurora_criu Aurora_kern Aurora_objstore Aurora_sim Aurora_vm List Printf

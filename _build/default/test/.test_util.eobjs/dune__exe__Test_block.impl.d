@@ -1,0 +1,1 @@
+test/test_block.ml: Alcotest Aurora_block Aurora_sim Bytes Char Filename Fun Gen List Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Aurora_core Aurora_kern Aurora_objstore Aurora_sim Aurora_vm Bytes Gen Hashtbl List Printf QCheck QCheck_alcotest Replayer Str String

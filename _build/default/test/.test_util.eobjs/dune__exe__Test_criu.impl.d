@@ -1,0 +1,1 @@
+test/test_criu.ml: Alcotest Aurora_apps Aurora_criu Aurora_kern Aurora_sim Aurora_util Aurora_vm Gen List Printf QCheck QCheck_alcotest

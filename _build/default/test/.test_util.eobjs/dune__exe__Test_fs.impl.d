@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Aurora_block Aurora_fs Aurora_kern Aurora_objstore Aurora_sim Aurora_workloads Gen Hashtbl List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kern.ml: Alcotest Aurora_kern Aurora_sim Aurora_vm Gen List QCheck QCheck_alcotest String

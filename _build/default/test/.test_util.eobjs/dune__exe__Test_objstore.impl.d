@@ -1,0 +1,1 @@
+test/test_objstore.ml: Alcotest Aurora_block Aurora_objstore Aurora_sim Bytes Char Gen Hashtbl List Printf QCheck QCheck_alcotest String

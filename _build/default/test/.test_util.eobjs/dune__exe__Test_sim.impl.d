@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Aurora_sim Gen List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Aurora_util Fun Gen List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Aurora_sim Aurora_vm Bytes Char Gen Hashtbl List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Aurora_net Aurora_sim Aurora_util Aurora_workloads Printf

@@ -1,0 +1,281 @@
+module Clock = Aurora_sim.Clock
+module Machine = Aurora_kern.Machine
+module Process = Aurora_kern.Process
+module Striped = Aurora_block.Striped
+module Vm_space = Aurora_vm.Vm_space
+module Sls = Aurora_core.Sls
+module Group = Aurora_core.Group
+module Memcached_sim = Aurora_apps.Memcached_sim
+module Memcached_bench = Aurora_apps.Memcached_bench
+module Redis_sim = Aurora_apps.Redis_sim
+module Rocksdb = Aurora_apps.Rocksdb
+module Rocksdb_aurora = Aurora_apps.Rocksdb_aurora
+module Rocksdb_bench = Aurora_apps.Rocksdb_bench
+module Profiles = Aurora_apps.Profiles
+
+let test_memcached_dirty_tracking () =
+  let sys = Sls.boot () in
+  let app = Memcached_sim.create ~machine:sys.Sls.machine ~nkeys:1600 in
+  let p = Memcached_sim.proc app in
+  (* Warm and checkpoint so we are in steady state. *)
+  for k = 0 to 1599 do
+    Memcached_sim.set app k ~value_bytes:100
+  done;
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  (* Sixteen keys per page: 32 sets over two pages dirty exactly 2. *)
+  for k = 0 to 31 do
+    Memcached_sim.set app k ~value_bytes:100
+  done;
+  let stats = Group.checkpoint ~wait_durable:true group in
+  Alcotest.(check int) "dirty pages tracked" 2 stats.Group.pages_flushed
+
+let test_memcached_bench_baseline () =
+  let outcome =
+    Memcached_bench.run
+      {
+        Memcached_bench.period_ns = None;
+        load = Memcached_bench.Closed_loop 288;
+        duration_ns = 50_000_000;
+        nkeys = 100_000;
+        seed = 11;
+        ext_sync = false;
+      }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline near 1M ops/s (%.0f)" outcome.Memcached_bench.throughput_ops)
+    true
+    (outcome.Memcached_bench.throughput_ops > 500_000.0
+    && outcome.Memcached_bench.throughput_ops < 2_500_000.0)
+
+let test_memcached_bench_aurora_overhead () =
+  let run period_ns =
+    Memcached_bench.run
+      {
+        Memcached_bench.period_ns;
+        load = Memcached_bench.Closed_loop 288;
+        duration_ns = 50_000_000;
+        nkeys = 100_000;
+        seed = 11;
+        ext_sync = false;
+      }
+  in
+  let base = run None in
+  let aurora10 = run (Some 10_000_000) in
+  let aurora100 = run (Some 100_000_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "10ms period costs throughput (%.0f vs %.0f)"
+       aurora10.Memcached_bench.throughput_ops base.Memcached_bench.throughput_ops)
+    true
+    (aurora10.Memcached_bench.throughput_ops < 0.9 *. base.Memcached_bench.throughput_ops);
+  Alcotest.(check bool)
+    (Printf.sprintf "longer periods recover throughput (%.0f vs %.0f)"
+       aurora100.Memcached_bench.throughput_ops aurora10.Memcached_bench.throughput_ops)
+    true
+    (aurora100.Memcached_bench.throughput_ops > aurora10.Memcached_bench.throughput_ops);
+  Alcotest.(check bool) "checkpoints ran" true (aurora10.Memcached_bench.checkpoints >= 3)
+
+let test_memcached_bench_open_loop_latency () =
+  let run period_ns =
+    Memcached_bench.run
+      {
+        Memcached_bench.period_ns;
+        load = Memcached_bench.Open_poisson 120_000.0;
+        duration_ns = 100_000_000;
+        nkeys = 100_000;
+        seed = 13;
+        ext_sync = false;
+      }
+  in
+  let base = run None in
+  let aurora = run (Some 100_000_000) in
+  Alcotest.(check bool)
+    (Printf.sprintf "baseline avg latency sane (%.0f ns)" base.Memcached_bench.avg_latency_ns)
+    true
+    (base.Memcached_bench.avg_latency_ns > 30_000.0
+    && base.Memcached_bench.avg_latency_ns < 400_000.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "aurora increases tail latency (%.0f vs %.0f)"
+       aurora.Memcached_bench.p95_latency_ns base.Memcached_bench.p95_latency_ns)
+    true
+    (aurora.Memcached_bench.p95_latency_ns >= base.Memcached_bench.p95_latency_ns)
+
+let test_redis_rdb_breakdown () =
+  let m = Machine.create () in
+  Machine.mount m (Aurora_kern.Vfs.ram_ops ~clock:m.Machine.clock);
+  let redis = Redis_sim.create ~machine:m ~resident_mib:500 () in
+  let dev = Striped.create () in
+  let b = Redis_sim.rdb_save redis ~dev in
+  let ms x = float_of_int x /. 1e6 in
+  (* Table 7: fork stop ~8 ms, serialize+write ~300 ms. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fork stop ~8ms (%.1f)" (ms b.Redis_sim.fork_stop_ns))
+    true
+    (ms b.Redis_sim.fork_stop_ns > 4.0 && ms b.Redis_sim.fork_stop_ns < 16.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "serialize ~300ms (%.1f)" (ms b.Redis_sim.serialize_write_ns))
+    true
+    (ms b.Redis_sim.serialize_write_ns > 200.0 && ms b.Redis_sim.serialize_write_ns < 450.0);
+  (* The child was reaped. *)
+  Alcotest.(check int) "no zombies" 0 (List.length (Redis_sim.proc redis).Process.children)
+
+let test_rocksdb_put_get () =
+  let m = Machine.create () in
+  let db = Rocksdb.create ~machine:m ~nkeys:10_000 Rocksdb.Ephemeral in
+  ignore (Rocksdb.put db ~key:42 ~value_bytes:300);
+  Alcotest.(check (option int)) "stored" (Some 300) (Rocksdb.read_value_size db ~key:42);
+  ignore (Rocksdb.get db ~key:42);
+  Alcotest.(check (option int)) "missing key" None (Rocksdb.read_value_size db ~key:999)
+
+let test_rocksdb_lsm_machinery () =
+  let m = Machine.create () in
+  let db =
+    Rocksdb.create ~machine:m ~nkeys:100_000 ~memtable_limit:(256 * 1024)
+      Rocksdb.Ephemeral
+  in
+  for key = 0 to 9_999 do
+    ignore (Rocksdb.put db ~key ~value_bytes:300)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "flushes happened (%d)" (Rocksdb.flushes db))
+    true
+    (Rocksdb.flushes db > 5);
+  Alcotest.(check bool)
+    (Printf.sprintf "compactions happened (%d)" (Rocksdb.compactions db))
+    true
+    (Rocksdb.compactions db >= 1)
+
+let test_rocksdb_aurora_durability () =
+  let sys = Sls.boot () in
+  let db = Rocksdb_aurora.create ~sys ~nkeys:10_000 ~wal_group_size:4 () in
+  for key = 0 to 99 do
+    ignore (Rocksdb_aurora.put db ~key ~value_bytes:(100 + key))
+  done;
+  (* Only full groups are journaled before the crash; 100 ops at group
+     size 4 means all 100 are in the journal. *)
+  Sls.crash sys;
+  let machine = Machine.create () in
+  let store = Aurora_objstore.Store.recover ~dev:sys.Sls.device ~clock:machine.Machine.clock in
+  let sys2 = { sys with Sls.machine; store } in
+  let db2, replayed = Rocksdb_aurora.recover ~sys:sys2 in
+  Alcotest.(check int) "journal replayed all puts" 100 replayed;
+  Alcotest.(check (option int)) "value recovered" (Some 142)
+    (Rocksdb_aurora.read_value_size db2 ~key:42)
+
+let test_rocksdb_bench_ordering () =
+  (* The headline Figure 6 shape: ephemeral fastest by far, the customized
+     RocksDB beats the vanilla WAL, and transparent checkpointing costs
+     most of the ephemeral throughput. *)
+  let run config = (Rocksdb_bench.run config ~ops:60_000 ~nkeys:50_000 ~seed:3).Rocksdb_bench.throughput_ops in
+  let none = run Rocksdb_bench.Cfg_none in
+  let wal = run Rocksdb_bench.Cfg_wal in
+  let aurora_wal = run Rocksdb_bench.Cfg_aurora_wal in
+  let transparent = run Rocksdb_bench.Cfg_aurora_100hz in
+  Alcotest.(check bool)
+    (Printf.sprintf "none (%.0f) > aurora+wal (%.0f)" none aurora_wal)
+    true (none > aurora_wal);
+  Alcotest.(check bool)
+    (Printf.sprintf "aurora+wal (%.0f) > wal (%.0f)" aurora_wal wal)
+    true (aurora_wal > wal);
+  Alcotest.(check bool)
+    (Printf.sprintf "transparent (%.0f) loses most of ephemeral (%.0f)" transparent none)
+    true
+    (transparent < 0.5 *. none)
+
+let test_memcached_layout () =
+  let m = Machine.create () in
+  let app = Memcached_sim.create ~machine:m ~nkeys:160 in
+  (* Sixteen items per page. *)
+  Alcotest.(check int) "arena pages" 10 (Memcached_sim.arena_pages app);
+  (* Gets and sets touch without faulting twice. *)
+  Memcached_sim.set app 0 ~value_bytes:100;
+  Memcached_sim.get app 0;
+  let st = Vm_space.stats (Memcached_sim.proc app).Process.space in
+  Alcotest.(check bool) "single page faulted" true
+    (st.Aurora_vm.Vm_space.zero_fills = 1)
+
+let test_rocksdb_wal_stalls_under_compaction_debt () =
+  (* A deep tree (high write amplification) cannot keep up with the write
+     rate: compaction debt builds and stalls writers. *)
+  let m = Machine.create () in
+  let db =
+    Rocksdb.create ~machine:m ~nkeys:200_000 ~memtable_limit:(256 * 1024)
+      ~compaction_factor:4000 Rocksdb.Ephemeral
+  in
+  for key = 0 to 49_999 do
+    ignore (Rocksdb.put db ~key:(key mod 200_000) ~value_bytes:400)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "write stalls occurred (%d)" (Rocksdb.stalls db))
+    true
+    (Rocksdb.stalls db > 0)
+
+let test_redis_object_population_drives_criu_cost () =
+  let run conns =
+    let m = Machine.create () in
+    Machine.mount m (Aurora_kern.Vfs.ram_ops ~clock:m.Machine.clock);
+    let r = Redis_sim.create ~machine:m ~client_connections:conns ~resident_mib:10 () in
+    let b, _ = Aurora_criu.Criu.checkpoint m [ Redis_sim.proc r ] in
+    b.Aurora_criu.Criu.os_state_ns
+  in
+  Alcotest.(check bool) "more connections, more CRIU inference" true
+    (run 200 > 2 * run 20)
+
+let test_profiles_build () =
+  List.iter
+    (fun profile ->
+      let sys = Sls.boot () in
+      let procs = Profiles.build sys profile in
+      Alcotest.(check int)
+        (profile.Profiles.app_name ^ " proc count")
+        profile.Profiles.nprocs (List.length procs);
+      let p = List.hd procs in
+      Alcotest.(check bool)
+        (profile.Profiles.app_name ^ " has fds")
+        true
+        (Process.fd_count p >= profile.Profiles.fds - 3);
+      Alcotest.(check bool)
+        (profile.Profiles.app_name ^ " memory resident")
+        true
+        (Vm_space.resident_pages p.Process.space > 0))
+    [ Profiles.mosh; Profiles.vim ]
+
+let test_profiles_checkpointable () =
+  let sys = Sls.boot () in
+  let procs = Profiles.build sys Profiles.mosh in
+  let group = Sls.attach sys procs in
+  let stats = Group.checkpoint ~wait_durable:true group in
+  Alcotest.(check bool) "stop time sub-ms for mosh" true (stats.Group.stop_ns < 2_000_000);
+  let _sys', result = Sls.reboot_and_restore sys in
+  Alcotest.(check int) "restored" 1 (List.length result.Aurora_core.Restore.procs)
+
+let () =
+  Alcotest.run "aurora_apps"
+    [
+      ( "memcached",
+        [
+          Alcotest.test_case "dirty tracking" `Quick test_memcached_dirty_tracking;
+          Alcotest.test_case "baseline throughput" `Slow test_memcached_bench_baseline;
+          Alcotest.test_case "aurora overhead" `Slow test_memcached_bench_aurora_overhead;
+          Alcotest.test_case "open loop latency" `Slow test_memcached_bench_open_loop_latency;
+        ] );
+      ("redis", [ Alcotest.test_case "rdb breakdown" `Quick test_redis_rdb_breakdown ]);
+      ( "rocksdb",
+        [
+          Alcotest.test_case "put/get" `Quick test_rocksdb_put_get;
+          Alcotest.test_case "lsm machinery" `Quick test_rocksdb_lsm_machinery;
+          Alcotest.test_case "aurora durability" `Quick test_rocksdb_aurora_durability;
+          Alcotest.test_case "bench ordering" `Slow test_rocksdb_bench_ordering;
+        ] );
+      ( "internals",
+        [
+          Alcotest.test_case "memcached layout" `Quick test_memcached_layout;
+          Alcotest.test_case "rocksdb stalls" `Quick test_rocksdb_wal_stalls_under_compaction_debt;
+          Alcotest.test_case "redis criu scaling" `Quick test_redis_object_population_drives_criu_cost;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "build" `Quick test_profiles_build;
+          Alcotest.test_case "checkpointable" `Quick test_profiles_checkpointable;
+        ] );
+    ]

@@ -1,0 +1,221 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Device = Aurora_block.Device
+module Striped = Aurora_block.Striped
+
+let bytes_of s = Bytes.of_string s
+
+let test_device_write_read () =
+  let d = Device.create ~name:"nvme0" in
+  let clock = Clock.create () in
+  ignore (Device.write d ~now:0 ~off:100 (bytes_of "hello"));
+  let got = Device.read d ~clock ~off:100 ~len:5 in
+  Alcotest.(check string) "readback" "hello" (Bytes.to_string got)
+
+let test_device_unwritten_zero () =
+  let d = Device.create ~name:"nvme0" in
+  let got = Device.read_nocharge d ~off:8192 ~len:4 in
+  Alcotest.(check string) "zeroes" "\000\000\000\000" (Bytes.to_string got)
+
+let test_device_cross_sector () =
+  let d = Device.create ~name:"nvme0" in
+  let data = String.init 10000 (fun i -> Char.chr (i mod 256)) in
+  ignore (Device.write d ~now:0 ~off:4000 (bytes_of data));
+  let got = Device.read_nocharge d ~off:4000 ~len:10000 in
+  Alcotest.(check string) "cross-sector roundtrip" data (Bytes.to_string got)
+
+let test_device_overwrite_order () =
+  let d = Device.create ~name:"nvme0" in
+  let clock = Clock.create () in
+  ignore (Device.write d ~now:0 ~off:0 (bytes_of "aaaa"));
+  ignore (Device.write d ~now:0 ~off:2 (bytes_of "bb"));
+  Device.settle d ~clock;
+  let got = Device.read_nocharge d ~off:0 ~len:4 in
+  Alcotest.(check string) "last writer wins" "aabb" (Bytes.to_string got)
+
+let test_device_crash_discards_inflight () =
+  let d = Device.create ~name:"nvme0" in
+  let c1 = Device.write d ~now:0 ~off:0 (bytes_of "durable!") in
+  (* Second write submitted just before the crash: still in the queue. *)
+  let _c2 = Device.write d ~now:c1 ~off:0 (bytes_of "vanishes") in
+  Device.crash d ~now:c1;
+  let got = Device.read_nocharge d ~off:0 ~len:8 in
+  Alcotest.(check string) "first write survived" "durable!" (Bytes.to_string got)
+
+let test_device_crash_at_zero_loses_all () =
+  let d = Device.create ~name:"nvme0" in
+  ignore (Device.write d ~now:0 ~off:0 (bytes_of "gone"));
+  Device.crash d ~now:0;
+  let got = Device.read_nocharge d ~off:0 ~len:4 in
+  Alcotest.(check string) "nothing durable" "\000\000\000\000" (Bytes.to_string got)
+
+let test_device_write_timing () =
+  let d = Device.create ~name:"nvme0" in
+  let c = Device.write d ~now:0 ~off:0 (Bytes.make 4096 'x') in
+  let expected =
+    Cost.nvme_write_latency + Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth 4096
+  in
+  Alcotest.(check int) "latency + transfer" expected c
+
+let test_device_queueing_serializes () =
+  let d = Device.create ~name:"nvme0" in
+  let c1 = Device.write d ~now:0 ~off:0 (Bytes.make 4096 'x') in
+  let c2 = Device.write d ~now:0 ~off:4096 (Bytes.make 4096 'y') in
+  Alcotest.(check bool) "second queues behind first" true (c2 > c1)
+
+let test_device_charge_parameter () =
+  let d = Device.create ~name:"nvme0" in
+  (* 64 payload bytes charged as a full logical page. *)
+  let c = Device.write ~charge:4096 d ~now:0 ~off:0 (Bytes.make 64 'p') in
+  let expected =
+    Cost.nvme_write_latency + Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth 4096
+  in
+  Alcotest.(check int) "charged logical size" expected c
+
+let test_device_stats () =
+  let d = Device.create ~name:"nvme0" in
+  ignore (Device.write d ~now:0 ~off:0 (Bytes.make 100 'x'));
+  ignore (Device.write d ~now:0 ~off:200 (Bytes.make 50 'y'));
+  Alcotest.(check int) "bytes written" 150 (Device.bytes_written d);
+  Alcotest.(check int) "write ops" 2 (Device.write_ops d);
+  Device.reset_stats d;
+  Alcotest.(check int) "reset" 0 (Device.bytes_written d)
+
+let test_striped_roundtrip () =
+  let s = Striped.create () in
+  let clock = Clock.create () in
+  let data = String.init 300_000 (fun i -> Char.chr ((i * 7) mod 256)) in
+  ignore (Striped.write s ~now:0 ~off:1234 (bytes_of data));
+  Striped.settle s ~clock;
+  let got = Striped.read_nocharge s ~off:1234 ~len:300_000 in
+  Alcotest.(check bool) "multi-stripe roundtrip" true (Bytes.to_string got = data)
+
+let test_striped_parallelism () =
+  (* A 1 MiB write across 4 devices should complete much faster than on 1. *)
+  let striped = Striped.create ~devices:4 () in
+  let single = Striped.create ~devices:1 () in
+  let big = Bytes.make (1024 * 1024) 'z' in
+  let c4 = Striped.write striped ~now:0 ~off:0 big in
+  let c1 = Striped.write single ~now:0 ~off:0 big in
+  Alcotest.(check bool)
+    (Printf.sprintf "4-way faster (%d vs %d)" c4 c1)
+    true
+    (c4 * 3 < c1 * 2)
+
+let test_striped_crash () =
+  let s = Striped.create () in
+  let c1 = Striped.write s ~now:0 ~off:0 (bytes_of "before-crash-data") in
+  let _ = Striped.write s ~now:c1 ~off:0 (bytes_of "after-crash-write") in
+  Striped.crash s ~now:c1;
+  let got = Striped.read_nocharge s ~off:0 ~len:17 in
+  Alcotest.(check string) "durable data survives" "before-crash-data" (Bytes.to_string got)
+
+let test_striped_charge_fragments () =
+  let s = Striped.create () in
+  let clock = Clock.create () in
+  (* 64-byte payload standing for a 4 KiB page. *)
+  ignore (Striped.write ~charge:4096 s ~now:0 ~off:65536 (Bytes.make 64 'q'));
+  Striped.settle s ~clock;
+  let got = Striped.read_nocharge s ~off:65536 ~len:64 in
+  Alcotest.(check string) "payload stored" (String.make 64 'q') (Bytes.to_string got)
+
+let test_image_save_load () =
+  let s = Striped.create () in
+  let clock = Clock.create () in
+  let data = String.init 200_000 (fun i -> Char.chr ((i * 13) mod 256)) in
+  ignore (Striped.write s ~now:0 ~off:5000 (Bytes.of_string data));
+  Clock.advance clock 123_456_789;
+  let path = Filename.temp_file "aurora" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Striped.save_file s ~clock path;
+      let s2, saved_time = Striped.load_file path in
+      Alcotest.(check int) "virtual time persisted" (Clock.now clock) saved_time;
+      Alcotest.(check bool) "bytes identical" true
+        (Bytes.to_string (Striped.read_nocharge s2 ~off:5000 ~len:200_000) = data))
+
+let test_image_bad_file () =
+  let path = Filename.temp_file "aurora" ".img" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not an image";
+      close_out oc;
+      Alcotest.(check bool) "rejected" true
+        (try
+           ignore (Striped.load_file path);
+           false
+         with Failure _ | End_of_file -> true))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"device write/read roundtrip" ~count:200
+         QCheck.(pair (int_range 0 100_000) (string_of_size (Gen.int_range 1 5000)))
+         (fun (off, data) ->
+           let d = Device.create ~name:"q" in
+           let clock = Clock.create () in
+           ignore (Device.write d ~now:0 ~off (Bytes.of_string data));
+           Device.settle d ~clock;
+           Bytes.to_string (Device.read_nocharge d ~off ~len:(String.length data)) = data));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"striped write/read roundtrip across stripes" ~count:100
+         QCheck.(pair (int_range 0 500_000) (string_of_size (Gen.int_range 1 200_000)))
+         (fun (off, data) ->
+           let s = Striped.create () in
+           let clock = Clock.create () in
+           ignore (Striped.write s ~now:0 ~off (Bytes.of_string data));
+           Striped.settle s ~clock;
+           Bytes.to_string (Striped.read_nocharge s ~off ~len:(String.length data)) = data));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"crash preserves prefix determinism" ~count:100
+         QCheck.(list_of_size (Gen.int_range 1 20) (string_of_size (Gen.return 64)))
+         (fun writes ->
+           (* Writes land at disjoint offsets; crashing after the k-th
+              completion preserves exactly the first k writes. *)
+           let d = Device.create ~name:"q" in
+           let completions =
+             List.mapi
+               (fun i data -> Device.write d ~now:0 ~off:(i * 64) (Bytes.of_string data))
+               writes
+           in
+           let k = List.length writes / 2 in
+           let kth = List.nth completions (max 0 (k - 1)) in
+           Device.crash d ~now:(if k = 0 then -1 else kth);
+           List.for_all2
+             (fun i data ->
+               let got = Bytes.to_string (Device.read_nocharge d ~off:(i * 64) ~len:64) in
+               if i < k then got = data else got = String.make 64 '\000')
+             (List.init (List.length writes) Fun.id)
+             writes));
+  ]
+
+let () =
+  Alcotest.run "aurora_block"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "write/read" `Quick test_device_write_read;
+          Alcotest.test_case "unwritten reads zero" `Quick test_device_unwritten_zero;
+          Alcotest.test_case "cross-sector" `Quick test_device_cross_sector;
+          Alcotest.test_case "overwrite order" `Quick test_device_overwrite_order;
+          Alcotest.test_case "crash discards inflight" `Quick test_device_crash_discards_inflight;
+          Alcotest.test_case "crash at zero" `Quick test_device_crash_at_zero_loses_all;
+          Alcotest.test_case "write timing" `Quick test_device_write_timing;
+          Alcotest.test_case "queue serializes" `Quick test_device_queueing_serializes;
+          Alcotest.test_case "charge parameter" `Quick test_device_charge_parameter;
+          Alcotest.test_case "stats" `Quick test_device_stats;
+        ] );
+      ( "striped",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_striped_roundtrip;
+          Alcotest.test_case "parallelism" `Quick test_striped_parallelism;
+          Alcotest.test_case "crash" `Quick test_striped_crash;
+          Alcotest.test_case "charge fragments" `Quick test_striped_charge_fragments;
+          Alcotest.test_case "image save/load" `Quick test_image_save_load;
+          Alcotest.test_case "image bad file" `Quick test_image_bad_file;
+        ] );
+      ("properties", qcheck_tests);
+    ]

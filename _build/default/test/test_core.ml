@@ -1,0 +1,815 @@
+module Clock = Aurora_sim.Clock
+module Machine = Aurora_kern.Machine
+module Process = Aurora_kern.Process
+module Thread = Aurora_kern.Thread
+module Syscall = Aurora_kern.Syscall
+module Fdesc = Aurora_kern.Fdesc
+module Kqueue = Aurora_kern.Kqueue
+module Vm_space = Aurora_vm.Vm_space
+module Vm_map = Aurora_vm.Vm_map
+module Page = Aurora_vm.Page
+module Store = Aurora_objstore.Store
+module Sls = Aurora_core.Sls
+module Group = Aurora_core.Group
+module Api = Aurora_core.Api
+module Restore = Aurora_core.Restore
+module Extsync = Aurora_core.Extsync
+module Coredump = Aurora_core.Coredump
+module Migrate = Aurora_core.Migrate
+
+let spawn_with_memory sys ~name ~npages =
+  let p = Syscall.spawn sys.Sls.machine ~name in
+  let e = Syscall.mmap_anon p ~npages in
+  (p, e, Vm_space.addr_of_entry e)
+
+let test_checkpoint_restore_memory () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:8 in
+  Vm_space.write_string p.Process.space ~addr "the persistent state";
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let sys', result = Sls.reboot_and_restore sys in
+  ignore sys';
+  match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "memory content restored" "the persistent state"
+        (Vm_space.read_string p'.Process.space ~addr ~len:20);
+      Alcotest.(check int) "local pid preserved" p.Process.pid_local p'.Process.pid_local
+  | l -> Alcotest.failf "expected 1 process, got %d" (List.length l)
+
+let test_restore_is_from_durable_bytes_only () =
+  (* Post-checkpoint writes must NOT appear after the crash. *)
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:4 in
+  Vm_space.write_string p.Process.space ~addr "committed";
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  Vm_space.write_string p.Process.space ~addr "uncommitt";
+  let _sys', result = Sls.reboot_and_restore sys in
+  match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "only durable state survives" "committed"
+        (Vm_space.read_string p'.Process.space ~addr ~len:9)
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_incremental_checkpoints_flush_only_dirty () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:64 in
+  Vm_space.touch_write p.Process.space ~addr ~len:(64 * Page.logical_size);
+  let group = Sls.attach sys [ p ] in
+  let s1 = Group.checkpoint ~wait_durable:true group in
+  Alcotest.(check bool)
+    (Printf.sprintf "first flush has all pages (%d)" s1.Group.pages_flushed)
+    true (s1.Group.pages_flushed >= 64);
+  (* Dirty three pages; the next checkpoint must flush roughly three. *)
+  Vm_space.touch_write p.Process.space ~addr ~len:(3 * Page.logical_size);
+  let s2 = Group.checkpoint ~wait_durable:true group in
+  Alcotest.(check int) "incremental flush" 3 s2.Group.pages_flushed;
+  (* A clean interval flushes nothing. *)
+  let s3 = Group.checkpoint ~wait_durable:true group in
+  Alcotest.(check int) "clean flush" 0 s3.Group.pages_flushed
+
+let test_incremental_content_correct_after_many_epochs () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:4 in
+  let group = Sls.attach sys [ p ] in
+  for i = 0 to 9 do
+    Vm_space.write_string p.Process.space ~addr:(addr + (i * 17)) (Printf.sprintf "v%02d" i);
+    ignore (Group.checkpoint ~wait_durable:true group)
+  done;
+  let _sys', result = Sls.reboot_and_restore sys in
+  match result.Restore.procs with
+  | [ p' ] ->
+      for i = 0 to 9 do
+        Alcotest.(check string)
+          (Printf.sprintf "write %d visible" i)
+          (Printf.sprintf "v%02d" i)
+          (Vm_space.read_string p'.Process.space ~addr:(addr + (i * 17)) ~len:3)
+      done
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_cpu_state_roundtrip () =
+  let sys = Sls.boot () in
+  let p, _e, _addr = spawn_with_memory sys ~name:"app" ~npages:1 in
+  let thr = Process.main_thread p in
+  thr.Thread.regs.Thread.rip <- 0xdeadbeef;
+  thr.Thread.regs.Thread.rsp <- 0x7fffcafe;
+  thr.Thread.regs.Thread.gp.(5) <- 424242;
+  Bytes.set thr.Thread.regs.Thread.fpu 10 'F';
+  thr.Thread.sigmask <- 0b1010;
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let _sys', result = Sls.reboot_and_restore sys in
+  match result.Restore.procs with
+  | [ p' ] ->
+      let thr' = Process.main_thread p' in
+      Alcotest.(check int) "rip" 0xdeadbeef thr'.Thread.regs.Thread.rip;
+      Alcotest.(check int) "rsp" 0x7fffcafe thr'.Thread.regs.Thread.rsp;
+      Alcotest.(check int) "gp5" 424242 thr'.Thread.regs.Thread.gp.(5);
+      Alcotest.(check char) "fpu" 'F' (Bytes.get thr'.Thread.regs.Thread.fpu 10);
+      Alcotest.(check int) "sigmask" 0b1010 thr'.Thread.sigmask;
+      Alcotest.(check int) "same local tid" thr.Thread.tid_local thr'.Thread.tid_local
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_fork_fd_sharing_survives_restore () =
+  (* Paper section 5.1's example: shared offsets must still be shared after
+     restore; separate opens must stay separate. *)
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let parent = Syscall.spawn m ~name:"parent" in
+  let fd = Syscall.open_file m parent ~path:"/f" ~create:true in
+  ignore (Syscall.write m parent ~fd "abcdefghij");
+  ignore (Syscall.lseek parent ~fd ~off:0);
+  let child = Syscall.fork m parent in
+  let other = Syscall.spawn m ~name:"other" in
+  let fd_other = Syscall.open_file m other ~path:"/f" ~create:false in
+  let group = Sls.attach sys [ parent; child; other ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let sys', result = Sls.reboot_and_restore sys in
+  let m' = sys'.Sls.machine in
+  (match result.Restore.procs with
+  | [ parent'; child'; other' ] ->
+      (* Reading via the child moves the parent's offset (same description). *)
+      Alcotest.(check string) "child reads" "abcd" (Syscall.read m' child' ~fd ~len:4);
+      Alcotest.(check string) "parent offset shared" "efgh"
+        (Syscall.read m' parent' ~fd ~len:4);
+      (* The separate open still has its own offset at 0. *)
+      Alcotest.(check string) "other's offset independent" "abcd"
+        (Syscall.read m' other' ~fd:fd_other ~len:4)
+  | l -> Alcotest.failf "expected 3 processes, got %d" (List.length l))
+
+let test_process_tree_restored () =
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let parent = Syscall.spawn m ~name:"parent" in
+  Syscall.setsid parent;
+  let child = Syscall.fork m parent in
+  let group = Sls.attach sys [ parent; child ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let sys', result = Sls.reboot_and_restore sys in
+  match result.Restore.procs with
+  | [ parent'; child' ] ->
+      Alcotest.(check int) "ppid relinked" parent'.Process.pid_global child'.Process.ppid;
+      Alcotest.(check bool) "child in parent's children" true
+        (List.mem child'.Process.pid_global parent'.Process.children);
+      Alcotest.(check int) "session preserved" parent.Process.sid parent'.Process.sid;
+      Alcotest.(check int) "pgid preserved" child.Process.pgid child'.Process.pgid;
+      (* The restored child can exit and be reaped in the new machine. *)
+      Syscall.exit sys'.Sls.machine child' ~code:3;
+      (match Syscall.waitpid sys'.Sls.machine parent' with
+      | Some (_, 3) -> ()
+      | Some (_, c) -> Alcotest.failf "wrong exit code %d" c
+      | None -> Alcotest.fail "waitpid found nothing")
+  | _ -> Alcotest.fail "expected 2 processes"
+
+let test_pipe_content_restored () =
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let p = Syscall.spawn m ~name:"p" in
+  let rd, wr = Syscall.pipe m p in
+  ignore (Syscall.write m p ~fd:wr "in flight bytes");
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let sys', result = Sls.reboot_and_restore sys in
+  match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "pipe buffer restored" "in flight bytes"
+        (Syscall.read sys'.Sls.machine p' ~fd:rd ~len:100);
+      ignore wr
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_socketpair_and_inflight_rights_restored () =
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let p = Syscall.spawn m ~name:"p" in
+  let a, b = Syscall.socketpair m p in
+  let file_fd = Syscall.open_file m p ~path:"/payload" ~create:true in
+  ignore (Syscall.write m p ~fd:file_fd "visible through rights");
+  ignore (Syscall.lseek p ~fd:file_fd ~off:0);
+  (* The message with the descriptor is in flight at checkpoint time. *)
+  Syscall.send_msg m p ~fd:a ~fds:[ file_fd ] "take this";
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let sys', result = Sls.reboot_and_restore sys in
+  let m' = sys'.Sls.machine in
+  match result.Restore.procs with
+  | [ p' ] -> (
+      match Syscall.recv_msg m' p' ~fd:b with
+      | Some (data, [ got_fd ]) ->
+          Alcotest.(check string) "message data" "take this" data;
+          Alcotest.(check string) "in-flight descriptor works" "visible"
+            (Syscall.read m' p' ~fd:got_fd ~len:7)
+      | Some (_, fds) -> Alcotest.failf "expected 1 right, got %d" (List.length fds)
+      | None -> Alcotest.fail "in-flight message lost")
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_kqueue_and_pty_restored () =
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let p = Syscall.spawn m ~name:"p" in
+  let kq = Syscall.kqueue m p in
+  Syscall.kevent_register p ~fd:kq
+    { Kqueue.ident = 9; filter = Kqueue.Ev_read; flags = 1; udata = 77 };
+  let master = Syscall.posix_openpt m p in
+  let slave = Syscall.open_pty_slave m p ~master_fd:master in
+  ignore (Syscall.write m p ~fd:master "typed before crash");
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let sys', result = Sls.reboot_and_restore sys in
+  let m' = sys'.Sls.machine in
+  match result.Restore.procs with
+  | [ p' ] ->
+      (match (Syscall.fd_exn p' kq).Fdesc.kind with
+      | Fdesc.Kqueue_fd k ->
+          Alcotest.(check int) "kqueue event count" 1 (Kqueue.event_count k);
+          let ev = List.hd (Kqueue.events k) in
+          Alcotest.(check int) "kqueue udata" 77 ev.Kqueue.udata
+      | _ -> Alcotest.fail "kqueue fd wrong kind");
+      Alcotest.(check string) "pty input buffer restored" "typed before crash"
+        (Syscall.read m' p' ~fd:slave ~len:100)
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_shared_memory_restored_shared () =
+  (* Two processes sharing a POSIX shm segment must still share after
+     restore: a write by one is visible to the other. *)
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let a = Syscall.spawn m ~name:"a" in
+  let b = Syscall.spawn m ~name:"b" in
+  let fda = Syscall.shm_open m a ~name:"/seg" ~npages:2 in
+  let fdb = Syscall.shm_open m b ~name:"/seg" ~npages:2 in
+  let ea = Syscall.mmap_shm a ~fd:fda in
+  let eb = Syscall.mmap_shm b ~fd:fdb in
+  let addr_a = Vm_space.addr_of_entry ea and addr_b = Vm_space.addr_of_entry eb in
+  Vm_space.write_string a.Process.space ~addr:addr_a "before";
+  let group = Sls.attach sys [ a; b ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let _sys', result = Sls.reboot_and_restore sys in
+  match result.Restore.procs with
+  | [ a'; b' ] ->
+      Alcotest.(check string) "content restored" "before"
+        (Vm_space.read_string b'.Process.space ~addr:addr_b ~len:6);
+      Vm_space.write_string a'.Process.space ~addr:addr_a "after!";
+      Alcotest.(check string) "still shared after restore" "after!"
+        (Vm_space.read_string b'.Process.space ~addr:addr_b ~len:6)
+  | _ -> Alcotest.fail "expected 2 processes"
+
+let test_anonymous_file_survives () =
+  (* The headline Aurora FS property: an open-but-unlinked file is
+     restored; a conventional FS would have reclaimed it. *)
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let p = Syscall.spawn m ~name:"p" in
+  let fd = Syscall.open_file m p ~path:"/scratch" ~create:true in
+  ignore (Syscall.write m p ~fd "temporary but precious");
+  ignore (Syscall.unlink m ~path:"/scratch");
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let sys', result = Sls.reboot_and_restore sys in
+  let m' = sys'.Sls.machine in
+  match result.Restore.procs with
+  | [ p' ] ->
+      ignore (Syscall.lseek p' ~fd ~off:0);
+      Alcotest.(check string) "anonymous file content" "temporary but precious"
+        (Syscall.read m' p' ~fd ~len:100);
+      (* And it has no name. *)
+      Alcotest.(check bool) "name is gone" true
+        (try
+           ignore (Syscall.open_file m' p' ~path:"/scratch" ~create:false);
+           false
+         with Syscall.Err "ENOENT" -> true)
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_ephemeral_process_sigchld () =
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let parent = Syscall.spawn m ~name:"parent" in
+  let worker = Syscall.fork m parent in
+  worker.Process.ephemeral <- true;
+  let group = Sls.attach sys [ parent; worker ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let _sys', result = Sls.reboot_and_restore sys in
+  match result.Restore.procs with
+  | [ parent' ] ->
+      Alcotest.(check (option int)) "parent got SIGCHLD" (Some Process.sigchld)
+        (Process.take_signal parent')
+  | l -> Alcotest.failf "only the parent should be restored (got %d)" (List.length l)
+
+let test_time_travel_restore () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:2 in
+  let group = Sls.attach sys [ p ] in
+  Vm_space.write_string p.Process.space ~addr "one";
+  let s1 = Group.checkpoint ~wait_durable:true group in
+  Group.name_checkpoint group "v1";
+  Vm_space.write_string p.Process.space ~addr "two";
+  let _s2 = Group.checkpoint ~wait_durable:true group in
+  (* Restore the older epoch by number (sls restore of history). *)
+  let m2 = Machine.create () in
+  let result =
+    Restore.restore ~machine:m2 ~store:sys.Sls.store ~epoch:s1.Group.epoch ()
+  in
+  (match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "older epoch content" "one"
+        (Vm_space.read_string p'.Process.space ~addr ~len:3)
+  | _ -> Alcotest.fail "expected 1 process");
+  Alcotest.(check (list (pair string int))) "named checkpoint recorded"
+    [ ("v1", s1.Group.epoch) ]
+    (Group.named_checkpoints group)
+
+let test_lazy_restore_contents_equal () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:32 in
+  Vm_space.write_string p.Process.space ~addr "lazy but correct";
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let _sys', result = Sls.reboot_and_restore ~lazy_pages:true sys in
+  match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "lazy restore content" "lazy but correct"
+        (Vm_space.read_string p'.Process.space ~addr ~len:16)
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_lazy_restore_faster () =
+  let measure ~lazy_pages =
+    let sys = Sls.boot () in
+    let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:4096 in
+    Vm_space.touch_write p.Process.space ~addr ~len:(4096 * Page.logical_size);
+    let group = Sls.attach sys [ p ] in
+    ignore (Group.checkpoint ~wait_durable:true group);
+    let _sys', result = Sls.reboot_and_restore ~lazy_pages sys in
+    result.Restore.restore_ns
+  in
+  let full = measure ~lazy_pages:false in
+  let lzy = measure ~lazy_pages:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "lazy (%d ns) much faster than full (%d ns)" lzy full)
+    true
+    (lzy * 3 < full)
+
+let test_mctl_exclusion () =
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let p = Syscall.spawn m ~name:"app" in
+  let keep = Syscall.mmap_anon p ~npages:2 in
+  let scratch = Syscall.mmap_anon p ~npages:2 in
+  let keep_addr = Vm_space.addr_of_entry keep in
+  let scratch_addr = Vm_space.addr_of_entry scratch in
+  Vm_space.write_string p.Process.space ~addr:keep_addr "keep";
+  Vm_space.write_string p.Process.space ~addr:scratch_addr "drop";
+  Api.sls_mctl scratch ~persist:false;
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let _sys', result = Sls.reboot_and_restore sys in
+  match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "included region restored" "keep"
+        (Vm_space.read_string p'.Process.space ~addr:keep_addr ~len:4);
+      Alcotest.(check bool) "excluded region not restored" true
+        (try
+           ignore (Vm_space.read_byte p'.Process.space ~addr:scratch_addr);
+           false
+         with Vm_space.Fault _ -> true)
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_memckpt_atomic_region () =
+  let sys = Sls.boot () in
+  let p, e, addr = spawn_with_memory sys ~name:"app" ~npages:16 in
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  Vm_space.write_string p.Process.space ~addr "atomic region data";
+  let stats = Api.sls_memckpt group e in
+  Api.sls_barrier group;
+  Alcotest.(check bool) "flushed the dirty page" true (stats.Group.pages_flushed >= 1);
+  (* Atomic checkpoints skip quiesce + OS serialization: cheaper than a
+     full one (Table 5). *)
+  Alcotest.(check int) "no os serialization" 0 stats.Group.os_serialize_ns;
+  let _sys', result = Sls.reboot_and_restore sys in
+  match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "region composes onto full checkpoint"
+        "atomic region data"
+        (Vm_space.read_string p'.Process.space ~addr ~len:18)
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_memckpt_shared_region () =
+  (* sls_memckpt of a region shared by two processes: both sharers' PTEs
+     are handled and both see each other's writes afterwards. *)
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let a = Syscall.spawn m ~name:"a" in
+  let b = Syscall.spawn m ~name:"b" in
+  let fda = Syscall.shm_open m a ~name:"/region" ~npages:8 in
+  let fdb = Syscall.shm_open m b ~name:"/region" ~npages:8 in
+  let ea = Syscall.mmap_shm a ~fd:fda in
+  let eb = Syscall.mmap_shm b ~fd:fdb in
+  let group = Sls.attach sys [ a; b ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  Vm_space.write_string a.Process.space ~addr:(Vm_space.addr_of_entry ea) "v1";
+  let stats = Api.sls_memckpt group ea in
+  Alcotest.(check bool) "dirty page flushed" true (stats.Group.pages_flushed >= 1);
+  (* Sharing still live after the atomic checkpoint. *)
+  Vm_space.write_string b.Process.space ~addr:(Vm_space.addr_of_entry eb) "v2";
+  Alcotest.(check string) "a sees b's post-memckpt write" "v2"
+    (Vm_space.read_string a.Process.space ~addr:(Vm_space.addr_of_entry ea) ~len:2)
+
+let test_replayer_interleaved_fds () =
+  let open Aurora_core.Replay in
+  let log =
+    [
+      Recv_msg (3, "a1");
+      Recv_msg (7, "b1");
+      Clock_read 111;
+      Recv_msg (3, "a2");
+      Recv_msg (7, "b2");
+    ]
+  in
+  let r = Replayer.create log in
+  (* Re-execution may consume the fds in a different interleaving. *)
+  Alcotest.(check (option string)) "fd7 first" (Some "b1") (Replayer.recv_msg r ~fd:7);
+  Alcotest.(check (option string)) "fd3" (Some "a1") (Replayer.recv_msg r ~fd:3);
+  Alcotest.(check (option int)) "clock" (Some 111) (Replayer.read_clock r);
+  Alcotest.(check (option string)) "fd3 again" (Some "a2") (Replayer.recv_msg r ~fd:3);
+  Alcotest.(check (option string)) "fd7 again" (Some "b2") (Replayer.recv_msg r ~fd:7);
+  Alcotest.(check int) "exhausted" 0 (Replayer.remaining r)
+
+let test_migrate_stream_accessors () =
+  let sys = Sls.boot () in
+  let p, _e, _addr = spawn_with_memory sys ~name:"app" ~npages:4 in
+  let group = Sls.attach sys [ p ] in
+  let stats = Group.checkpoint ~wait_durable:true group in
+  let stream = Migrate.serialize ~store:sys.Sls.store ~epoch:stats.Group.epoch in
+  Alcotest.(check int) "stream size accessor" (String.length stream)
+    (Migrate.stream_size stream);
+  let t = Migrate.transfer_time_ns ~bytes:(Migrate.stream_size stream) in
+  Alcotest.(check bool) "transfer time sane" true (t > 0 && t < 1_000_000_000)
+
+let test_store_error_paths () =
+  let sys = Sls.boot () in
+  let p, _e, _addr = spawn_with_memory sys ~name:"app" ~npages:1 in
+  let group = Sls.attach sys [ p ] in
+  let stats = Group.checkpoint ~wait_durable:true group in
+  let store = sys.Sls.store in
+  Alcotest.(check bool) "unknown epoch raises" true
+    (try
+       ignore (Store.objects_at store ~epoch:999);
+       false
+     with Store.Corrupt_store _ -> true);
+  Alcotest.(check bool) "unknown oid raises" true
+    (try
+       ignore (Store.read_meta store ~epoch:stats.Group.epoch ~oid:424242);
+       false
+     with Store.Corrupt_store _ -> true);
+  Store.reserve_oids store ~upto:1000;
+  Alcotest.(check bool) "reserve respected" true (Store.alloc_oid store > 1000)
+
+let test_journal_api () =
+  let sys = Sls.boot () in
+  let p, _e, _addr = spawn_with_memory sys ~name:"db" ~npages:4 in
+  let group = Sls.attach sys [ p ] in
+  let j = Api.sls_journal_open group ~size:(1024 * 1024) in
+  Api.sls_journal group j "put k1 v1";
+  Api.sls_journal group j "put k2 v2";
+  (* Journal appends are synchronous: durable the moment they return. *)
+  Sls.crash sys;
+  let m2 = Machine.create () in
+  let store2 =
+    Store.recover ~dev:sys.Sls.device ~clock:m2.Machine.clock
+  in
+  (match Store.journal_find store2 (Api.journal_id j) with
+  | Some j2 ->
+      Alcotest.(check (list string)) "journal recovered after crash"
+        [ "put k1 v1"; "put k2 v2" ]
+        (Store.journal_records store2 j2)
+  | None -> Alcotest.fail "journal lost");
+  ignore group
+
+let test_fdctl () =
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let p = Syscall.spawn m ~name:"srv" in
+  let fd = Syscall.socket m p Aurora_kern.Socket.Inet Aurora_kern.Socket.Tcp in
+  Alcotest.(check bool) "ext sync on by default" true (Syscall.fd_exn p fd).Fdesc.ext_sync;
+  Api.sls_fdctl p ~fd ~ext_sync:false;
+  Alcotest.(check bool) "disabled" false (Syscall.fd_exn p fd).Fdesc.ext_sync
+
+let test_extsync_buffering () =
+  let es = Extsync.create () in
+  let delivered = ref [] in
+  let send tag epoch =
+    Extsync.buffer es ~epoch
+      { Extsync.tag; deliver = (fun ~release_time -> delivered := (tag, release_time) :: !delivered) }
+  in
+  send "m1" 1;
+  send "m2" 1;
+  send "m3" 2;
+  Alcotest.(check int) "buffered" 3 (Extsync.pending es);
+  let n = Extsync.release_up_to es ~epoch:1 ~now:5000 in
+  Alcotest.(check int) "released epoch 1" 2 n;
+  Alcotest.(check (list (pair string int))) "order and release time"
+    [ ("m1", 5000); ("m2", 5000) ]
+    (List.rev !delivered);
+  Alcotest.(check int) "m3 still held" 1 (Extsync.pending es);
+  Alcotest.(check int) "crash drops unreleased" 1 (Extsync.drop_all es)
+
+let test_coredump () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"dumpme" ~npages:2 in
+  Vm_space.write_string p.Process.space ~addr "x";
+  let group = Sls.attach sys [ p ] in
+  let stats = Group.checkpoint ~wait_durable:true group in
+  let dump = Coredump.dump ~store:sys.Sls.store ~epoch:stats.Group.epoch in
+  let contains needle =
+    let re = Str.regexp_string needle in
+    try
+      ignore (Str.search_forward re dump 0);
+      true
+    with Not_found -> false
+  in
+  Alcotest.(check bool) "mentions the process" true (contains "dumpme");
+  Alcotest.(check bool) "has LOAD segments" true (contains "LOAD");
+  Alcotest.(check bool) "has thread registers" true (contains "rip=")
+
+let test_migration_between_machines () =
+  let src = Sls.boot () in
+  let p, _e, addr = spawn_with_memory src ~name:"traveler" ~npages:8 in
+  Vm_space.write_string p.Process.space ~addr "crossing machines";
+  let group = Sls.attach src [ p ] in
+  let stats = Group.checkpoint ~wait_durable:true group in
+  let stream = Migrate.serialize ~store:src.Sls.store ~epoch:stats.Group.epoch in
+  Alcotest.(check bool) "stream is nonempty" true (Migrate.stream_size stream > 0);
+  (* Receive on a fresh machine. *)
+  let dst = Sls.boot () in
+  Clock.advance dst.Sls.machine.Machine.clock
+    (Migrate.transfer_time_ns ~bytes:(Migrate.stream_size stream));
+  let epoch' = Migrate.install ~store:dst.Sls.store stream in
+  let result = Restore.restore ~machine:dst.Sls.machine ~store:dst.Sls.store ~epoch:epoch' () in
+  match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "migrated intact" "crossing machines"
+        (Vm_space.read_string p'.Process.space ~addr ~len:17)
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_detach_makes_ephemeral () =
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let a = Syscall.spawn m ~name:"a" in
+  let b = Syscall.spawn m ~name:"b" in
+  let group = Sls.attach sys [ a; b ] in
+  Group.detach_process group b;
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let _sys', result = Sls.reboot_and_restore sys in
+  Alcotest.(check int) "only attached processes restored" 1
+    (List.length result.Restore.procs)
+
+let test_checkpoint_after_restore_is_incremental () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:32 in
+  Vm_space.touch_write p.Process.space ~addr ~len:(32 * Page.logical_size);
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let sys', result = Sls.reboot_and_restore sys in
+  let group' = result.Restore.group in
+  (match result.Restore.procs with
+  | [ p' ] -> Vm_space.write_string p'.Process.space ~addr "post-restore"
+  | _ -> Alcotest.fail "expected 1 process");
+  let stats = Group.checkpoint ~wait_durable:true group' in
+  Alcotest.(check bool)
+    (Printf.sprintf "incremental after restore (%d pages)" stats.Group.pages_flushed)
+    true
+    (stats.Group.pages_flushed <= 2);
+  (* And the re-checkpointed state survives another crash. *)
+  let _sys'', result2 = Sls.reboot_and_restore sys' in
+  match result2.Restore.procs with
+  | [ p'' ] ->
+      Alcotest.(check string) "second-generation restore" "post-restore"
+        (Vm_space.read_string p''.Process.space ~addr ~len:12)
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_mem_only_then_full_preserves_data () =
+  (* Regression: a memory-only checkpoint rotates the shadow before any
+     persisted checkpoint has flushed the logical object; the following
+     full checkpoint must still write the original pages out. *)
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:8 in
+  Vm_space.write_string p.Process.space ~addr "original state";
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint_mem_only group);
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let _sys', result = Sls.reboot_and_restore sys in
+  (match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "pre-mem-only data survives" "original state"
+        (Vm_space.read_string p'.Process.space ~addr ~len:14)
+  | _ -> Alcotest.fail "expected 1 process")
+
+let test_unreferenced_sysv_shm_survives () =
+  (* A SysV segment with no open descriptor anywhere must still be
+     checkpointed (it lives in the global namespace). *)
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let p = Syscall.spawn m ~name:"p" in
+  let seg = Syscall.shmget m ~key:77 ~npages:2 in
+  let e = Syscall.shmat p seg in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.write_string p.Process.space ~addr "sysv data";
+  let group = Sls.attach sys [ p ] in
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let sys', result = Sls.reboot_and_restore sys in
+  (match result.Restore.procs with
+  | [ p' ] ->
+      Alcotest.(check string) "mapping restored" "sysv data"
+        (Vm_space.read_string p'.Process.space ~addr ~len:9);
+      (* And the segment is back in the namespace: a fresh shmat sees the
+         same memory. *)
+      let seg' = Syscall.shmget sys'.Sls.machine ~key:77 ~npages:2 in
+      let q = Syscall.spawn sys'.Sls.machine ~name:"q" in
+      let e' = Syscall.shmat q seg' in
+      Alcotest.(check string) "namespace relinked" "sysv data"
+        (Vm_space.read_string q.Process.space ~addr:(Vm_space.addr_of_entry e') ~len:9)
+  | _ -> Alcotest.fail "expected 1 process")
+
+let test_run_for_takes_periodic_checkpoints () =
+  let sys = Sls.boot () in
+  let p, _e, _addr = spawn_with_memory sys ~name:"app" ~npages:2 in
+  let group = Sls.attach ~period_ns:10_000_000 sys [ p ] in
+  Group.run_for group 100_000_000;
+  (* 100 ms at 100 Hz: about ten checkpoints. *)
+  let n = List.length (Store.checkpoint_epochs sys.Sls.store) in
+  Alcotest.(check bool) (Printf.sprintf "~10 checkpoints (%d)" n) true (n >= 9 && n <= 11)
+
+module Serial = Aurora_core.Serial
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"proc image serialization round-trips" ~count:200
+         QCheck.(
+           quad small_nat small_nat
+             (small_list (pair small_nat small_nat))
+             (small_list small_nat))
+         (fun (pid, ppid, fds, pending) ->
+           let image =
+             {
+               Serial.i_pid_local = pid;
+               i_ppid_local = ppid;
+               i_pgid = pid;
+               i_sid = 1;
+               i_name = Printf.sprintf "proc-%d" pid;
+               i_ephemeral = pid mod 2 = 0;
+               i_cwd = "/";
+               i_threads =
+                 [
+                   {
+                     Serial.i_tid_local = 100;
+                     i_regs =
+                       {
+                         Serial.i_rip = 0xdead;
+                         i_rsp = 0xbeef;
+                         i_rflags = 0x202;
+                         i_gp = Array.init 14 (fun i -> i * pid);
+                         i_fpu = String.make 64 'f';
+                       };
+                     i_sigmask = 7;
+                     i_pending = pending;
+                     i_priority = 120;
+                   };
+                 ];
+               i_fds = fds;
+               i_entries = [];
+               i_proc_pending = pending;
+               i_aio_reads = List.map (fun (a, b) -> (a, b, a + b)) fds;
+             }
+           in
+           Serial.proc_of_string (Serial.proc_to_string image) = image));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"socket image serialization round-trips" ~count:200
+         QCheck.(
+           pair (small_list (pair small_string small_nat))
+             (small_list (pair small_string (small_list small_nat))))
+         (fun (opts, msgs) ->
+           let msg_images =
+             List.map
+               (fun (data, oids) -> { Serial.i_msg_data = data; i_ctl_oids = oids })
+               msgs
+           in
+           let image =
+             {
+               Serial.i_domain = 0;
+               i_proto = 1;
+               i_laddr = Some ("10.0.0.1", 80);
+               i_raddr = None;
+               i_opts = opts;
+               i_tcp = 2;
+               i_snd_seq = 12345;
+               i_rcv_seq = 54321;
+               i_peer_oid = 7;
+               i_recvq = msg_images;
+               i_sendq = [];
+             }
+           in
+           Serial.socket_of_string (Serial.socket_to_string image) = image));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"restore equals model at every crash point" ~count:15
+         QCheck.(
+           list_of_size (Gen.int_range 1 6)
+             (list_of_size (Gen.int_range 1 8)
+                (pair (int_range 0 (8 * 4096 - 10)) (string_of_size (Gen.return 4)))))
+         (fun epochs_of_writes ->
+           (* Apply batches of writes, checkpointing after each; crash at
+              the end; the restored state must equal the model of all
+              batches. *)
+           let sys = Sls.boot () in
+           let p = Syscall.spawn sys.Sls.machine ~name:"app" in
+           let e = Syscall.mmap_anon p ~npages:8 in
+           let base = Vm_space.addr_of_entry e in
+           let group = Sls.attach sys [ p ] in
+           (* The model must reflect compact page payloads: byte [off]
+              lives at payload slot [off mod payload_size] of its page, so
+              different in-page offsets can alias (see Page). *)
+           let slot off =
+             ((off / Page.logical_size) * Page.payload_size)
+             + (off mod Page.logical_size mod Page.payload_size)
+           in
+           let model = Hashtbl.create 64 in
+           let reader_addr = Hashtbl.create 64 in
+           List.iter
+             (fun batch ->
+               List.iter
+                 (fun (off, data) ->
+                   Vm_space.write_string p.Process.space ~addr:(base + off) data;
+                   String.iteri
+                     (fun i c ->
+                       Hashtbl.replace model (slot (off + i)) c;
+                       Hashtbl.replace reader_addr (slot (off + i)) (base + off + i))
+                     data)
+                 batch;
+               ignore (Group.checkpoint ~wait_durable:true group))
+             epochs_of_writes;
+           let _sys', result = Sls.reboot_and_restore sys in
+           match result.Restore.procs with
+           | [ p' ] ->
+               Hashtbl.fold
+                 (fun key c ok ->
+                   let addr = Hashtbl.find reader_addr key in
+                   ok && Vm_space.read_byte p'.Process.space ~addr = c)
+                 model true
+           | _ -> false));
+  ]
+
+let () =
+  Alcotest.run "aurora_core"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "checkpoint/restore" `Quick test_checkpoint_restore_memory;
+          Alcotest.test_case "durable bytes only" `Quick test_restore_is_from_durable_bytes_only;
+          Alcotest.test_case "incremental flush" `Quick test_incremental_checkpoints_flush_only_dirty;
+          Alcotest.test_case "many epochs" `Quick test_incremental_content_correct_after_many_epochs;
+          Alcotest.test_case "cpu state" `Quick test_cpu_state_roundtrip;
+        ] );
+      ( "posix",
+        [
+          Alcotest.test_case "fork fd sharing" `Quick test_fork_fd_sharing_survives_restore;
+          Alcotest.test_case "process tree" `Quick test_process_tree_restored;
+          Alcotest.test_case "pipe" `Quick test_pipe_content_restored;
+          Alcotest.test_case "in-flight SCM_RIGHTS" `Quick test_socketpair_and_inflight_rights_restored;
+          Alcotest.test_case "kqueue and pty" `Quick test_kqueue_and_pty_restored;
+          Alcotest.test_case "shared memory" `Quick test_shared_memory_restored_shared;
+          Alcotest.test_case "anonymous file" `Quick test_anonymous_file_survives;
+          Alcotest.test_case "ephemeral SIGCHLD" `Quick test_ephemeral_process_sigchld;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "time travel" `Quick test_time_travel_restore;
+          Alcotest.test_case "lazy restore content" `Quick test_lazy_restore_contents_equal;
+          Alcotest.test_case "lazy restore faster" `Quick test_lazy_restore_faster;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "mctl exclusion" `Quick test_mctl_exclusion;
+          Alcotest.test_case "memckpt atomic region" `Quick test_memckpt_atomic_region;
+          Alcotest.test_case "journal" `Quick test_journal_api;
+          Alcotest.test_case "memckpt shared region" `Quick test_memckpt_shared_region;
+          Alcotest.test_case "replayer interleaving" `Quick test_replayer_interleaved_fds;
+          Alcotest.test_case "migrate accessors" `Quick test_migrate_stream_accessors;
+          Alcotest.test_case "store error paths" `Quick test_store_error_paths;
+          Alcotest.test_case "fdctl" `Quick test_fdctl;
+          Alcotest.test_case "external synchrony" `Quick test_extsync_buffering;
+        ] );
+      ( "tools",
+        [
+          Alcotest.test_case "coredump" `Quick test_coredump;
+          Alcotest.test_case "migration" `Quick test_migration_between_machines;
+          Alcotest.test_case "detach" `Quick test_detach_makes_ephemeral;
+        ] );
+      ( "continuity",
+        [
+          Alcotest.test_case "incremental after restore" `Quick test_checkpoint_after_restore_is_incremental;
+          Alcotest.test_case "mem-only then full" `Quick test_mem_only_then_full_preserves_data;
+          Alcotest.test_case "unreferenced sysv shm" `Quick test_unreferenced_sysv_shm_survives;
+          Alcotest.test_case "periodic driver" `Quick test_run_for_takes_periodic_checkpoints;
+        ] );
+      ("properties", qcheck_tests);
+    ]

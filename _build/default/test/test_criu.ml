@@ -1,0 +1,157 @@
+module Clock = Aurora_sim.Clock
+module Machine = Aurora_kern.Machine
+module Process = Aurora_kern.Process
+module Syscall = Aurora_kern.Syscall
+module Vfs = Aurora_kern.Vfs
+module Vm_space = Aurora_vm.Vm_space
+module Page = Aurora_vm.Page
+module Criu = Aurora_criu.Criu
+module Units = Aurora_util.Units
+
+let machine () =
+  let m = Machine.create () in
+  Machine.mount m (Vfs.ram_ops ~clock:m.Machine.clock);
+  m
+
+let test_checkpoint_restore_memory () =
+  let m = machine () in
+  let p = Syscall.spawn m ~name:"victim" in
+  let e = Syscall.mmap_anon p ~npages:8 in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.write_string p.Process.space ~addr "criu preserved this";
+  let _breakdown, image = Criu.checkpoint m [ p ] in
+  let m2 = machine () in
+  match Criu.restore m2 image with
+  | [ p' ] ->
+      Alcotest.(check string) "memory restored" "criu preserved this"
+        (Vm_space.read_string p'.Process.space ~addr ~len:19)
+  | l -> Alcotest.failf "expected 1 process, got %d" (List.length l)
+
+let test_pipe_restored () =
+  let m = machine () in
+  let p = Syscall.spawn m ~name:"victim" in
+  let rd, wr = Syscall.pipe m p in
+  ignore (Syscall.write m p ~fd:wr "buffered");
+  let _breakdown, image = Criu.checkpoint m [ p ] in
+  let m2 = machine () in
+  match Criu.restore m2 image with
+  | [ p' ] ->
+      Alcotest.(check string) "pipe buffer" "buffered" (Syscall.read m2 p' ~fd:rd ~len:100);
+      ignore wr
+  | _ -> Alcotest.fail "expected 1 process"
+
+let test_stop_time_scales_with_memory () =
+  let run mib =
+    let m = machine () in
+    let p = Syscall.spawn m ~name:"victim" in
+    let npages = mib * Units.mib / Page.logical_size in
+    let e = Syscall.mmap_anon p ~npages in
+    Vm_space.touch_write p.Process.space
+      ~addr:(Vm_space.addr_of_entry e)
+      ~len:(npages * Page.logical_size);
+    let b, _ = Criu.checkpoint m [ p ] in
+    b
+  in
+  let small = run 10 and big = run 100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "memory copy scales (%d vs %d)" small.Criu.memory_copy_ns
+       big.Criu.memory_copy_ns)
+    true
+    (big.Criu.memory_copy_ns > 8 * small.Criu.memory_copy_ns);
+  (* The whole copy happens inside the stop window: no incremental
+     tracking. *)
+  Alcotest.(check bool) "copy within stop" true
+    (big.Criu.total_stop_ns >= big.Criu.memory_copy_ns + big.Criu.os_state_ns)
+
+let test_os_state_scales_with_objects () =
+  let run nfds =
+    let m = machine () in
+    let p = Syscall.spawn m ~name:"victim" in
+    for _ = 1 to nfds do
+      ignore (Syscall.pipe m p)
+    done;
+    let b, _ = Criu.checkpoint m [ p ] in
+    b.Criu.os_state_ns
+  in
+  let small = run 5 and big = run 100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "per-object inference dominates (%d vs %d)" small big)
+    true
+    (big > 10 * small)
+
+let test_target_resumes_after_checkpoint () =
+  let m = machine () in
+  let p = Syscall.spawn m ~name:"victim" in
+  let thr = Process.main_thread p in
+  let _b, _image = Criu.checkpoint m [ p ] in
+  Alcotest.(check bool) "running again" true
+    (thr.Aurora_kern.Thread.state = Aurora_kern.Thread.Running_user)
+
+let test_table1_shape () =
+  (* Table 1's anchors for a 500 MB Redis: OS state ~49 ms, memory copy
+     ~413 ms, IO ~350 ms.  Verify the orders of magnitude. *)
+  let m = machine () in
+  let redis = Aurora_apps.Redis_sim.create ~machine:m ~resident_mib:500 () in
+  let b, _ = Criu.checkpoint m [ Aurora_apps.Redis_sim.proc redis ] in
+  let ms x = float_of_int x /. 1e6 in
+  Alcotest.(check bool)
+    (Printf.sprintf "os state tens of ms (%.1f)" (ms b.Criu.os_state_ns))
+    true
+    (ms b.Criu.os_state_ns > 20.0 && ms b.Criu.os_state_ns < 90.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "memory copy ~400ms (%.1f)" (ms b.Criu.memory_copy_ns))
+    true
+    (ms b.Criu.memory_copy_ns > 300.0 && ms b.Criu.memory_copy_ns < 550.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "io write ~350ms (%.1f)" (ms b.Criu.io_write_ns))
+    true
+    (ms b.Criu.io_write_ns > 250.0 && ms b.Criu.io_write_ns < 480.0)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"criu restores random memory states" ~count:25
+         QCheck.(
+           list_of_size (Gen.int_range 1 20)
+             (pair (int_range 0 (4 * 4096 - 8)) (string_of_size (Gen.return 4))))
+         (fun writes ->
+           let m = machine () in
+           let p = Syscall.spawn m ~name:"victim" in
+           let e = Syscall.mmap_anon p ~npages:4 in
+           let base = Vm_space.addr_of_entry e in
+           List.iter
+             (fun (off, data) -> Vm_space.write_string p.Process.space ~addr:(base + off) data)
+             writes;
+           let snapshot =
+             List.map
+               (fun (off, _) -> Vm_space.read_string p.Process.space ~addr:(base + off) ~len:4)
+               writes
+           in
+           let _b, image = Criu.checkpoint m [ p ] in
+           let m2 = machine () in
+           match Criu.restore m2 image with
+           | [ p' ] ->
+               List.for_all2
+                 (fun (off, _) expected ->
+                   Vm_space.read_string p'.Process.space ~addr:(base + off) ~len:4 = expected)
+                 writes snapshot
+           | _ -> false));
+  ]
+
+let () =
+  Alcotest.run "aurora_criu"
+    [
+      ( "correctness",
+        [
+          Alcotest.test_case "memory roundtrip" `Quick test_checkpoint_restore_memory;
+          Alcotest.test_case "pipe" `Quick test_pipe_restored;
+          Alcotest.test_case "target resumes" `Quick test_target_resumes_after_checkpoint;
+        ] );
+      ( "costs",
+        [
+          Alcotest.test_case "memory scaling" `Quick test_stop_time_scales_with_memory;
+          Alcotest.test_case "object scaling" `Quick test_os_state_scales_with_objects;
+          Alcotest.test_case "table 1 shape" `Quick test_table1_shape;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,181 @@
+module Clock = Aurora_sim.Clock
+module Event_queue = Aurora_sim.Event_queue
+module Resource = Aurora_sim.Resource
+module Cost = Aurora_sim.Cost
+
+let test_clock_advances () =
+  let c = Clock.create () in
+  Alcotest.(check int) "starts at zero" 0 (Clock.now c);
+  Clock.advance c 100;
+  Alcotest.(check int) "advanced" 100 (Clock.now c);
+  Clock.advance_to c 50;
+  Alcotest.(check int) "advance_to past is no-op" 100 (Clock.now c);
+  Clock.advance_to c 400;
+  Alcotest.(check int) "advance_to future" 400 (Clock.now c);
+  Alcotest.(check int) "elapsed" 300 (Clock.elapsed_since c 100)
+
+let test_eventq_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.schedule q ~time:30 "c";
+  Event_queue.schedule q ~time:10 "a";
+  Event_queue.schedule q ~time:20 "b";
+  let order = List.init 3 (fun _ -> Option.get (Event_queue.pop q)) in
+  Alcotest.(check (list (pair int string)))
+    "time order"
+    [ (10, "a"); (20, "b"); (30, "c") ]
+    order
+
+let test_eventq_fifo_ties () =
+  let q = Event_queue.create () in
+  Event_queue.schedule q ~time:5 "first";
+  Event_queue.schedule q ~time:5 "second";
+  Event_queue.schedule q ~time:5 "third";
+  let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ] order
+
+let test_eventq_run_until () =
+  let q = Event_queue.create () in
+  let clock = Clock.create () in
+  let seen = ref [] in
+  Event_queue.schedule q ~time:10 1;
+  Event_queue.schedule q ~time:20 2;
+  Event_queue.schedule q ~time:99 3;
+  Event_queue.run q ~clock ~handler:(fun _ v -> seen := v :: !seen) ~until:50;
+  Alcotest.(check (list int)) "only events before the bound" [ 2; 1 ] !seen;
+  Alcotest.(check int) "clock follows events" 20 (Clock.now clock);
+  Alcotest.(check int) "late event stays queued" 1 (Event_queue.length q)
+
+let test_eventq_handler_schedules () =
+  let q = Event_queue.create () in
+  let clock = Clock.create () in
+  let count = ref 0 in
+  Event_queue.schedule q ~time:1 ();
+  Event_queue.run q ~clock
+    ~handler:(fun time () ->
+      incr count;
+      if !count < 5 then Event_queue.schedule q ~time:(time + 10) ())
+    ~until:1000;
+  Alcotest.(check int) "cascade ran" 5 !count;
+  Alcotest.(check int) "final time" 41 (Clock.now clock)
+
+let test_eventq_grows () =
+  let q = Event_queue.create () in
+  for i = 0 to 499 do
+    Event_queue.schedule q ~time:(500 - i) i
+  done;
+  Alcotest.(check int) "length" 500 (Event_queue.length q);
+  let prev = ref min_int in
+  let sorted = ref true in
+  let rec drain () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some (t, _) ->
+        if t < !prev then sorted := false;
+        prev := t;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "drained in order" true !sorted
+
+let test_resource_queueing () =
+  let r = Resource.create ~name:"dev" in
+  let c1 = Resource.submit r ~now:0 ~duration:100 in
+  Alcotest.(check int) "first starts immediately" 100 c1;
+  let c2 = Resource.submit r ~now:10 ~duration:100 in
+  Alcotest.(check int) "second queues" 200 c2;
+  let c3 = Resource.submit r ~now:500 ~duration:50 in
+  Alcotest.(check int) "idle gap resets" 550 c3
+
+let test_resource_reset () =
+  let r = Resource.create ~name:"dev" in
+  ignore (Resource.submit r ~now:0 ~duration:1000);
+  Resource.reset r;
+  Alcotest.(check int) "reset" 0 (Resource.next_free r)
+
+let test_resource_busy_until () =
+  let r = Resource.create ~name:"d" in
+  Alcotest.(check int) "idle" 0 (Resource.busy_until r);
+  ignore (Resource.submit r ~now:5 ~duration:10);
+  Alcotest.(check int) "busy" 15 (Resource.busy_until r);
+  Alcotest.(check string) "name" "d" (Resource.name r)
+
+let test_cost_transfer () =
+  (* 1 GiB at 1 GiB/s = 1 second. *)
+  let gib = 1024 * 1024 * 1024 in
+  let ns = Cost.transfer_time ~bandwidth:gib gib in
+  Alcotest.(check int) "1s" 1_000_000_000 ns;
+  Alcotest.(check int) "zero bytes" 0 (Cost.transfer_time ~bandwidth:gib 0)
+
+let test_cost_journal_anchor () =
+  (* The calibration target from Table 5: one 4 KiB journal page in ~28 us. *)
+  let t =
+    Cost.nvme_sync_write_latency
+    + Cost.transfer_time ~bandwidth:Cost.journal_stream_bandwidth 4096
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "4KiB journal ~28us (got %dns)" t)
+    true
+    (t > 25_000 && t < 31_000)
+
+let test_cost_criu_anchor () =
+  (* Table 1: copying 500 MB at the CRIU rate takes ~413 ms. *)
+  let t = Cost.transfer_time ~bandwidth:Cost.criu_copy_bandwidth (500 * 1024 * 1024) in
+  Alcotest.(check bool)
+    (Printf.sprintf "500MB CRIU copy ~400ms (got %dns)" t)
+    true
+    (t > 350_000_000 && t < 480_000_000)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"resource completions are monotone" ~count:300
+         QCheck.(list_of_size (Gen.int_range 1 30) (pair (int_range 0 1000) (int_range 0 100)))
+         (fun jobs ->
+           let r = Resource.create ~name:"x" in
+           let jobs = List.sort (fun (a, _) (b, _) -> compare a b) jobs in
+           let completions = List.map (fun (now, d) -> Resource.submit r ~now ~duration:d) jobs in
+           let rec monotone = function
+             | a :: (b :: _ as rest) -> a <= b && monotone rest
+             | _ -> true
+           in
+           monotone completions));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"event queue pops in time order" ~count:300
+         QCheck.(list_of_size (Gen.int_range 0 100) (int_range 0 10_000))
+         (fun times ->
+           let q = Event_queue.create () in
+           List.iter (fun time -> Event_queue.schedule q ~time ()) times;
+           let rec drain prev =
+             match Event_queue.pop q with
+             | None -> true
+             | Some (t, ()) -> t >= prev && drain t
+           in
+           drain min_int));
+  ]
+
+let () =
+  Alcotest.run "aurora_sim"
+    [
+      ("clock", [ Alcotest.test_case "advance" `Quick test_clock_advances ]);
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_eventq_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_eventq_fifo_ties;
+          Alcotest.test_case "run until" `Quick test_eventq_run_until;
+          Alcotest.test_case "handler schedules" `Quick test_eventq_handler_schedules;
+          Alcotest.test_case "heap growth" `Quick test_eventq_grows;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "queueing" `Quick test_resource_queueing;
+          Alcotest.test_case "reset" `Quick test_resource_reset;
+          Alcotest.test_case "busy until" `Quick test_resource_busy_until;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "transfer time" `Quick test_cost_transfer;
+          Alcotest.test_case "journal anchor" `Quick test_cost_journal_anchor;
+          Alcotest.test_case "criu anchor" `Quick test_cost_criu_anchor;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,194 @@
+module Rng = Aurora_util.Rng
+module Histogram = Aurora_util.Histogram
+module Units = Aurora_util.Units
+module Text_table = Aurora_util.Text_table
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  Alcotest.(check bool) "split differs" false (Rng.bits64 a = Rng.bits64 c)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r 5 9 in
+    Alcotest.(check bool) "in closed range" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_float_bounds () =
+  let r = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    Alcotest.(check bool) "float range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 5 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~mean:10.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.2f close to 10" mean)
+    true
+    (mean > 9.0 && mean < 11.0)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 6 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_histogram_percentiles () =
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.add h (float_of_int i)
+  done;
+  Alcotest.(check (float 0.001)) "p50" 50.0 (Histogram.percentile h 50.0);
+  Alcotest.(check (float 0.001)) "p99" 99.0 (Histogram.percentile h 99.0);
+  Alcotest.(check (float 0.001)) "p100" 100.0 (Histogram.percentile h 100.0);
+  Alcotest.(check (float 0.001)) "mean" 50.5 (Histogram.mean h)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (Histogram.mean h);
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 (Histogram.percentile h 99.0)
+
+let test_histogram_add_after_percentile () =
+  (* Percentile sorts internally; adds afterwards must still be seen. *)
+  let h = Histogram.create () in
+  Histogram.add h 5.0;
+  ignore (Histogram.percentile h 50.0);
+  Histogram.add h 1.0;
+  Alcotest.(check (float 0.001)) "min updates" 1.0 (Histogram.percentile h 1.0)
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 1.0;
+  Histogram.add b 3.0;
+  Histogram.merge a b;
+  Alcotest.(check int) "merged count" 2 (Histogram.count a);
+  Alcotest.(check (float 0.001)) "merged mean" 2.0 (Histogram.mean a)
+
+let test_histogram_stddev () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check (float 0.001)) "known stddev" 2.0 (Histogram.stddev h)
+
+let test_units_bytes () =
+  Alcotest.(check string) "4 KiB" "4 KiB" (Units.bytes_to_string (4 * Units.kib));
+  Alcotest.(check string) "1 GiB" "1 GiB" (Units.bytes_to_string Units.gib);
+  Alcotest.(check string) "500 B" "500 B" (Units.bytes_to_string 500)
+
+let test_units_time () =
+  Alcotest.(check string) "microseconds" "28 \xc2\xb5s" (Units.ns_to_string 28_000);
+  Alcotest.(check string) "milliseconds" "4 ms" (Units.ns_to_string 4_000_000)
+
+let test_units_pages () =
+  Alcotest.(check int) "exact" 1 (Units.pages_of_bytes 4096);
+  Alcotest.(check int) "round up" 2 (Units.pages_of_bytes 4097);
+  Alcotest.(check int) "zero" 0 (Units.pages_of_bytes 0)
+
+let test_units_seconds () =
+  Alcotest.(check string) "seconds" "1.20 s" (Units.ns_to_string 1_200_000_000);
+  Alcotest.(check string) "nanoseconds" "42 ns" (Units.ns_to_string 42)
+
+let test_table_separator () =
+  let t = Text_table.create ~header:[ "a" ] in
+  Text_table.add_row t [ "1" ];
+  Text_table.add_separator t;
+  Text_table.add_row t [ "2" ];
+  let lines = String.split_on_char '\n' (Text_table.render t) in
+  (* header, rule, row, rule, row, trailing *)
+  Alcotest.(check int) "line count" 6 (List.length lines)
+
+let test_table_render () =
+  let t = Text_table.create ~header:[ "name"; "value" ] in
+  Text_table.add_row t [ "alpha"; "1" ];
+  Text_table.add_row t [ "b"; "22" ];
+  let s = Text_table.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  (* Numeric column right-aligns: "22" under "1"'s column ends aligned. *)
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 5 (List.length lines)
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"rng int always in bounds" ~count:500
+         QCheck.(pair small_int (int_range 1 1000))
+         (fun (seed, bound) ->
+           let r = Rng.create seed in
+           let v = Rng.int r bound in
+           v >= 0 && v < bound));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"histogram percentile is monotone" ~count:200
+         QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+         (fun xs ->
+           let h = Histogram.create () in
+           List.iter (Histogram.add h) xs;
+           let p25 = Histogram.percentile h 25.0
+           and p75 = Histogram.percentile h 75.0 in
+           p25 <= p75));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"percentile 100 equals max" ~count:200
+         QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1e6) 1e6))
+         (fun xs ->
+           let h = Histogram.create () in
+           List.iter (Histogram.add h) xs;
+           Histogram.percentile h 100.0 = Histogram.max h));
+  ]
+
+let () =
+  Alcotest.run "aurora_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_different_seeds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "add after percentile" `Quick test_histogram_add_after_percentile;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "stddev" `Quick test_histogram_stddev;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "bytes" `Quick test_units_bytes;
+          Alcotest.test_case "time" `Quick test_units_time;
+          Alcotest.test_case "pages" `Quick test_units_pages;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "separator" `Quick test_table_separator;
+        ] );
+      ("units-extra", [ Alcotest.test_case "seconds" `Quick test_units_seconds ]);
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,398 @@
+module Clock = Aurora_sim.Clock
+module Cost = Aurora_sim.Cost
+module Page = Aurora_vm.Page
+module Vm_object = Aurora_vm.Vm_object
+module Pmap = Aurora_vm.Pmap
+module Vm_map = Aurora_vm.Vm_map
+module Vm_space = Aurora_vm.Vm_space
+
+let test_page_roundtrip () =
+  let p = Page.alloc () in
+  Page.set p 0 'a';
+  Page.set p 4095 'z';
+  Alcotest.(check char) "first byte" 'a' (Page.get p 0);
+  Alcotest.(check char) "folded offset" 'z' (Page.get p (4095 mod 64 + 64 * 10));
+  let q = Page.copy p in
+  Alcotest.(check bool) "copy content equal" true (Page.equal_content p q);
+  Alcotest.(check bool) "copy identity differs" false (Page.id p = Page.id q);
+  Page.set q 0 'b';
+  Alcotest.(check char) "copies independent" 'a' (Page.get p 0)
+
+let test_page_payload () =
+  let p = Page.alloc_init (fun i -> Char.chr (i mod 256)) in
+  let payload = Page.blit_payload p in
+  Alcotest.(check int) "payload size" Page.payload_size (Bytes.length payload);
+  let q = Page.alloc () in
+  Page.load_payload q payload;
+  Alcotest.(check bool) "load restores content" true (Page.equal_content p q)
+
+let test_object_shadow_lookup () =
+  let clock = Clock.create () in
+  let base = Vm_object.create Vm_object.Anonymous in
+  let p0 = Page.alloc () in
+  Page.set p0 0 'b';
+  Vm_object.insert_page base 0 p0;
+  let shadow = Vm_object.shadow ~clock base in
+  Alcotest.(check int) "chain length" 2 (Vm_object.chain_length shadow);
+  (match Vm_object.lookup ~clock shadow 0 with
+  | Some (p, src) ->
+      Alcotest.(check bool) "found in parent" true (src == base);
+      Alcotest.(check char) "content" 'b' (Page.get p 0)
+  | None -> Alcotest.fail "page not found through shadow");
+  (* A private page in the shadow wins over the parent's. *)
+  let priv = Page.alloc () in
+  Page.set priv 0 's';
+  Vm_object.insert_page shadow 0 priv;
+  match Vm_object.lookup ~clock shadow 0 with
+  | Some (p, src) ->
+      Alcotest.(check bool) "found in shadow" true (src == shadow);
+      Alcotest.(check char) "shadow content wins" 's' (Page.get p 0)
+  | None -> Alcotest.fail "page not found"
+
+let test_object_lookup_charges_hops () =
+  let clock = Clock.create () in
+  let base = Vm_object.create Vm_object.Anonymous in
+  Vm_object.insert_page base 3 (Page.alloc ());
+  let s1 = Vm_object.shadow ~clock base in
+  let s2 = Vm_object.shadow ~clock s1 in
+  let before = Clock.now clock in
+  ignore (Vm_object.lookup ~clock s2 3);
+  Alcotest.(check int) "two hops charged" (2 * Cost.shadow_chain_hop)
+    (Clock.now clock - before)
+
+let make_chain ~parent_pages ~shadow_pages =
+  let clock = Clock.create () in
+  let base = Vm_object.create Vm_object.Anonymous in
+  for i = 0 to parent_pages - 1 do
+    Vm_object.insert_page base i (Page.alloc ())
+  done;
+  let shadow = Vm_object.shadow ~clock base in
+  for i = 0 to shadow_pages - 1 do
+    let p = Page.alloc () in
+    Page.set p 0 'S';
+    Vm_object.insert_page shadow i p
+  done;
+  (clock, base, shadow)
+
+let test_collapse_stock_direction () =
+  let clock, _base, shadow = make_chain ~parent_pages:100 ~shadow_pages:3 in
+  let survivor = Vm_object.collapse ~clock ~direction:Vm_object.Stock_freebsd shadow in
+  Alcotest.(check bool) "shadow survives" true (survivor == shadow);
+  (* Moves = parent pages without a shadow version. *)
+  Alcotest.(check int) "moves" 97 (Vm_object.pages_moved_by_last_collapse ());
+  Alcotest.(check int) "all pages present" 100 (Vm_object.resident_pages survivor);
+  Alcotest.(check int) "chain collapsed" 1 (Vm_object.chain_length survivor)
+
+let test_collapse_aurora_direction () =
+  let clock, base, shadow = make_chain ~parent_pages:100 ~shadow_pages:3 in
+  let survivor = Vm_object.collapse ~clock ~direction:Vm_object.Aurora_reverse shadow in
+  Alcotest.(check bool) "parent survives" true (survivor == base);
+  Alcotest.(check int) "moves only shadow pages" 3 (Vm_object.pages_moved_by_last_collapse ());
+  Alcotest.(check int) "all pages present" 100 (Vm_object.resident_pages survivor);
+  (* The shadow's version of overlapping pages wins in both directions. *)
+  match Vm_object.lookup ~clock survivor 0 with
+  | Some (p, _) -> Alcotest.(check char) "shadow version wins" 'S' (Page.get p 0)
+  | None -> Alcotest.fail "page missing after collapse"
+
+let test_collapse_directions_agree () =
+  let content survivor clock n =
+    List.init n (fun i ->
+        match Vm_object.lookup ~clock survivor i with
+        | Some (p, _) -> Some (Page.get p 0)
+        | None -> None)
+  in
+  let clock1, _, sh1 = make_chain ~parent_pages:20 ~shadow_pages:7 in
+  let s1 = Vm_object.collapse ~clock:clock1 ~direction:Vm_object.Stock_freebsd sh1 in
+  let clock2, _, sh2 = make_chain ~parent_pages:20 ~shadow_pages:7 in
+  let s2 = Vm_object.collapse ~clock:clock2 ~direction:Vm_object.Aurora_reverse sh2 in
+  Alcotest.(check bool)
+    "both directions yield the same logical content" true
+    (content s1 clock1 20 = content s2 clock2 20)
+
+let test_collapse_cost_asymmetry () =
+  (* The paper's optimization: with a big parent and a small shadow, the
+     reverse collapse is much cheaper. *)
+  let clock1, _, sh1 = make_chain ~parent_pages:10_000 ~shadow_pages:10 in
+  let t0 = Clock.now clock1 in
+  ignore (Vm_object.collapse ~clock:clock1 ~direction:Vm_object.Stock_freebsd sh1);
+  let stock_cost = Clock.now clock1 - t0 in
+  let clock2, _, sh2 = make_chain ~parent_pages:10_000 ~shadow_pages:10 in
+  let t0 = Clock.now clock2 in
+  ignore (Vm_object.collapse ~clock:clock2 ~direction:Vm_object.Aurora_reverse sh2);
+  let aurora_cost = Clock.now clock2 - t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "reverse collapse cheaper (%d vs %d)" aurora_cost stock_cost)
+    true
+    (aurora_cost * 100 < stock_cost)
+
+let test_pmap_downgrade () =
+  let clock = Clock.create () in
+  let pm = Pmap.create () in
+  for v = 0 to 9 do
+    Pmap.install pm v (Page.alloc ()) ~writable:(v mod 2 = 0)
+  done;
+  let before = Clock.now clock in
+  let n = Pmap.downgrade_range pm ~clock ~vpn:0 ~npages:10 in
+  Alcotest.(check int) "downgraded the writable half" 5 n;
+  Alcotest.(check int) "charged per page" (5 * Cost.cow_mark_page) (Clock.now clock - before);
+  Alcotest.(check int) "no writable PTEs left" 0 (Pmap.writable_count pm)
+
+let test_space_write_read () =
+  let clock = Clock.create () in
+  let s = Vm_space.create ~clock in
+  let e = Vm_space.map_anonymous s ~npages:4 ~prot:Vm_map.prot_rw in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.write_string s ~addr "hello vm";
+  Alcotest.(check string) "roundtrip" "hello vm" (Vm_space.read_string s ~addr ~len:8)
+
+let test_space_zero_fill () =
+  let clock = Clock.create () in
+  let s = Vm_space.create ~clock in
+  let e = Vm_space.map_anonymous s ~npages:1 ~prot:Vm_map.prot_rw in
+  let addr = Vm_space.addr_of_entry e in
+  Alcotest.(check char) "zero filled" '\000' (Vm_space.read_byte s ~addr);
+  Alcotest.(check int) "zero fill counted" 1 (Vm_space.stats s).Vm_space.zero_fills
+
+let test_space_fault_on_unmapped () =
+  let clock = Clock.create () in
+  let s = Vm_space.create ~clock in
+  Alcotest.check_raises "unmapped faults" (Vm_space.Fault "no mapping at vpn 0")
+    (fun () -> ignore (Vm_space.read_byte s ~addr:42))
+
+let test_space_write_to_readonly_faults () =
+  let clock = Clock.create () in
+  let s = Vm_space.create ~clock in
+  let e = Vm_space.map_anonymous s ~npages:1 ~prot:Vm_map.prot_ro in
+  let addr = Vm_space.addr_of_entry e in
+  Alcotest.check_raises "read-only faults"
+    (Vm_space.Fault "write to read-only mapping") (fun () ->
+      Vm_space.write_byte s ~addr 'x')
+
+let test_space_cow_isolation_after_fork () =
+  let clock = Clock.create () in
+  let parent = Vm_space.create ~clock in
+  let e = Vm_space.map_anonymous parent ~npages:2 ~prot:Vm_map.prot_rw in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.write_string parent ~addr "orig";
+  let child = Vm_space.fork parent in
+  (* Child sees the parent's pre-fork data... *)
+  Alcotest.(check string) "inherited" "orig" (Vm_space.read_string child ~addr ~len:4);
+  (* ...and writes diverge both ways. *)
+  Vm_space.write_string child ~addr "kid!";
+  Alcotest.(check string) "parent unaffected" "orig" (Vm_space.read_string parent ~addr ~len:4);
+  Vm_space.write_string parent ~addr "dad!";
+  Alcotest.(check string) "child unaffected" "kid!" (Vm_space.read_string child ~addr ~len:4);
+  Alcotest.(check bool) "cow faults happened" true ((Vm_space.stats child).Vm_space.cow_faults > 0)
+
+let test_space_shared_mapping_fork () =
+  let clock = Clock.create () in
+  let parent = Vm_space.create ~clock in
+  let obj = Vm_object.create Vm_object.Anonymous in
+  let e =
+    Vm_space.map_object ~shared:true parent ~obj ~obj_pgoff:0 ~npages:1
+      ~prot:Vm_map.prot_rw
+  in
+  let addr = Vm_space.addr_of_entry e in
+  let child = Vm_space.fork parent in
+  Vm_space.write_string parent ~addr "shared";
+  Alcotest.(check string) "child sees parent write" "shared"
+    (Vm_space.read_string child ~addr ~len:6)
+
+let test_space_shared_stale_pte_refault () =
+  (* Two spaces map the same object; after a system shadow is interposed,
+     a write by one must become visible to the other even though it had a
+     cached PTE. *)
+  let clock = Clock.create () in
+  let a = Vm_space.create ~clock and b = Vm_space.create ~clock in
+  let obj = Vm_object.create Vm_object.Anonymous in
+  let ea = Vm_space.map_object ~shared:true a ~obj ~obj_pgoff:0 ~npages:1 ~prot:Vm_map.prot_rw in
+  let eb = Vm_space.map_object ~shared:true b ~obj ~obj_pgoff:0 ~npages:1 ~prot:Vm_map.prot_rw in
+  let addr_a = Vm_space.addr_of_entry ea and addr_b = Vm_space.addr_of_entry eb in
+  Vm_space.write_byte a ~addr:addr_a 'x';
+  Alcotest.(check char) "b caches PTE" 'x' (Vm_space.read_byte b ~addr:addr_b);
+  (* Interpose a shadow above the shared object in both spaces. *)
+  let shadow = Vm_object.shadow ~clock obj in
+  ignore (Vm_space.replace_object a ~old_obj:obj ~new_obj:shadow);
+  ignore (Vm_space.replace_object b ~old_obj:obj ~new_obj:shadow);
+  Vm_space.write_byte a ~addr:addr_a 'y';
+  Alcotest.(check char) "b sees post-shadow write" 'y' (Vm_space.read_byte b ~addr:addr_b);
+  Alcotest.(check bool) "b paid a refault" true
+    ((Vm_space.stats b).Vm_space.stale_refaults > 0
+    || (Vm_space.stats b).Vm_space.soft_faults > 1)
+
+let test_space_replace_object_charges_marking () =
+  let clock = Clock.create () in
+  let s = Vm_space.create ~clock in
+  let e = Vm_space.map_anonymous s ~npages:64 ~prot:Vm_map.prot_rw in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.touch_write s ~addr ~len:(64 * Page.logical_size);
+  let obj = e.Vm_map.obj in
+  let shadow = Vm_object.shadow ~clock obj in
+  let before = Clock.now clock in
+  let n = Vm_space.replace_object s ~old_obj:obj ~new_obj:shadow in
+  Alcotest.(check int) "all dirty PTEs downgraded" 64 n;
+  Alcotest.(check bool) "charged" true (Clock.now clock - before >= 64 * Cost.cow_mark_page)
+
+let test_space_dirty_top_pages () =
+  let clock = Clock.create () in
+  let s = Vm_space.create ~clock in
+  let e = Vm_space.map_anonymous s ~npages:16 ~prot:Vm_map.prot_rw in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.touch_write s ~addr ~len:(5 * Page.logical_size);
+  Alcotest.(check int) "five dirty pages" 5 (Vm_space.dirty_top_pages s);
+  (* After interposing a shadow, the top is clean again. *)
+  let obj = e.Vm_map.obj in
+  let shadow = Vm_object.shadow ~clock obj in
+  ignore (Vm_space.replace_object s ~old_obj:obj ~new_obj:shadow);
+  Alcotest.(check int) "clean after shadowing" 0 (Vm_space.dirty_top_pages s);
+  Vm_space.touch_write s ~addr ~len:(2 * Page.logical_size);
+  Alcotest.(check int) "two new dirty pages" 2 (Vm_space.dirty_top_pages s)
+
+let test_space_excluded_entries_not_shadowed () =
+  let clock = Clock.create () in
+  let s = Vm_space.create ~clock in
+  let e1 = Vm_space.map_anonymous s ~npages:1 ~prot:Vm_map.prot_rw in
+  let e2 = Vm_space.map_anonymous s ~npages:1 ~prot:Vm_map.prot_rw in
+  e2.Vm_map.excluded <- true;
+  ignore e1;
+  Alcotest.(check int) "only one object to shadow" 1 (List.length (Vm_space.unique_objects s))
+
+let test_map_object_nonzero_pgoff () =
+  (* A window into the middle of an object: index translation must hold
+     for reads, writes and COW. *)
+  let clock = Clock.create () in
+  let s = Vm_space.create ~clock in
+  let obj = Vm_object.create Vm_object.Anonymous in
+  let p5 = Page.alloc () in
+  Page.set p5 0 'F';
+  Vm_object.insert_page obj 5 p5;
+  let e = Vm_space.map_object s ~obj ~obj_pgoff:4 ~npages:4 ~prot:Vm_map.prot_rw in
+  let addr = Vm_space.addr_of_entry e in
+  (* Entry page 1 = object page 5. *)
+  Alcotest.(check char) "window translation" 'F'
+    (Vm_space.read_byte s ~addr:(addr + Page.logical_size));
+  Vm_space.write_byte s ~addr:(addr + (2 * Page.logical_size)) 'W';
+  Alcotest.(check bool) "write landed at object page 6" true
+    (match Vm_object.find_local obj 6 with
+    | Some p -> Page.get p 0 = 'W'
+    | None -> false)
+
+let test_unmap_drops_translations () =
+  let clock = Clock.create () in
+  let s = Vm_space.create ~clock in
+  let e = Vm_space.map_anonymous s ~npages:2 ~prot:Vm_map.prot_rw in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.write_byte s ~addr 'x';
+  Vm_space.unmap s e;
+  Alcotest.(check bool) "faults after unmap" true
+    (try
+       ignore (Vm_space.read_byte s ~addr);
+       false
+     with Vm_space.Fault _ -> true);
+  Alcotest.(check int) "no stale PTEs" 0 (Pmap.resident (Vm_space.pmap s))
+
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"space write/read roundtrip at random offsets" ~count:200
+         QCheck.(pair (int_range 0 (16 * 4096 - 32)) (string_of_size (Gen.int_range 1 32)))
+         (fun (off, data) ->
+           let clock = Clock.create () in
+           let s = Vm_space.create ~clock in
+           let e = Vm_space.map_anonymous s ~npages:16 ~prot:Vm_map.prot_rw in
+           let addr = Vm_space.addr_of_entry e + off in
+           Vm_space.write_string s ~addr data;
+           Vm_space.read_string s ~addr ~len:(String.length data) = data));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"collapse preserves content for random overlaps" ~count:200
+         QCheck.(pair (list_of_size (Gen.int_range 0 30) (int_range 0 49)) bool)
+         (fun (shadow_idxs, stock) ->
+           let clock = Clock.create () in
+           let base = Vm_object.create Vm_object.Anonymous in
+           for i = 0 to 49 do
+             let p = Page.alloc () in
+             Page.set p 0 'P';
+             Vm_object.insert_page base i p
+           done;
+           let shadow = Vm_object.shadow ~clock base in
+           List.iter
+             (fun i ->
+               let p = Page.alloc () in
+               Page.set p 0 'S';
+               Vm_object.insert_page shadow i p)
+             shadow_idxs;
+           let expected =
+             List.init 50 (fun i -> if List.mem i shadow_idxs then 'S' else 'P')
+           in
+           let direction =
+             if stock then Vm_object.Stock_freebsd else Vm_object.Aurora_reverse
+           in
+           let survivor = Vm_object.collapse ~clock ~direction shadow in
+           let got =
+             List.init 50 (fun i ->
+                 match Vm_object.lookup ~clock survivor i with
+                 | Some (p, _) -> Page.get p 0
+                 | None -> '?')
+           in
+           got = expected));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"fork isolation under random write interleavings" ~count:100
+         QCheck.(list_of_size (Gen.int_range 1 40) (pair bool (int_range 0 (4 * 4096 - 1))))
+         (fun writes ->
+           let clock = Clock.create () in
+           let parent = Vm_space.create ~clock in
+           let e = Vm_space.map_anonymous parent ~npages:4 ~prot:Vm_map.prot_rw in
+           let base = Vm_space.addr_of_entry e in
+           let child = Vm_space.fork parent in
+           (* Model of expected contents: parent and child byte maps. *)
+           let pmodel = Hashtbl.create 64 and cmodel = Hashtbl.create 64 in
+           List.iter
+             (fun (to_child, off) ->
+               let c = if to_child then 'c' else 'p' in
+               let space, model = if to_child then (child, cmodel) else (parent, pmodel) in
+               Vm_space.write_byte space ~addr:(base + off) c;
+               Hashtbl.replace model off c)
+             writes;
+           let check space model =
+             Hashtbl.fold
+               (fun off c ok -> ok && Vm_space.read_byte space ~addr:(base + off) = c)
+               model true
+           in
+           check parent pmodel && check child cmodel));
+  ]
+
+let () =
+  Alcotest.run "aurora_vm"
+    [
+      ( "page",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_page_roundtrip;
+          Alcotest.test_case "payload" `Quick test_page_payload;
+        ] );
+      ( "vm_object",
+        [
+          Alcotest.test_case "shadow lookup" `Quick test_object_shadow_lookup;
+          Alcotest.test_case "lookup charges hops" `Quick test_object_lookup_charges_hops;
+          Alcotest.test_case "collapse stock" `Quick test_collapse_stock_direction;
+          Alcotest.test_case "collapse aurora" `Quick test_collapse_aurora_direction;
+          Alcotest.test_case "directions agree" `Quick test_collapse_directions_agree;
+          Alcotest.test_case "cost asymmetry" `Quick test_collapse_cost_asymmetry;
+        ] );
+      ("pmap", [ Alcotest.test_case "downgrade" `Quick test_pmap_downgrade ]);
+      ( "vm_space",
+        [
+          Alcotest.test_case "write/read" `Quick test_space_write_read;
+          Alcotest.test_case "zero fill" `Quick test_space_zero_fill;
+          Alcotest.test_case "unmapped faults" `Quick test_space_fault_on_unmapped;
+          Alcotest.test_case "read-only faults" `Quick test_space_write_to_readonly_faults;
+          Alcotest.test_case "fork COW isolation" `Quick test_space_cow_isolation_after_fork;
+          Alcotest.test_case "fork shared mapping" `Quick test_space_shared_mapping_fork;
+          Alcotest.test_case "shared stale PTE refault" `Quick test_space_shared_stale_pte_refault;
+          Alcotest.test_case "replace charges marking" `Quick test_space_replace_object_charges_marking;
+          Alcotest.test_case "dirty top pages" `Quick test_space_dirty_top_pages;
+          Alcotest.test_case "excluded not shadowed" `Quick test_space_excluded_entries_not_shadowed;
+          Alcotest.test_case "nonzero pgoff window" `Quick test_map_object_nonzero_pgoff;
+          Alcotest.test_case "unmap drops PTEs" `Quick test_unmap_drops_translations;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,110 @@
+module Rng = Aurora_util.Rng
+module Zipf = Aurora_workloads.Zipf
+module Mutilate = Aurora_workloads.Mutilate
+module Prefix_dist = Aurora_workloads.Prefix_dist
+module Link = Aurora_net.Link
+module Cost = Aurora_sim.Cost
+
+let test_zipf_bounds () =
+  let z = Zipf.create ~n:1000 ~theta:0.99 (Rng.create 1) in
+  for _ = 1 to 10_000 do
+    let k = Zipf.sample z in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 1000)
+  done
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:10_000 ~theta:0.99 (Rng.create 2) in
+  let counts = Array.make 10_000 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = Zipf.sample z in
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* Rank 0 should be far more popular than rank 1000. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "head heavy (%d vs %d)" counts.(0) counts.(1000))
+    true
+    (counts.(0) > 20 * max 1 counts.(1000));
+  (* The head of the distribution covers a large fraction. *)
+  let head = Array.fold_left ( + ) 0 (Array.sub counts 0 100) in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-1%% covers >30%% (%d/%d)" head n)
+    true
+    (head * 10 > n * 3)
+
+let test_zipf_uniformish_at_zero_theta () =
+  let z = Zipf.create ~n:100 ~theta:0.0 (Rng.create 3) in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    counts.(Zipf.sample z) <- counts.(Zipf.sample z) + 1
+  done;
+  Alcotest.(check bool) "roughly uniform" true
+    (counts.(0) < 3 * counts.(99) && counts.(99) < 3 * counts.(0))
+
+let test_mutilate_mix () =
+  let w = Mutilate.create ~nkeys:1000 ~get_ratio:0.9 ~seed:4 () in
+  let gets = ref 0 and sets = ref 0 in
+  for _ = 1 to 20_000 do
+    match Mutilate.next w with
+    | Mutilate.Get _ -> incr gets
+    | Mutilate.Set (_, size) ->
+        incr sets;
+        Alcotest.(check bool) "value size sane" true (size >= 64 && size <= 512)
+  done;
+  let ratio = float_of_int !gets /. 20_000.0 in
+  Alcotest.(check bool) (Printf.sprintf "get ratio ~0.9 (%.3f)" ratio) true
+    (ratio > 0.88 && ratio < 0.92)
+
+let test_prefix_dist_mix () =
+  let w = Prefix_dist.create ~nkeys:100_000 ~put_ratio:0.5 ~seed:5 () in
+  let puts = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    match Prefix_dist.next w with
+    | Prefix_dist.Db_put (k, _) ->
+        incr puts;
+        Alcotest.(check bool) "key in range" true (k >= 0 && k < Prefix_dist.nkeys w)
+    | Prefix_dist.Db_get k ->
+        Alcotest.(check bool) "key in range" true (k >= 0 && k < Prefix_dist.nkeys w)
+  done;
+  let ratio = float_of_int !puts /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "put ratio ~0.5 (%.3f)" ratio) true
+    (ratio > 0.47 && ratio < 0.53)
+
+let test_link_latency () =
+  let l = Link.create () in
+  let arrival = Link.delivery_time l ~now:0 ~bytes:256 in
+  Alcotest.(check bool) "at least one-way latency" true (arrival >= Cost.net_one_way_latency);
+  (* Saturating the link queues messages. *)
+  let big = 1024 * 1024 in
+  let a1 = Link.delivery_time l ~now:1000 ~bytes:big in
+  let a2 = Link.delivery_time l ~now:1000 ~bytes:big in
+  Alcotest.(check bool) "queueing" true (a2 > a1)
+
+let test_link_rtt () =
+  let r = Link.rtt ~bytes:1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "rtt order of 50-100us (%d)" r)
+    true
+    (r > 40_000 && r < 150_000)
+
+let () =
+  Alcotest.run "aurora_workloads"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "skew" `Quick test_zipf_skew;
+          Alcotest.test_case "theta zero" `Quick test_zipf_uniformish_at_zero_theta;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "mutilate mix" `Quick test_mutilate_mix;
+          Alcotest.test_case "prefix_dist mix" `Quick test_prefix_dist_mix;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "link latency" `Quick test_link_latency;
+          Alcotest.test_case "rtt" `Quick test_link_rtt;
+        ] );
+    ]
