@@ -19,6 +19,7 @@ let artifacts =
     ("fig6", "RocksDB configurations", Fig6.run);
     ("ablate", "design-choice ablations", Ablate.run);
     ("ext-sync", "external synchrony cost (paper section 8 caveat)", Extsync_bench.run);
+    ("flush-scale", "coalesced flush pipeline vs dirty-set size", fun () -> Flush_scale.run ());
   ]
 
 let run_one name =
@@ -31,13 +32,21 @@ let run_one name =
       | "micro" ->
           Micro.run ();
           true
+      | "smoke" ->
+          (* Tiny-parameter pass over the bench machinery (the bench-smoke
+             dune alias): exercises the flush-scale sweep and the micro
+             harness quickly enough for CI. *)
+          Flush_scale.run ~sizes:[ 256; 1024 ] ();
+          Micro.run ();
+          true
       | _ -> false)
 
 let usage () =
   print_endline "usage: main.exe [artifact...]";
   print_endline "artifacts:";
   List.iter (fun (n, d, _) -> Printf.printf "  %-8s %s\n" n d) artifacts;
-  print_endline "  micro    Bechamel wall-clock microbenchmarks"
+  print_endline "  micro    Bechamel wall-clock microbenchmarks";
+  print_endline "  smoke    tiny-parameter smoke pass (dune build @bench-smoke)"
 
 let () =
   match Array.to_list Sys.argv with

@@ -29,22 +29,32 @@ let create ~name =
 
 let name t = t.dev_name
 
-(* Apply a byte-range write onto the sector map. *)
+(* Apply a byte-range write onto the sector map.  Sectors store only
+   their materialized prefix (the suffix is implicitly zero), so a store
+   full of short stand-in payloads doesn't pin sector_size bytes of
+   zeros per page — that padding dominated the heap, and with it the
+   GC cost of large simulated working sets. *)
 let apply_committed t ~off data =
   let len = Bytes.length data in
   let first = off / sector_size and last = (off + len - 1) / sector_size in
   for s = first to last do
-    let sector =
-      match Hashtbl.find_opt t.committed s with
-      | Some b -> b
-      | None ->
-          let b = Bytes.make sector_size '\000' in
-          Hashtbl.replace t.committed s b;
-          b
-    in
     let sector_off = s * sector_size in
     let copy_start = max off sector_off in
     let copy_end = min (off + len) (sector_off + sector_size) in
+    let need = copy_end - sector_off in
+    let sector =
+      match Hashtbl.find_opt t.committed s with
+      | Some b when Bytes.length b >= need -> b
+      | Some b ->
+          let nb = Bytes.make need '\000' in
+          Bytes.blit b 0 nb 0 (Bytes.length b);
+          Hashtbl.replace t.committed s nb;
+          nb
+      | None ->
+          let nb = Bytes.make need '\000' in
+          Hashtbl.replace t.committed s nb;
+          nb
+    in
     Bytes.blit data (copy_start - off) sector (copy_start - sector_off)
       (copy_end - copy_start)
   done
@@ -65,6 +75,26 @@ let submit_write ?charge t ~now ~off data ~latency =
 
 let write ?charge t ~now ~off data =
   submit_write ?charge t ~now ~off data ~latency:Cost.nvme_write_latency
+
+(* One vectored submission covering the device range [off, off+len):
+   the queue is occupied for the whole transfer once and a single write
+   latency trails it, so a coalesced extent of n blocks costs one latency
+   instead of n.  Each segment carries its payload at [off + rel]; the
+   device takes ownership of the payload bytes (callers pass fresh
+   slices), so the hot path does one copy, not two. *)
+let submit_extent t ~now ~off ~len segments =
+  let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
+  let completion =
+    Resource.submit t.queue ~now ~duration:transfer + Cost.nvme_write_latency
+  in
+  List.iter
+    (fun (rel, data) ->
+      if Bytes.length data > 0 then
+        t.inflight <- { completion; off = off + rel; data } :: t.inflight)
+    segments;
+  t.written <- t.written + len;
+  t.ops <- t.ops + 1;
+  completion
 
 let write_sync ?charge t ~clock ~off data =
   let completion =
@@ -92,9 +122,10 @@ let read_committed t ~off ~len =
     | Some sector ->
         let sector_off = s * sector_size in
         let copy_start = max off sector_off in
-        let copy_end = min (off + len) (sector_off + sector_size) in
-        Bytes.blit sector (copy_start - sector_off) out (copy_start - off)
-          (copy_end - copy_start)
+        let copy_end = min (off + len) (sector_off + Bytes.length sector) in
+        if copy_end > copy_start then
+          Bytes.blit sector (copy_start - sector_off) out (copy_start - off)
+            (copy_end - copy_start)
   done;
   out
 

@@ -31,6 +31,17 @@ val write_sync : ?charge:int -> t -> clock:Aurora_sim.Clock.t -> off:int -> byte
 (** Submit with the flush-included synchronous latency and advance the clock
     to completion. *)
 
+val submit_extent : t -> now:int -> off:int -> len:int -> (int * bytes) list -> int
+(** [submit_extent t ~now ~off ~len segments] submits one vectored write
+    covering the device range [[off, off+len)]: the queue is charged for
+    one [len]-byte transfer plus a single write latency, and every
+    [(rel, payload)] segment lands at [off + rel] with that shared
+    completion time.  The device takes ownership of the payload bytes —
+    callers must pass freshly allocated slices (as {!Striped.write_vec}
+    does) and not mutate them afterwards.  Counts as one device
+    operation.  This is the unit the coalesced checkpoint flush pipeline
+    submits per device per extent. *)
+
 val read : t -> clock:Aurora_sim.Clock.t -> off:int -> len:int -> bytes
 (** Read [len] bytes at [off], charging read latency + transfer time.
     Unwritten ranges read as zeroes, as on a trimmed flash namespace. *)

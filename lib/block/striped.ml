@@ -47,6 +47,86 @@ let write ?charge t ~now ~off data =
       if c > !completion then completion := c);
   !completion
 
+(* Vectored extent write: one queued submission per member device for the
+   whole logical range [off, off+len).  In the RAID-0 layout consecutive
+   stripes of one device are device-contiguous, so any extent maps to at
+   most one contiguous range per device — a 40 MiB extent costs 4 device
+   submissions, not 10k block writes. *)
+let write_vec t ~now ~off ~len segments =
+  if len <= 0 then now
+  else begin
+    let n = Array.length t.devs in
+    (* The flush pipeline hands us segments already in ascending order;
+       only sort (on a copy) when a caller didn't. *)
+    let sorted = ref true in
+    Array.iteri
+      (fun i (o, _) -> if i > 0 && fst segments.(i - 1) > o then sorted := false)
+      segments;
+    let segs =
+      if !sorted then segments
+      else begin
+        let c = Array.copy segments in
+        Array.sort (fun (a, _) (b, _) -> compare a b) c;
+        c
+      end
+    in
+    let dstart = Array.make n (-1) in
+    let dend = Array.make n 0 in
+    let dsegs = Array.make n [] in
+    let cursor = ref 0 in
+    let pos = ref off and remaining = ref len in
+    while !remaining > 0 do
+      let stripe_idx = !pos / t.stripe in
+      let within = !pos mod t.stripe in
+      let frag_len = min !remaining (t.stripe - within) in
+      let d = stripe_idx mod n in
+      let dev_off = ((stripe_idx / n) * t.stripe) + within in
+      let frag_off = !pos - off in
+      let frag_end = frag_off + frag_len in
+      if dstart.(d) < 0 then dstart.(d) <- dev_off;
+      dend.(d) <- dev_off + frag_len;
+      (* Fragments and segments are both walked in ascending order: slice
+         every segment overlapping this fragment, advancing the shared
+         cursor past fully consumed ones. *)
+      let c = ref !cursor in
+      let scanning = ref true in
+      while !scanning && !c < Array.length segs do
+        let rel, data = segs.(!c) in
+        let seg_end = rel + Bytes.length data in
+        if seg_end <= frag_off then begin
+          incr c;
+          cursor := !c
+        end
+        else if rel >= frag_end then scanning := false
+        else begin
+          let s = max rel frag_off and e = min seg_end frag_end in
+          if e > s then
+            dsegs.(d) <-
+              (dev_off + (s - frag_off), Bytes.sub data (s - rel) (e - s))
+              :: dsegs.(d);
+          if seg_end <= frag_end then begin
+            incr c;
+            cursor := !c
+          end
+          else scanning := false
+        end
+      done;
+      pos := !pos + frag_len;
+      remaining := !remaining - frag_len
+    done;
+    let completion = ref now in
+    for d = 0 to n - 1 do
+      if dstart.(d) >= 0 then begin
+        let doff = dstart.(d) in
+        let dlen = dend.(d) - doff in
+        let local = List.rev_map (fun (o, b) -> (o - doff, b)) dsegs.(d) in
+        let c = Device.submit_extent t.devs.(d) ~now ~off:doff ~len:dlen local in
+        if c > !completion then completion := c
+      end
+    done;
+    !completion
+  end
+
 let write_sync ?charge t ~clock ~off data =
   let len = max (Bytes.length data) (match charge with Some c -> c | None -> 0) in
   iter_fragments t ~off ~len (fun dev dev_off frag_off frag_len ->

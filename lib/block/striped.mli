@@ -17,6 +17,18 @@ val write : ?charge:int -> t -> now:int -> off:int -> bytes -> int
     [?charge] gives the logical length used both for stripe fragmentation
     and timing when it exceeds the payload length (see {!Device.write}). *)
 
+val write_vec : t -> now:int -> off:int -> len:int -> (int * bytes) array -> int
+(** [write_vec t ~now ~off ~len segments] submits one coalesced extent
+    covering the logical range [[off, off+len)] as a single vectored
+    submission per member device ({!Device.submit_extent}), returning the
+    completion time of the last fragment.  [segments] are
+    [(extent-relative offset, payload)] pairs, ideally in ascending offset
+    order (unsorted input is sorted on a copy); gaps between payloads are
+    charged (they stand for the logical remainder of partially materialized
+    blocks) but carry no data.  The checkpoint flush pipeline uses this to
+    turn an epoch's dirty pages into a handful of stripe-spanning
+    sequential writes. *)
+
 val write_sync : ?charge:int -> t -> clock:Aurora_sim.Clock.t -> off:int -> bytes -> unit
 
 val read : t -> clock:Aurora_sim.Clock.t -> off:int -> len:int -> bytes

@@ -44,6 +44,7 @@ type ckpt_stats = {
   pages_flushed : int;
   epoch : int;
   durable_at : int;
+  flush : Store.flush_stats option;
 }
 
 type t = {
@@ -752,6 +753,7 @@ let checkpoint_common t ~flush =
     durable_at =
       (if flush then max (Store.durable_at t.st) aio_write_done
        else Clock.now clk);
+    flush = (if flush then Some (Store.flush_stats t.st) else None);
   }
 
 (* After a restore, entries point directly at the restored logical
@@ -800,6 +802,7 @@ let checkpoint_region t (entry : Vm_map.entry) =
     pages_flushed = pages;
     epoch;
     durable_at = Store.durable_at t.st;
+    flush = Some (Store.flush_stats t.st);
   }
 
 (* Memory overcommitment: the unified zero-copy swap path. ------------------ *)

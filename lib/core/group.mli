@@ -32,6 +32,9 @@ type ckpt_stats = {
   pages_flushed : int;
   epoch : int;
   durable_at : int;  (** virtual time the checkpoint is fully durable *)
+  flush : Aurora_objstore.Store.flush_stats option;
+      (** the store's coalesced-flush statistics for this epoch ([None]
+          for memory-only checkpoints, which skip the store flush) *)
 }
 
 val attach :

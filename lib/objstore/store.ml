@@ -2,6 +2,7 @@ module Clock = Aurora_sim.Clock
 module Cost = Aurora_sim.Cost
 module Resource = Aurora_sim.Resource
 module Striped = Aurora_block.Striped
+module IntMap = Map.Make (Int)
 
 exception Corrupt_store of string
 
@@ -11,15 +12,21 @@ let leaf_span = 250
 let magic = "AURSTORE"
 let superblock_block = 0
 
+(* Largest coalesced extent, in blocks (Cost.nvme_max_extent_bytes). *)
+let max_extent_blocks = max 1 (Cost.nvme_max_extent_bytes / block_size)
+
+(* Parsed-leaf cache entries kept before the cache is recycled wholesale. *)
+let leaf_cache_capacity = 65_536
+
 (* In-memory view of one committed object version.  [leaves] maps leaf
-   index -> leaf block; [own_blocks] are the blocks written for this
-   version (records + leaves + fresh data blocks), used by pruning. *)
+   index -> leaf block; pruning recovers a version's blocks by
+   reachability through the leaves, so versions carry no ownership
+   lists. *)
 type version = {
   v_kind : string;
   v_meta : string;
   v_block : int; (* first block of the serialized version record *)
-  v_leaves : (int * int) list;
-  v_own_blocks : int list;
+  v_leaves : int IntMap.t;
 }
 
 type epoch_info = {
@@ -31,7 +38,7 @@ type epoch_info = {
 type staged = {
   mutable s_kind : string;
   mutable s_meta : string;
-  mutable s_pages : (int * bytes) list; (* newest first *)
+  s_pages : (int, bytes) Hashtbl.t; (* page index -> newest payload *)
 }
 
 type journal = {
@@ -44,15 +51,44 @@ type journal = {
          survive beyond the new head are stale and must not be replayed *)
 }
 
+type flush_stats = {
+  fs_epoch : int;
+  fs_extents : int;
+  fs_extent_blocks : int;
+  fs_coalesced_bytes : int;
+  fs_dev_writes : int;
+  fs_leaf_hits : int;
+  fs_leaf_misses : int;
+  fs_alloc_calls : int;
+  fs_pages : int;
+}
+
+let empty_flush_stats =
+  {
+    fs_epoch = 0;
+    fs_extents = 0;
+    fs_extent_blocks = 0;
+    fs_coalesced_bytes = 0;
+    fs_dev_writes = 0;
+    fs_leaf_hits = 0;
+    fs_leaf_misses = 0;
+    fs_alloc_calls = 0;
+    fs_pages = 0;
+  }
+
 type t = {
   dev : Striped.t;
   clk : Clock.t;
   jqueue : Resource.t; (* serializes synchronous journal appends *)
   mutable next_oid : int;
   mutable next_block : int;
-  mutable free_list : int list; (* single reusable blocks *)
+  free_set : (int, unit) Hashtbl.t; (* reusable single blocks, O(1) dedup *)
+  mutable free_stack : int list; (* LIFO over [free_set]; may hold stale ids *)
   mutable freed : int;
-  refcounts : (int, int) Hashtbl.t; (* data block -> referencing leaves *)
+  leaf_cache : (int, (int * int * int) list) Hashtbl.t;
+      (* leaf block -> parsed entries.  Leaf blocks are COW (written once),
+         so the cache is exact as long as freed blocks are invalidated
+         before reuse (free_block) and a recovered instance starts cold. *)
   mutable epochs : epoch_info list; (* oldest first *)
   mutable current_epoch : int;
   mutable staging : (int, staged) Hashtbl.t option;
@@ -61,28 +97,78 @@ type t = {
   mutable durable : int; (* completion time of the last superblock write *)
   mutable journals : journal list;
   mutable oldest_retained : int; (* chain-walk bound after pruning; 0 = all *)
+  (* Flush-pipeline statistics, reset at begin_checkpoint and snapshotted
+     into [last_flush] by commit_checkpoint. *)
+  mutable stat_extents : int;
+  mutable stat_extent_blocks : int;
+  mutable stat_coalesced_bytes : int;
+  mutable stat_leaf_hits : int;
+  mutable stat_leaf_misses : int;
+  mutable stat_alloc_calls : int;
+  mutable stat_pages : int;
+  mutable stat_dev_base : int;
+  mutable last_flush : flush_stats;
 }
 
 (* Block allocation -------------------------------------------------------- *)
 
 let alloc_block t =
-  match t.free_list with
-  | b :: rest ->
-      t.free_list <- rest;
-      b
-  | [] ->
-      let b = t.next_block in
-      t.next_block <- t.next_block + 1;
-      b
+  t.stat_alloc_calls <- t.stat_alloc_calls + 1;
+  let rec pop () =
+    match t.free_stack with
+    | [] ->
+        let b = t.next_block in
+        t.next_block <- t.next_block + 1;
+        b
+    | b :: rest ->
+        t.free_stack <- rest;
+        (* Stale stack entries (absorbed into the frontier) are skipped:
+           membership lives in [free_set]. *)
+        if b < t.next_block && Hashtbl.mem t.free_set b then begin
+          Hashtbl.remove t.free_set b;
+          b
+        end
+        else pop ()
+  in
+  pop ()
 
-let alloc_contiguous t n =
+(* Extents carve from the frontier only: every free-set block lies below
+   the frontier, so an extent can never overlap the single-block reuse
+   path. *)
+let alloc_extent t n =
+  t.stat_alloc_calls <- t.stat_alloc_calls + 1;
   let b = t.next_block in
   t.next_block <- t.next_block + n;
   b
 
+let alloc_contiguous t n = alloc_extent t n
+
 let free_block t b =
-  t.free_list <- b :: t.free_list;
-  t.freed <- t.freed + 1
+  (* Double frees and out-of-range blocks are dropped: the free set is a
+     set, and handing the same block to two allocations would corrupt the
+     store. *)
+  if b > 0 && b < t.next_block && not (Hashtbl.mem t.free_set b) then begin
+    Hashtbl.remove t.leaf_cache b;
+    if b = t.next_block - 1 then begin
+      (* Reclaim the frontier (and any free run below it): keeps future
+         extents long and contiguous. *)
+      t.next_block <- b;
+      let rec absorb () =
+        let a = t.next_block - 1 in
+        if a > 0 && Hashtbl.mem t.free_set a then begin
+          Hashtbl.remove t.free_set a;
+          t.next_block <- a;
+          absorb ()
+        end
+      in
+      absorb ()
+    end
+    else begin
+      Hashtbl.replace t.free_set b ();
+      t.free_stack <- b :: t.free_stack
+    end;
+    t.freed <- t.freed + 1
+  end
 
 let off_of_block b = b * block_size
 
@@ -118,7 +204,7 @@ let serialize_version ~oid ~epoch v =
     (fun (leaf_idx, blk) ->
       Wire.u32 w leaf_idx;
       Wire.u64 w blk)
-    v.v_leaves;
+    (IntMap.bindings v.v_leaves);
   Wire.contents w
 
 let parse_version data =
@@ -133,6 +219,7 @@ let parse_version data =
         let leaf_idx = Wire.ru32 r in
         let blk = Wire.ru64 r in
         (leaf_idx, blk))
+    |> List.fold_left (fun m (leaf_idx, blk) -> IntMap.add leaf_idx blk m) IntMap.empty
   in
   (oid, kind, meta, leaves)
 
@@ -166,6 +253,26 @@ let read_block_nocharge t blk = Striped.read_nocharge t.dev ~off:(off_of_block b
 let read_blocks t ~blk ~nblocks =
   Striped.read t.dev ~clock:t.clk ~off:(off_of_block blk) ~len:(nblocks * block_size)
 
+(* Leaf cache ----------------------------------------------------------------- *)
+
+let cache_leaf t blk entries =
+  if Hashtbl.length t.leaf_cache >= leaf_cache_capacity then
+    Hashtbl.reset t.leaf_cache;
+  Hashtbl.replace t.leaf_cache blk entries
+
+(* Parsed entries of [blk] without charging device time (housekeeping and
+   commit paths). *)
+let cached_leaf t blk =
+  match Hashtbl.find_opt t.leaf_cache blk with
+  | Some entries ->
+      t.stat_leaf_hits <- t.stat_leaf_hits + 1;
+      entries
+  | None ->
+      t.stat_leaf_misses <- t.stat_leaf_misses + 1;
+      let entries = parse_leaf (read_block_nocharge t blk) in
+      cache_leaf t blk entries;
+      entries
+
 (* Lifecycle ------------------------------------------------------------------ *)
 
 let fresh dev clk =
@@ -175,9 +282,10 @@ let fresh dev clk =
     jqueue = Resource.create ~name:"journal";
     next_oid = 0;
     next_block = 1;
-    free_list = [];
+    free_set = Hashtbl.create 1024;
+    free_stack = [];
     freed = 0;
-    refcounts = Hashtbl.create 4096;
+    leaf_cache = Hashtbl.create 1024;
     epochs = [];
     current_epoch = 0;
     staging = None;
@@ -186,6 +294,15 @@ let fresh dev clk =
     durable = 0;
     journals = [];
     oldest_retained = 0;
+    stat_extents = 0;
+    stat_extent_blocks = 0;
+    stat_coalesced_bytes = 0;
+    stat_leaf_hits = 0;
+    stat_leaf_misses = 0;
+    stat_alloc_calls = 0;
+    stat_pages = 0;
+    stat_dev_base = 0;
+    last_flush = empty_flush_stats;
   }
 
 let format ~dev ~clock =
@@ -233,11 +350,58 @@ let parse_record data =
 
 let blocks_of_len len = max 1 ((len + block_size - 1) / block_size)
 
+(* Write [items : (payload, nblocks) array] as one coalesced extent carved
+   from the frontier; returns (first block, completion time). *)
+let write_extent t ~now items =
+  let total = Array.fold_left (fun acc (_, n) -> acc + n) 0 items in
+  let base = alloc_extent t total in
+  let segments = Array.make (Array.length items) (0, Bytes.empty) in
+  let blkoff = ref 0 in
+  Array.iteri
+    (fun i (payload, n) ->
+      segments.(i) <- (!blkoff * block_size, payload);
+      blkoff := !blkoff + n)
+    items;
+  let c =
+    Striped.write_vec t.dev ~now ~off:(off_of_block base)
+      ~len:(total * block_size) segments
+  in
+  t.stat_extents <- t.stat_extents + 1;
+  t.stat_extent_blocks <- t.stat_extent_blocks + total;
+  t.stat_coalesced_bytes <- t.stat_coalesced_bytes + (total * block_size);
+  (base, c)
+
+(* Write [items] as a run of coalesced extents split at [max_extent_blocks];
+   [emit i blk] reports the first block assigned to item [i].  Returns the
+   latest completion time. *)
+let write_extents_chunked t ~now items emit =
+  let n = Array.length items in
+  let completion = ref now in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i and blks = ref 0 in
+    while
+      !j < n && (!blks = 0 || !blks + snd items.(!j) <= max_extent_blocks)
+    do
+      blks := !blks + snd items.(!j);
+      incr j
+    done;
+    let base, c = write_extent t ~now (Array.sub items !i (!j - !i)) in
+    if c > !completion then completion := c;
+    let blkoff = ref 0 in
+    for k = !i to !j - 1 do
+      emit k (base + !blkoff);
+      blkoff := !blkoff + snd items.(k)
+    done;
+    i := !j
+  done;
+  !completion
+
 (* Write a variable-length record into freshly allocated contiguous blocks;
    returns (first block, completion time, blocks used). *)
 let write_record t ~now data =
   let n = blocks_of_len (Bytes.length data) in
-  let blk = if n = 1 then alloc_block t else alloc_contiguous t n in
+  let blk = if n = 1 then alloc_block t else alloc_extent t n in
   let c = Striped.write t.dev ~now ~off:(off_of_block blk) data in
   (blk, c, List.init n (fun i -> blk + i))
 
@@ -253,6 +417,14 @@ let begin_checkpoint t =
   t.staging <- Some (Hashtbl.create 64);
   t.staging_epoch <- t.current_epoch;
   t.data_done <- Clock.now t.clk;
+  t.stat_extents <- 0;
+  t.stat_extent_blocks <- 0;
+  t.stat_coalesced_bytes <- 0;
+  t.stat_leaf_hits <- 0;
+  t.stat_leaf_misses <- 0;
+  t.stat_alloc_calls <- 0;
+  t.stat_pages <- 0;
+  t.stat_dev_base <- Striped.write_ops t.dev;
   t.current_epoch
 
 let staging_exn t =
@@ -265,7 +437,7 @@ let staged_for t oid =
   match Hashtbl.find_opt s oid with
   | Some st -> st
   | None ->
-      let st = { s_kind = ""; s_meta = ""; s_pages = [] } in
+      let st = { s_kind = ""; s_meta = ""; s_pages = Hashtbl.create 64 } in
       Hashtbl.replace s oid st;
       st
 
@@ -274,82 +446,100 @@ let put_object t ~oid ~kind ~meta =
   st.s_kind <- kind;
   st.s_meta <- meta
 
+(* Newest-wins dedup happens here, at staging time: re-staging a page index
+   replaces its payload in O(1), so commit never scans for duplicates. *)
 let put_pages t ~oid pages =
   let st = staged_for t oid in
-  st.s_pages <- List.rev_append pages st.s_pages
+  List.iter (fun (idx, payload) -> Hashtbl.replace st.s_pages idx payload) pages
 
-(* Merge staged dirty pages into the previous version's leaves, writing new
-   data blocks for dirty pages and rewriting only the touched leaves. *)
+(* Merge staged dirty pages into the previous version's leaves: fresh data
+   blocks are allocated as sorted contiguous extents and submitted as a
+   handful of vectored stripe-spanning writes; only the touched leaves are
+   rebuilt (from the leaf cache when warm) and they too go out as one
+   coalesced extent. *)
 let build_version t ~now ~prev st =
-  let own = ref [] in
-  let completion = ref now in
-  let submit_data payload =
-    let blk = alloc_block t in
+  let prev_leaves = match prev with Some v -> v.v_leaves | None -> IntMap.empty in
+  let npages = Hashtbl.length st.s_pages in
+  if npages = 0 then (prev_leaves, now)
+  else begin
+    let completion = ref now in
+    (* 1. Sort the fresh pages in place (no list churn on the hot path)
+       and write them as contiguous extents. *)
+    let fresh = Array.make npages (0, Bytes.empty) in
+    let fill = ref 0 in
+    Hashtbl.iter
+      (fun idx payload ->
+        fresh.(!fill) <- (idx, payload);
+        incr fill)
+      st.s_pages;
+    Array.sort (fun (a, _) (b, _) -> compare (a : int) b) fresh;
+    t.stat_pages <- t.stat_pages + npages;
+    let blocks = Array.make npages 0 in
+    let items = Array.map (fun (_, payload) -> (payload, 1)) fresh in
+    let c = write_extents_chunked t ~now items (fun k blk -> blocks.(k) <- blk) in
+    if c > !completion then completion := c;
+    (* 2. Rebuild the touched leaves.  [fresh] is sorted by page index, so
+       each leaf's dirty pages are one contiguous run of the array, and
+       dirty-membership for carried-entry filtering is a binary search in
+       that run. *)
+    let mem_run lo hi idx =
+      let l = ref lo and h = ref hi in
+      let found = ref false in
+      while (not !found) && !l < !h do
+        let m = (!l + !h) / 2 in
+        let v = fst fresh.(m) in
+        if v = idx then found := true
+        else if v < idx then l := m + 1
+        else h := m
+      done;
+      !found
+    in
+    let rebuilt = ref [] in
+    let i = ref 0 in
+    while !i < npages do
+      let leaf_idx = fst fresh.(!i) / leaf_span in
+      let j = ref !i in
+      while !j < npages && fst fresh.(!j) / leaf_span = leaf_idx do incr j done;
+      (* Carry over this leaf's unchanged entries; replaced entries are
+         simply dropped (their blocks stay reachable from older epochs
+         until pruning sweeps them). *)
+      let old_entries =
+        match IntMap.find_opt leaf_idx prev_leaves with
+        | None -> []
+        | Some blk -> cached_leaf t blk
+      in
+      let carried = ref [] in
+      List.iter
+        (fun ((idx, _, _) as entry) ->
+          if not (mem_run !i !j idx) then carried := entry :: !carried)
+        old_entries;
+      let fresh_entries = ref [] in
+      for k = !j - 1 downto !i do
+        let idx, payload = fresh.(k) in
+        fresh_entries := (idx, blocks.(k), Bytes.length payload) :: !fresh_entries
+      done;
+      let entries =
+        List.sort compare (List.rev_append !carried !fresh_entries)
+      in
+      rebuilt := (leaf_idx, entries) :: !rebuilt;
+      i := !j
+    done;
+    let rebuilt = Array.of_list (List.rev !rebuilt) in
+    (* 3. Coalesced extents for the rewritten leaves (write-through into
+       the cache). *)
+    let leaf_items =
+      Array.map (fun (_, entries) -> (serialize_leaf entries, 1)) rebuilt
+    in
+    let leaves = ref prev_leaves in
     let c =
-      Striped.write ~charge:block_size t.dev ~now ~off:(off_of_block blk) payload
+      write_extents_chunked t ~now leaf_items (fun k blk ->
+          let leaf_idx, entries = rebuilt.(k) in
+          cache_leaf t blk entries;
+          leaves := IntMap.add leaf_idx blk !leaves)
     in
     if c > !completion then completion := c;
-    own := blk :: !own;
-    Hashtbl.replace t.refcounts blk 1;
-    blk
-  in
-  (* Group dirty pages by leaf. *)
-  let by_leaf = Hashtbl.create 16 in
-  List.iter
-    (fun (idx, payload) ->
-      let leaf = idx / leaf_span in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt by_leaf leaf) in
-      (* Newest staged version of a page wins: s_pages is newest-first, so
-         only take the first occurrence of each index. *)
-      if not (List.mem_assoc idx cur) then
-        Hashtbl.replace by_leaf leaf ((idx, payload) :: cur))
-    st.s_pages;
-  let prev_leaves = match prev with Some v -> v.v_leaves | None -> [] in
-  let untouched =
-    List.filter (fun (leaf_idx, _) -> not (Hashtbl.mem by_leaf leaf_idx)) prev_leaves
-  in
-  let rebuilt =
-    Hashtbl.fold
-      (fun leaf_idx dirty acc ->
-        (* Carry over unchanged entries of this leaf from the device. *)
-        let old_entries =
-          match List.assoc_opt leaf_idx prev_leaves with
-          | None -> []
-          | Some blk -> parse_leaf (read_block_nocharge t blk)
-        in
-        let carried =
-          List.filter (fun (idx, _, _) -> not (List.mem_assoc idx dirty)) old_entries
-        in
-        let replaced =
-          List.filter (fun (idx, _, _) -> List.mem_assoc idx dirty) old_entries
-        in
-        List.iter
-          (fun (_, blk, _) ->
-            match Hashtbl.find_opt t.refcounts blk with
-            | Some n when n > 1 -> Hashtbl.replace t.refcounts blk (n - 1)
-            | Some _ -> Hashtbl.remove t.refcounts blk
-            | None -> ())
-          replaced;
-        let fresh_entries =
-          List.map
-            (fun (idx, payload) -> (idx, submit_data payload, Bytes.length payload))
-            dirty
-        in
-        let entries =
-          List.sort compare (fresh_entries @ carried)
-        in
-        let leaf_blk = alloc_block t in
-        let c =
-          Striped.write t.dev ~now ~off:(off_of_block leaf_blk)
-            (serialize_leaf entries)
-        in
-        if c > !completion then completion := c;
-        own := leaf_blk :: !own;
-        (leaf_idx, leaf_blk) :: acc)
-      by_leaf []
-  in
-  let leaves = List.sort compare (rebuilt @ untouched) in
-  (leaves, !own, !completion)
+    (!leaves, !completion)
+  end
 
 let commit_checkpoint t =
   let s = staging_exn t in
@@ -362,27 +552,58 @@ let commit_checkpoint t =
   in
   let new_table : (int, version) Hashtbl.t = Hashtbl.copy prev_table in
   let data_done = ref now in
-  (* Write object versions for every staged object. *)
-  Hashtbl.iter
-    (fun oid st ->
-      let prev = Hashtbl.find_opt prev_table oid in
-      let kind =
-        if st.s_kind <> "" then st.s_kind
-        else match prev with Some v -> v.v_kind | None -> "memory"
-      in
-      let meta =
-        if st.s_meta <> "" then st.s_meta
-        else match prev with Some v -> v.v_meta | None -> ""
-      in
-      let leaves, own, c = build_version t ~now ~prev st in
-      let v = { v_kind = kind; v_meta = meta; v_block = 0; v_leaves = leaves; v_own_blocks = own } in
-      let record = serialize_version ~oid ~epoch v in
-      let vblock, vc, vblocks = write_record t ~now record in
-      let v = { v with v_block = vblock; v_own_blocks = vblocks @ own } in
-      if c > !data_done then data_done := c;
-      if vc > !data_done then data_done := vc;
-      Hashtbl.replace new_table oid v)
-    s;
+  (* Data and leaf extents for every staged object, in oid order. *)
+  let staged_list =
+    Hashtbl.fold (fun oid st acc -> (oid, st) :: acc) s [] |> List.sort compare
+  in
+  let pending =
+    List.map
+      (fun (oid, st) ->
+        let prev = Hashtbl.find_opt prev_table oid in
+        let kind =
+          if st.s_kind <> "" then st.s_kind
+          else match prev with Some v -> v.v_kind | None -> "memory"
+        in
+        let meta =
+          if st.s_meta <> "" then st.s_meta
+          else match prev with Some v -> v.v_meta | None -> ""
+        in
+        let leaves, c = build_version t ~now ~prev st in
+        if c > !data_done then data_done := c;
+        (oid, { v_kind = kind; v_meta = meta; v_block = 0; v_leaves = leaves }))
+      staged_list
+  in
+  (* Version records ride coalesced extents too: one vectored submission
+     covers many objects' records. *)
+  let flush_records batch =
+    match batch with
+    | [] -> ()
+    | _ ->
+        let base, c =
+          write_extent t ~now
+            (Array.of_list
+               (List.map (fun (_, _, payload, nb) -> (payload, nb)) batch))
+        in
+        if c > !data_done then data_done := c;
+        ignore
+          (List.fold_left
+             (fun blkoff (oid, v, _, nb) ->
+               Hashtbl.replace new_table oid { v with v_block = base + blkoff };
+               blkoff + nb)
+             0 batch)
+  in
+  let rec batch_records acc nblocks = function
+    | [] -> flush_records (List.rev acc)
+    | (oid, v) :: rest ->
+        let payload = serialize_version ~oid ~epoch v in
+        let nb = blocks_of_len (Bytes.length payload) in
+        if nblocks > 0 && nblocks + nb > max_extent_blocks then begin
+          flush_records (List.rev acc);
+          batch_records [ (oid, v, payload, nb) ] nb rest
+        end
+        else batch_records ((oid, v, payload, nb) :: acc) (nblocks + nb) rest
+  in
+  batch_records [] 0 pending;
   (* Checkpoint record after all object data (write ordering). *)
   let table_list =
     Hashtbl.fold (fun oid v acc -> (oid, v.v_block) :: acc) new_table []
@@ -399,8 +620,21 @@ let commit_checkpoint t =
     t.epochs @ [ { e_epoch = epoch; e_record_block = rblock; e_table = new_table } ];
   t.staging <- None;
   t.durable <- sc;
+  t.last_flush <-
+    {
+      fs_epoch = epoch;
+      fs_extents = t.stat_extents;
+      fs_extent_blocks = t.stat_extent_blocks;
+      fs_coalesced_bytes = t.stat_coalesced_bytes;
+      fs_dev_writes = Striped.write_ops t.dev - t.stat_dev_base;
+      fs_leaf_hits = t.stat_leaf_hits;
+      fs_leaf_misses = t.stat_leaf_misses;
+      fs_alloc_calls = t.stat_alloc_calls;
+      fs_pages = t.stat_pages;
+    };
   sc
 
+let flush_stats t = t.last_flush
 let durable_at t = t.durable
 let wait_durable t = Clock.advance_to t.clk t.durable
 
@@ -447,24 +681,20 @@ let recover ~dev ~clock =
           let v_oid, kind, meta, leaves = parse_version vdata in
           if v_oid <> oid then raise (Corrupt_store "version/oid mismatch");
           Hashtbl.replace table oid
-            { v_kind = kind; v_meta = meta; v_block = vblock; v_leaves = leaves; v_own_blocks = [] })
+            { v_kind = kind; v_meta = meta; v_block = vblock; v_leaves = leaves })
         table_list;
       walk prev ({ e_epoch = epoch; e_record_block = block; e_table = table } :: acc)
     end
   in
   t.epochs <- walk record_block [];
-  (* Rebuild data-block refcounts from the retained leaves. *)
+  (* Warm the leaf cache over the retained leaves, so the first
+     post-recovery incremental commit doesn't re-parse every leaf. *)
   List.iter
     (fun e ->
       Hashtbl.iter
         (fun _ v ->
-          List.iter
-            (fun (_, leaf_blk) ->
-              List.iter
-                (fun (_, data_blk, _) ->
-                  let cur = Option.value ~default:0 (Hashtbl.find_opt t.refcounts data_blk) in
-                  Hashtbl.replace t.refcounts data_blk (cur + 1))
-                (parse_leaf (read_block_nocharge t leaf_blk)))
+          IntMap.iter
+            (fun _ leaf_blk -> ignore (cached_leaf t leaf_blk))
             v.v_leaves)
         e.e_table)
     t.epochs;
@@ -489,13 +719,24 @@ let objects_at t ~epoch =
 
 let read_meta t ~epoch ~oid = (version_exn t ~epoch ~oid).v_meta
 
+(* Charged leaf fetch: the device read is still paid (the cache holds
+   parsed entries, not a page-cache residency guarantee), but a warm cache
+   skips the re-parse. *)
 let leaf_entries_charged t blk =
   let data = read_blocks t ~blk ~nblocks:1 in
-  parse_leaf data
+  match Hashtbl.find_opt t.leaf_cache blk with
+  | Some entries ->
+      t.stat_leaf_hits <- t.stat_leaf_hits + 1;
+      entries
+  | None ->
+      t.stat_leaf_misses <- t.stat_leaf_misses + 1;
+      let entries = parse_leaf data in
+      cache_leaf t blk entries;
+      entries
 
 let read_page t ~epoch ~oid ~idx =
   let v = version_exn t ~epoch ~oid in
-  match List.assoc_opt (idx / leaf_span) v.v_leaves with
+  match IntMap.find_opt (idx / leaf_span) v.v_leaves with
   | None -> None
   | Some leaf_blk -> (
       match
@@ -515,23 +756,23 @@ let read_page t ~epoch ~oid ~idx =
    full device round trip per page. *)
 let read_pages t ~epoch ~oid =
   let v = version_exn t ~epoch ~oid in
-  List.concat_map
-    (fun (_, leaf_blk) ->
+  IntMap.fold
+    (fun _ leaf_blk acc ->
       let entries = leaf_entries_charged t leaf_blk in
       Striped.charge_read t.dev ~clock:t.clk ~bytes:(List.length entries * block_size);
-      List.map
-        (fun (idx, data_blk, len) ->
-          (idx, Striped.read_nocharge t.dev ~off:(off_of_block data_blk) ~len))
-        entries)
-    v.v_leaves
+      List.fold_left
+        (fun acc (idx, data_blk, len) ->
+          (idx, Striped.read_nocharge t.dev ~off:(off_of_block data_blk) ~len) :: acc)
+        acc entries)
+    v.v_leaves []
   |> List.sort compare
 
 let page_indices t ~epoch ~oid =
   let v = version_exn t ~epoch ~oid in
-  List.concat_map
-    (fun (_, leaf_blk) ->
-      List.map (fun (idx, _, _) -> idx) (parse_leaf (read_block_nocharge t leaf_blk)))
-    v.v_leaves
+  IntMap.fold
+    (fun _ leaf_blk acc ->
+      List.fold_left (fun acc (idx, _, _) -> idx :: acc) acc (cached_leaf t leaf_blk))
+    v.v_leaves []
   |> List.sort compare
 
 (* Journals --------------------------------------------------------------------------- *)
@@ -648,12 +889,12 @@ let reachable_blocks t e =
     (fun oid v ->
       add_record v.v_block
         (Bytes.length (serialize_version ~oid ~epoch:e.e_epoch v));
-      List.iter
-        (fun (_, leaf_blk) ->
+      IntMap.iter
+        (fun _ leaf_blk ->
           Hashtbl.replace out leaf_blk ();
           List.iter
             (fun (_, data_blk, _) -> Hashtbl.replace out data_blk ())
-            (parse_leaf (read_block_nocharge t leaf_blk)))
+            (cached_leaf t leaf_blk))
         v.v_leaves)
     e.e_table;
   out
@@ -690,7 +931,8 @@ let prune_history t ~keep =
     Hashtbl.iter
       (fun b () ->
         if not (Hashtbl.mem live b) then begin
-          Hashtbl.remove t.refcounts b;
+          (* free_block also invalidates the leaf cache for [b], so a
+             reused block can never serve stale parsed entries. *)
           free_block t b;
           incr freed
         end)
@@ -711,5 +953,5 @@ let prune_history t ~keep =
     !freed
   end
 
-let blocks_allocated t = t.next_block - List.length t.free_list
-let blocks_free t = List.length t.free_list
+let blocks_allocated t = t.next_block - Hashtbl.length t.free_set
+let blocks_free t = Hashtbl.length t.free_set

@@ -61,12 +61,36 @@ val put_object : t -> oid:int -> kind:string -> meta:string -> unit
 val put_pages : t -> oid:int -> (int * bytes) list -> unit
 (** Stage dirty page payloads [(page index, payload)] for a memory
     object.  Pages not mentioned carry over from the previous version
-    (copy-on-write). *)
+    (copy-on-write).  Staging the same index again — in the same call or a
+    later one — replaces the payload in O(1): the newest staged version of
+    a page wins, decided here rather than at commit time. *)
 
 val commit_checkpoint : t -> int
 (** Write out the staged epoch asynchronously; returns the virtual time at
     which the checkpoint is fully durable (superblock written).  The
-    caller decides whether to wait (sls_barrier) or continue running. *)
+    caller decides whether to wait (sls_barrier) or continue running.
+
+    The flush is coalesced: each object's fresh data blocks are sorted,
+    allocated as contiguous extents and submitted as a handful of
+    stripe-spanning vectored writes ({!Aurora_block.Striped.write_vec});
+    rewritten radix leaves and version records ride extents of their own.
+    A 10k-dirty-page epoch issues O(extents) device submissions instead of
+    O(pages). *)
+
+type flush_stats = {
+  fs_epoch : int;  (** epoch the stats describe *)
+  fs_extents : int;  (** coalesced extents submitted *)
+  fs_extent_blocks : int;  (** blocks carried by those extents *)
+  fs_coalesced_bytes : int;  (** logical bytes submitted through extents *)
+  fs_dev_writes : int;  (** device-queue submissions the commit issued *)
+  fs_leaf_hits : int;  (** leaf-cache hits during the epoch *)
+  fs_leaf_misses : int;  (** leaf-cache misses (device read + parse) *)
+  fs_alloc_calls : int;  (** allocator invocations (extents count once) *)
+  fs_pages : int;  (** distinct dirty pages flushed *)
+}
+
+val flush_stats : t -> flush_stats
+(** Statistics of the most recently committed epoch's flush pipeline. *)
 
 val durable_at : t -> int
 (** Durability time of the most recently committed checkpoint. *)

@@ -43,6 +43,7 @@ let nvme_device_bandwidth = 2_200 * 1024 * 1024
 let nvme_stripe_devices = 4
 let nvme_stripe_size = 64 * 1024
 let journal_stream_bandwidth = 2_600 * 1024 * 1024
+let nvme_max_extent_bytes = 4 * 1024 * 1024
 
 (* CRIU / RDB baselines *)
 let criu_per_object_inference = 155_000

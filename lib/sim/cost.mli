@@ -137,6 +137,12 @@ val journal_stream_bandwidth : int
 (** Sustained synchronous journal append bandwidth; anchor: 1 GiB journaled
     write = 417 ms => ~2.6 GiB/s. *)
 
+val nvme_max_extent_bytes : int
+(** Largest single vectored submission the flush pipeline coalesces (4 MiB,
+    1024 blocks): the sweet spot where per-I/O latency has fully amortized
+    against the stripe's streaming bandwidth; larger extents are split so
+    no single submission monopolizes the device queues. *)
+
 (** {1 CRIU and RDB baselines (Table 1 / Table 7 anchors)} *)
 
 val criu_per_object_inference : int

@@ -346,8 +346,79 @@ let test_double_begin_rejected () =
        false
      with Invalid_argument _ -> true)
 
+(* Newest-wins staging: re-staging a page index replaces its payload in
+   place — both within one put_pages call and across calls in the same
+   epoch — and commit stores exactly one entry per index. *)
+let test_put_pages_newest_wins () =
+  let _clock, _dev, store = fresh () in
+  let oid = Store.alloc_oid store in
+  let e = Store.begin_checkpoint store in
+  Store.put_object store ~oid ~kind:"memory" ~meta:"";
+  Store.put_pages store ~oid [ (7, payload 'a'); (7, payload 'b') ];
+  Store.put_pages store ~oid [ (9, payload 'x') ];
+  Store.put_pages store ~oid [ (9, payload 'y'); (11, payload 'z') ];
+  ignore (Store.commit_checkpoint store);
+  let page idx =
+    match Store.read_page store ~epoch:e ~oid ~idx with
+    | Some data -> Bytes.to_string data
+    | None -> "<missing>"
+  in
+  Alcotest.(check string) "later entry of one call wins"
+    (Bytes.to_string (payload 'b')) (page 7);
+  Alcotest.(check string) "later call wins" (Bytes.to_string (payload 'y')) (page 9);
+  Alcotest.(check string) "untouched index kept" (Bytes.to_string (payload 'z'))
+    (page 11);
+  Alcotest.(check (list int)) "one entry per staged index" [ 7; 9; 11 ]
+    (List.sort compare (Store.page_indices store ~epoch:e ~oid));
+  let fs = Store.flush_stats store in
+  Alcotest.(check int) "dedup happened at staging time" 3 fs.Store.fs_pages
+
 let qcheck_tests =
   [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"coalesced flush: crash/recover preserves every retained epoch"
+         ~count:20
+         QCheck.(
+           pair
+             (list_of_size (Gen.int_range 2 5)
+                (list_of_size (Gen.int_range 1 60)
+                   (pair (int_range 0 900) printable_char)))
+             (int_range 0 3))
+         (fun (epochs_spec, keep_extra) ->
+           let clock = Clock.create () in
+           let dev = Striped.create () in
+           let store = Store.format ~dev ~clock in
+           let oid = Store.alloc_oid store in
+           List.iter
+             (fun pages ->
+               ignore (Store.begin_checkpoint store);
+               Store.put_object store ~oid ~kind:"memory" ~meta:"equiv";
+               Store.put_pages store ~oid
+                 (List.map (fun (idx, c) -> (idx, payload c)) pages);
+               ignore (Store.commit_checkpoint store))
+             epochs_spec;
+           (* Pruning also exercises leaf-cache invalidation of freed
+              blocks before the crash. *)
+           ignore (Store.prune_history store ~keep:(1 + keep_extra));
+           Store.wait_durable store;
+           let epochs = Store.checkpoint_epochs store in
+           let before =
+             List.map
+               (fun e ->
+                 ( e,
+                   Store.read_meta store ~epoch:e ~oid,
+                   Store.read_pages store ~epoch:e ~oid ))
+               epochs
+           in
+           Striped.crash dev ~now:(Clock.now clock);
+           let store2 = Store.recover ~dev ~clock in
+           Store.checkpoint_epochs store2 = epochs
+           && List.for_all
+                (fun (e, meta, pages) ->
+                  Store.read_meta store2 ~epoch:e ~oid = meta
+                  && Store.read_pages store2 ~epoch:e ~oid = pages)
+                before));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"store round-trips random page sets over epochs" ~count:40
          QCheck.(
@@ -411,6 +482,7 @@ let () =
           Alcotest.test_case "incremental COW" `Quick test_incremental_cow;
           Alcotest.test_case "carry forward" `Quick test_unchanged_object_carries_forward;
           Alcotest.test_case "double begin" `Quick test_double_begin_rejected;
+          Alcotest.test_case "put_pages newest wins" `Quick test_put_pages_newest_wins;
           Alcotest.test_case "history time travel" `Quick test_history_is_time_travel;
         ] );
       ( "recovery",
