@@ -1,0 +1,71 @@
+(* Crash-consistency torture sweep driver.
+
+   `torture_sweep fast` (the @torture alias, wired into runtest) runs the
+   standard-workload crash-point enumeration plus small randomized fault
+   sweeps; `torture_sweep deep [seed]` (@torture-deep) adds random-workload
+   enumerations and much larger sweeps.  Exit status is nonzero on any
+   enumeration failure, and every run prints the seeds involved so a
+   failure reproduces by rerunning with the same arguments. *)
+
+module Workload = Aurora_faultsim.Workload
+module Injector = Aurora_faultsim.Injector
+module Torture = Aurora_faultsim.Torture
+module Rng = Aurora_util.Rng
+
+let enumeration_ok = ref true
+
+let run_enumeration label ops =
+  let r = Torture.enumerate ops in
+  Printf.printf "enumerate %-18s %4d boundaries, %5d crash points, %d failures\n%!"
+    label r.Torture.r_boundaries r.Torture.r_crash_points
+    (List.length r.Torture.r_failures);
+  List.iter
+    (fun f -> Printf.printf "  FAIL %s\n%!" (Torture.pp_failure f))
+    r.Torture.r_failures;
+  if r.Torture.r_failures <> [] then enumeration_ok := false
+
+let run_sweep label ~seed ~runs profile =
+  let s = Torture.sweep ~seed ~runs profile in
+  Printf.printf
+    "sweep %-16s seed=%-6d runs=%-3d match=%d detected=%d degraded=%d read_faults=%d\n%!"
+    label seed runs s.Torture.s_final_matches s.Torture.s_detected
+    s.Torture.s_degraded s.Torture.s_read_faults
+
+let fast () =
+  run_enumeration "standard" Workload.standard;
+  run_sweep "read-errors" ~seed:42 ~runs:4 (Injector.read_errors_profile 0.05);
+  run_sweep "write-loss" ~seed:42 ~runs:4 (Injector.write_loss_profile 0.1)
+
+let deep seed =
+  run_enumeration "standard" Workload.standard;
+  for i = 0 to 2 do
+    let rng = Rng.create (seed + i) in
+    let ops = Workload.gen_ops rng ~n:10 ~max_oid:5 ~max_pages:12 in
+    run_enumeration (Printf.sprintf "random(seed=%d)" (seed + i)) ops
+  done;
+  run_sweep "read-errors" ~seed ~runs:25 (Injector.read_errors_profile 0.1);
+  run_sweep "write-loss" ~seed ~runs:25 (Injector.write_loss_profile 0.15);
+  run_sweep "mixed"
+    ~seed:(seed + 17) ~runs:25
+    {
+      Injector.p_drop = 0.03;
+      p_torn = 0.03;
+      p_delay = 0.1;
+      max_delay_ns = 200_000;
+      p_read_fail = 0.05;
+      p_flip = 0.0;
+    }
+
+let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "fast" :: _ | [ _ ] -> fast ()
+  | _ :: "deep" :: rest ->
+      let seed = match rest with s :: _ -> int_of_string s | [] -> 20260807 in
+      deep seed
+  | _ ->
+      prerr_endline "usage: torture_sweep [fast | deep [seed]]";
+      exit 2);
+  if not !enumeration_ok then begin
+    prerr_endline "torture_sweep: crash-point enumeration found failures";
+    exit 1
+  end

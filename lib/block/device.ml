@@ -14,6 +14,7 @@ type t = {
   mutable written : int;
   mutable read_bytes : int;
   mutable ops : int;
+  mutable fault : Fault.t option;
 }
 
 let create ~name =
@@ -25,9 +26,12 @@ let create ~name =
     written = 0;
     read_bytes = 0;
     ops = 0;
+    fault = None;
   }
 
 let name t = t.dev_name
+let set_fault t f = t.fault <- f
+let fault t = t.fault
 
 (* Apply a byte-range write onto the sector map.  Sectors store only
    their materialized prefix (the suffix is implicitly zero), so a store
@@ -63,14 +67,47 @@ let apply_committed t ~off data =
    completion additionally trails by the device latency.  A lone 4 KiB
    write therefore costs latency + transfer, while a deep queue of writes
    streams at full bandwidth — as a real NVMe pipeline does. *)
+(* Ask the installed fault handler (if any) what this submission's fate
+   is; may raise Fault.Crash_point to stop the run at this boundary. *)
+let consult_fault t ~now ~off ~len ~segments =
+  match t.fault with
+  | None -> (Fault.Land, None)
+  | Some f ->
+      let outcome, info =
+        Fault.write_outcome f ~dev:t.dev_name ~now ~off ~len ~segments
+      in
+      (outcome, Some (f, info))
+
+let report_completion faulted ~completion =
+  match faulted with
+  | None -> ()
+  | Some (f, info) -> Fault.write_complete f info ~completion
+
+(* Land a plain write under the fault outcome.  The caller always sees the
+   acknowledged completion; what reaches media — and when it becomes
+   durable — is the outcome's business. *)
+let land_write t ~outcome ~completion ~off data =
+  match outcome with
+  | Fault.Drop -> ()
+  | Fault.Torn nsectors ->
+      let keep = min (Bytes.length data) (nsectors * sector_size) in
+      if keep > 0 then
+        t.inflight <- { completion; off; data = Bytes.sub data 0 keep } :: t.inflight
+  | Fault.Delay d ->
+      t.inflight <- { completion = completion + d; off; data = Bytes.copy data } :: t.inflight
+  | Fault.Land ->
+      t.inflight <- { completion; off; data = Bytes.copy data } :: t.inflight
+
 let submit_write ?charge t ~now ~off data ~latency =
   let len = Bytes.length data in
   let charged = match charge with Some c -> c | None -> len in
+  let outcome, faulted = consult_fault t ~now ~off ~len:charged ~segments:1 in
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth charged in
   let completion = Resource.submit t.queue ~now ~duration:transfer + latency in
-  t.inflight <- { completion; off; data = Bytes.copy data } :: t.inflight;
+  land_write t ~outcome ~completion ~off data;
   t.written <- t.written + charged;
   t.ops <- t.ops + 1;
+  report_completion faulted ~completion;
   completion
 
 let write ?charge t ~now ~off data =
@@ -83,17 +120,45 @@ let write ?charge t ~now ~off data =
    device takes ownership of the payload bytes (callers pass fresh
    slices), so the hot path does one copy, not two. *)
 let submit_extent t ~now ~off ~len segments =
+  let outcome, faulted =
+    consult_fault t ~now ~off ~len ~segments:(List.length segments)
+  in
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
   let completion =
     Resource.submit t.queue ~now ~duration:transfer + Cost.nvme_write_latency
   in
-  List.iter
-    (fun (rel, data) ->
-      if Bytes.length data > 0 then
-        t.inflight <- { completion; off = off + rel; data } :: t.inflight)
-    segments;
+  let land_segs completion segments =
+    List.iter
+      (fun (rel, data) ->
+        if Bytes.length data > 0 then
+          t.inflight <- { completion; off = off + rel; data } :: t.inflight)
+      segments
+  in
+  (match outcome with
+  | Fault.Land -> land_segs completion segments
+  | Fault.Drop -> ()
+  | Fault.Torn n -> land_segs completion (List.filteri (fun i _ -> i < n) segments)
+  | Fault.Delay d -> land_segs (completion + d) segments);
   t.written <- t.written + len;
   t.ops <- t.ops + 1;
+  report_completion faulted ~completion;
+  completion
+
+(* Priority-lane write: occupies the shared queue for the transfer (the
+   bytes still consume device bandwidth) but completes — and becomes
+   durable — at the caller-supplied [completion] from the priority lane's
+   own arbitration.  The synchronous journal append path uses this so a
+   record acknowledged at its sync completion really is durable then,
+   rather than whenever the background flush queue drains. *)
+let write_priority t ~now ~off data ~completion =
+  let len = Bytes.length data in
+  let outcome, faulted = consult_fault t ~now ~off ~len ~segments:1 in
+  let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
+  ignore (Resource.submit t.queue ~now ~duration:transfer);
+  land_write t ~outcome ~completion ~off data;
+  t.written <- t.written + len;
+  t.ops <- t.ops + 1;
+  report_completion faulted ~completion;
   completion
 
 let write_sync ?charge t ~clock ~off data =
@@ -153,7 +218,25 @@ let read t ~clock ~off ~len =
   in
   Clock.advance_to clock completion;
   t.read_bytes <- t.read_bytes + len;
-  read_nocharge t ~off ~len
+  match t.fault with
+  | None -> read_nocharge t ~off ~len
+  | Some f -> (
+      (* The attempt's device time is charged above whatever the outcome:
+         a failed or corrupted read still occupied the queue. *)
+      match Fault.read_outcome f ~dev:t.dev_name ~now:(Clock.now clock) ~off ~len with
+      | Fault.Clean -> read_nocharge t ~off ~len
+      | Fault.Fail ->
+          raise
+            (Fault.Io_error
+               (Printf.sprintf "%s: transient read error at %d+%d" t.dev_name off len))
+      | Fault.Flip offs ->
+          let out = read_nocharge t ~off ~len in
+          List.iter
+            (fun o ->
+              if o >= 0 && o < len then
+                Bytes.set out o (Char.chr (Char.code (Bytes.get out o) lxor 0x40)))
+            offs;
+          out)
 
 let durable_until t =
   List.fold_left (fun acc p -> max acc p.completion) 0 t.inflight
@@ -164,23 +247,35 @@ let settle t ~clock =
 
 let apply_durable t ~now = commit_until t now
 
+let reset_stats t =
+  t.written <- 0;
+  t.read_bytes <- 0;
+  t.ops <- 0
+
 let crash t ~now =
   commit_until t now;
   t.inflight <- [];
-  Resource.reset t.queue
+  Resource.reset t.queue;
+  (* The machine is rebooting: host-side counters restart with it, and with
+     the in-flight list empty durable_until is 0 again — a fresh submission
+     on the recovered device starts from a consistent baseline instead of
+     inheriting the dead run's accounting. *)
+  reset_stats t
 
 let export_sectors t =
   Hashtbl.fold (fun idx sector acc -> (idx, Bytes.copy sector) :: acc) t.committed []
   |> List.sort compare
 
 let import_sectors t sectors =
+  (* Importing an image replaces the device's state wholesale: dropping
+     stale committed sectors, queued writes and counters makes the call
+     safe on a used device, not only on a freshly created one. *)
+  Hashtbl.reset t.committed;
+  t.inflight <- [];
+  Resource.reset t.queue;
+  reset_stats t;
   List.iter (fun (idx, sector) -> Hashtbl.replace t.committed idx (Bytes.copy sector)) sectors
 
 let bytes_written t = t.written
 let bytes_read t = t.read_bytes
 let write_ops t = t.ops
-
-let reset_stats t =
-  t.written <- 0;
-  t.read_bytes <- 0;
-  t.ops <- 0

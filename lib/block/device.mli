@@ -16,6 +16,14 @@ val create : name:string -> t
 
 val name : t -> string
 
+(** {1 Fault injection} *)
+
+val set_fault : t -> Fault.t option -> unit
+(** Install (or clear) a fault handler consulted at every submission and
+    every charged read; see {!Fault}. *)
+
+val fault : t -> Fault.t option
+
 (** {1 Data path} *)
 
 val write : ?charge:int -> t -> now:int -> off:int -> bytes -> int
@@ -42,9 +50,19 @@ val submit_extent : t -> now:int -> off:int -> len:int -> (int * bytes) list -> 
     operation.  This is the unit the coalesced checkpoint flush pipeline
     submits per device per extent. *)
 
+val write_priority : t -> now:int -> off:int -> bytes -> completion:int -> int
+(** [write_priority t ~now ~off data ~completion] submits through the
+    priority lane: the shared queue is occupied for the transfer (bandwidth
+    accounting) but the write completes — and becomes durable — at the
+    caller-supplied [completion].  The synchronous journal append path uses
+    this so its acknowledgement time and durability time coincide. *)
+
 val read : t -> clock:Aurora_sim.Clock.t -> off:int -> len:int -> bytes
 (** Read [len] bytes at [off], charging read latency + transfer time.
-    Unwritten ranges read as zeroes, as on a trimmed flash namespace. *)
+    Unwritten ranges read as zeroes, as on a trimmed flash namespace.
+    With a fault handler installed this may raise {!Fault.Io_error} or
+    return deliberately corrupted bytes; the device time is charged either
+    way. *)
 
 val read_nocharge : t -> off:int -> len:int -> bytes
 (** Read without charging time; used by integrity checks in tests. *)
@@ -70,7 +88,9 @@ val apply_durable : t -> now:int -> unit
 
 val crash : t -> now:int -> unit
 (** Power failure at virtual time [now]: writes with completion <= [now]
-    are durable, all others vanish.  The queue resets. *)
+    are durable, all others vanish.  The queue resets, {!durable_until}
+    returns 0 again, and the accounting counters restart — the rebooted
+    machine's measurements start from a consistent baseline. *)
 
 (** {1 Host-file persistence}
 
@@ -84,7 +104,9 @@ val export_sectors : t -> (int * bytes) list
 (** [(sector index, 4 KiB sector)] of every committed sector. *)
 
 val import_sectors : t -> (int * bytes) list -> unit
-(** Load committed sectors into a fresh device. *)
+(** Replace the device's state with the given committed sectors.  Existing
+    committed sectors, queued writes and statistics are discarded first, so
+    the call is consistent on a used device as well as a fresh one. *)
 
 (** {1 Accounting} *)
 

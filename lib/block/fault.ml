@@ -1,0 +1,62 @@
+exception Io_error of string
+exception Crash_point of { index : int; now : int }
+
+type write_outcome =
+  | Land
+  | Drop
+  | Torn of int
+  | Delay of int
+
+type read_outcome =
+  | Clean
+  | Flip of int list
+  | Fail
+
+type write_info = {
+  w_dev : string;
+  w_index : int;
+  w_now : int;
+  w_off : int;
+  w_len : int;
+  w_segments : int;
+}
+
+type read_info = { r_dev : string; r_now : int; r_off : int; r_len : int }
+
+type t = {
+  mutable on_write : write_info -> write_outcome;
+  mutable on_complete : write_info -> completion:int -> unit;
+  mutable on_read : read_info -> read_outcome;
+  mutable submissions : int;
+}
+
+let create () =
+  {
+    on_write = (fun _ -> Land);
+    on_complete = (fun _ ~completion:_ -> ());
+    on_read = (fun _ -> Clean);
+    submissions = 0;
+  }
+
+let submissions t = t.submissions
+
+(* Device-side entry points ------------------------------------------------- *)
+
+let write_outcome t ~dev ~now ~off ~len ~segments =
+  t.submissions <- t.submissions + 1;
+  let info =
+    {
+      w_dev = dev;
+      w_index = t.submissions;
+      w_now = now;
+      w_off = off;
+      w_len = len;
+      w_segments = segments;
+    }
+  in
+  (t.on_write info, info)
+
+let write_complete t info ~completion = t.on_complete info ~completion
+
+let read_outcome t ~dev ~now ~off ~len =
+  t.on_read { r_dev = dev; r_now = now; r_off = off; r_len = len }

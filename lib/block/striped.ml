@@ -127,6 +127,14 @@ let write_vec t ~now ~off ~len segments =
     !completion
   end
 
+(* Priority-lane write (see Device.write_priority): fragments share the
+   caller-supplied completion. *)
+let write_priority t ~now ~off data ~completion =
+  iter_fragments t ~off ~len:(Bytes.length data) (fun dev dev_off frag_off frag_len ->
+      let frag = payload_slice data frag_off frag_len in
+      ignore (Device.write_priority dev ~now ~off:dev_off frag ~completion));
+  completion
+
 let write_sync ?charge t ~clock ~off data =
   let len = max (Bytes.length data) (match charge with Some c -> c | None -> 0) in
   iter_fragments t ~off ~len (fun dev dev_off frag_off frag_len ->
@@ -171,6 +179,11 @@ let durable_until t =
 
 let apply_durable t ~now = Array.iter (fun d -> Device.apply_durable d ~now) t.devs
 let crash t ~now = Array.iter (fun d -> Device.crash d ~now) t.devs
+
+(* One handler shared by every member device: the submission counter is
+   global, so an index names a boundary of the whole array. *)
+let set_fault t f = Array.iter (fun d -> Device.set_fault d f) t.devs
+let fault t = Device.fault t.devs.(0)
 
 let image_magic = "AURIMAGE"
 

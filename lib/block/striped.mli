@@ -31,8 +31,19 @@ val write_vec : t -> now:int -> off:int -> len:int -> (int * bytes) array -> int
 
 val write_sync : ?charge:int -> t -> clock:Aurora_sim.Clock.t -> off:int -> bytes -> unit
 
+val write_priority : t -> now:int -> off:int -> bytes -> completion:int -> int
+(** Priority-lane write ({!Device.write_priority}): all fragments become
+    durable at the caller-supplied [completion], which is also returned. *)
+
 val read : t -> clock:Aurora_sim.Clock.t -> off:int -> len:int -> bytes
 val read_nocharge : t -> off:int -> len:int -> bytes
+
+val set_fault : t -> Fault.t option -> unit
+(** Install one fault handler on every member device.  The handler's
+    submission counter is shared, so a submission index identifies a global
+    device-submission boundary of the array. *)
+
+val fault : t -> Fault.t option
 
 val charge_read : t -> clock:Aurora_sim.Clock.t -> bytes:int -> unit
 (** Charge a bulk streamed read of [bytes], spread across the member

@@ -1,0 +1,150 @@
+(* Pure in-OCaml reference model of the object store's durable contents.
+
+   The model applies the same ops the runner feeds the real store and
+   renders its state in the same canonical form Torture.observe extracts
+   from a recovered store, so "recovered store == some model snapshot" is
+   a byte-equality check.  Committed epochs are frozen as render chunks at
+   commit time — the store's epochs are immutable after commit, so their
+   canonical form never changes either. *)
+
+type live = {
+  mutable l_kind : string;
+  mutable l_meta : string;
+  l_pages : (int, string) Hashtbl.t; (* page index -> payload *)
+}
+
+type mjournal = {
+  mj_id : int;
+  mj_capacity : int;
+  mutable mj_head : int;
+  mutable mj_records : string list; (* newest first *)
+}
+
+type t = {
+  live : (int, live) Hashtbl.t; (* oid -> newest committed version *)
+  mutable epochs : (int * string) list; (* (epoch, frozen chunk), oldest first *)
+  mutable next_epoch : int;
+  mutable journals : mjournal list; (* ascending id *)
+}
+
+let create () =
+  { live = Hashtbl.create 32; epochs = []; next_epoch = 0; journals = [] }
+
+let escaped s = String.escaped s
+
+let render_object oid l =
+  let pages =
+    Hashtbl.fold (fun idx payload acc -> (idx, payload) :: acc) l.l_pages []
+    |> List.sort compare
+    |> List.map (fun (idx, payload) -> Printf.sprintf "%d:%s" idx (escaped payload))
+    |> String.concat ","
+  in
+  Printf.sprintf "O%d|%s|%s|%s;\n" oid l.l_kind (escaped l.l_meta) pages
+
+let freeze_epoch t epoch =
+  let objs =
+    Hashtbl.fold (fun oid l acc -> (oid, l) :: acc) t.live []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "E%d\n" epoch);
+  List.iter (fun (oid, l) -> Buffer.add_string b (render_object oid l)) objs;
+  Buffer.contents b
+
+let apply t (op : Workload.op) =
+  match op with
+  | Checkpoint objs ->
+      t.next_epoch <- t.next_epoch + 1;
+      (* Mirror staging: the last put_object for an oid wins wholesale,
+         pages accumulate newest-wins across all of its entries. *)
+      let staged = Hashtbl.create 8 in
+      List.iter
+        (fun (oid, kind, meta, pages) ->
+          let kref, mref, ptbl =
+            match Hashtbl.find_opt staged oid with
+            | Some e -> e
+            | None ->
+                let e = (ref "", ref "", Hashtbl.create 8) in
+                Hashtbl.replace staged oid e;
+                e
+          in
+          kref := kind;
+          mref := meta;
+          List.iter
+            (fun (idx, c) ->
+              Hashtbl.replace ptbl idx (Bytes.to_string (Workload.page_payload c)))
+            pages)
+        objs;
+      Hashtbl.iter
+        (fun oid (kref, mref, ptbl) ->
+          let l =
+            match Hashtbl.find_opt t.live oid with
+            | Some l -> l
+            | None ->
+                let l = { l_kind = "memory"; l_meta = ""; l_pages = Hashtbl.create 16 } in
+                Hashtbl.replace t.live oid l;
+                l
+          in
+          if !kref <> "" then l.l_kind <- !kref;
+          if !mref <> "" then l.l_meta <- !mref;
+          Hashtbl.iter (fun idx payload -> Hashtbl.replace l.l_pages idx payload) ptbl)
+        staged;
+      t.epochs <- t.epochs @ [ (t.next_epoch, freeze_epoch t t.next_epoch) ]
+  | Prune keep ->
+      let keep = max 1 keep in
+      let n = List.length t.epochs in
+      if n > keep then
+        t.epochs <-
+          (let rec drop i = function
+             | l when i = 0 -> l
+             | _ :: rest -> drop (i - 1) rest
+             | [] -> []
+           in
+           drop (n - keep) t.epochs)
+  | Journal_create size ->
+      let id = List.length t.journals + 1 in
+      t.journals <-
+        t.journals
+        @ [
+            {
+              mj_id = id;
+              mj_capacity = Workload.journal_capacity_of_size size;
+              mj_head = 0;
+              mj_records = [];
+            };
+          ]
+  | Journal_append (id, data) -> (
+      match List.find_opt (fun j -> j.mj_id = id) t.journals with
+      | Some j ->
+          let len = Workload.journal_record_len data in
+          if j.mj_head + len <= j.mj_capacity then begin
+            j.mj_head <- j.mj_head + len;
+            j.mj_records <- data :: j.mj_records
+          end
+      | None -> ())
+  | Journal_truncate id -> (
+      match List.find_opt (fun j -> j.mj_id = id) t.journals with
+      | Some j ->
+          j.mj_head <- 0;
+          j.mj_records <- []
+      | None -> ())
+  | Wait | Advance _ -> ()
+
+let render_journal j =
+  Printf.sprintf "J%d|%s;\n" j.mj_id
+    (String.concat "," (List.rev_map escaped j.mj_records))
+
+(* Epoch and journal state render separately because they crash
+   independently: checkpoint durability is asynchronous while journal
+   appends are synchronous, so a crash can legitimately observe the
+   journals of a later snapshot than the epochs. *)
+let render_parts t =
+  let eb = Buffer.create 1024 in
+  List.iter (fun (_, chunk) -> Buffer.add_string eb chunk) t.epochs;
+  let jb = Buffer.create 256 in
+  List.iter (fun j -> Buffer.add_string jb (render_journal j)) t.journals;
+  (Buffer.contents eb, Buffer.contents jb)
+
+let render t =
+  let e, j = render_parts t in
+  e ^ j

@@ -1,0 +1,25 @@
+(** Pure reference model of the object store's durable contents.
+
+    {!apply} mirrors, op for op, what a {!Workload.runner} does to the
+    real store; {!render} produces the canonical form that
+    {!Torture.observe} extracts from a recovered store, so model/store
+    agreement is plain string equality.  The model has no device, no
+    timing and no caches — it is the specification the torture harness
+    checks the store against. *)
+
+type t
+
+val create : unit -> t
+val apply : t -> Workload.op -> unit
+
+val render : t -> string
+(** Canonical state: every retained epoch (its full object table — kind,
+    meta, resident pages), then every journal's replayable records, each
+    on "E"/"O"/"J"-prefixed lines with escaped payloads. *)
+
+val render_parts : t -> string * string
+(** [(epochs, journals)] rendered separately.  The crash-point enumerator
+    matches the two components against possibly different snapshots:
+    checkpoints become durable asynchronously while journal appends are
+    synchronous, so a crash may observe a later journal state than epoch
+    state — a legitimate, linearizable outcome. *)

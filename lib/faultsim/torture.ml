@@ -1,0 +1,316 @@
+module Clock = Aurora_sim.Clock
+module Fault = Aurora_block.Fault
+module Striped = Aurora_block.Striped
+module Store = Aurora_objstore.Store
+module Rng = Aurora_util.Rng
+
+(* Virtual time a single recovery may consume before the watchdog trips:
+   generous for any sane read-retry schedule, small enough to catch a
+   recovery that spins. *)
+let recovery_budget_ns = 10_000_000_000
+
+(* Canonical observation of a (typically just-recovered) store, in exactly
+   the format Model.render_parts produces: (epochs, journals). *)
+let observe_parts store =
+  let eb = Buffer.create 1024 in
+  List.iter
+    (fun epoch ->
+      Buffer.add_string eb (Printf.sprintf "E%d\n" epoch);
+      List.iter
+        (fun (oid, kind) ->
+          let meta = Store.read_meta store ~epoch ~oid in
+          let pages =
+            Store.read_pages store ~epoch ~oid
+            |> List.map (fun (idx, payload) ->
+                   Printf.sprintf "%d:%s" idx (String.escaped (Bytes.to_string payload)))
+            |> String.concat ","
+          in
+          Buffer.add_string eb
+            (Printf.sprintf "O%d|%s|%s|%s;\n" oid kind (String.escaped meta) pages))
+        (Store.objects_at store ~epoch))
+    (Store.checkpoint_epochs store);
+  let jb = Buffer.create 256 in
+  let rec probe id =
+    match Store.journal_find store id with
+    | None -> ()
+    | Some j ->
+        Buffer.add_string jb
+          (Printf.sprintf "J%d|%s;\n" id
+             (String.concat ","
+                (List.map String.escaped (Store.journal_records store j))));
+        probe (id + 1)
+  in
+  probe 1;
+  (Buffer.contents eb, Buffer.contents jb)
+
+let observe store =
+  let e, j = observe_parts store in
+  e ^ j
+
+(* Recording run ------------------------------------------------------------ *)
+
+type recording = {
+  rc_eps : string array; (* model epoch render after first k ops, k in 0..N *)
+  rc_jrn : string array; (* model journal render after first k ops *)
+  rc_guarantees : int array;
+      (* rc_guarantees.(k): crash at T >= it implies snapshot k is durable.
+         Running max of per-op durability times — Store.durable_at for
+         asynchronous checkpoints, the post-op clock for synchronous ops. *)
+  rc_timeline : (int, int) Hashtbl.t; (* submission index -> ack completion *)
+  rc_submissions : int;
+}
+
+let record ?(misorder = false) ops =
+  let ops_a = Array.of_list ops in
+  let n = Array.length ops_a in
+  let clock = Clock.create () in
+  let dev = Striped.create () in
+  let store = Store.format ~dev ~clock in
+  if misorder then Store.set_torture_misorder store true;
+  (* The fault handler goes in after format: submission 1 is the first
+     workload write, and the enumerator never crashes inside format. *)
+  let fault, timeline = Injector.counting () in
+  Striped.set_fault dev (Some fault);
+  let runner = Workload.runner store in
+  let model = Model.create () in
+  let eps = Array.make (n + 1) "" in
+  let jrn = Array.make (n + 1) "" in
+  let gua = Array.make (n + 1) 0 in
+  let e0, j0 = Model.render_parts model in
+  eps.(0) <- e0;
+  jrn.(0) <- j0;
+  Array.iteri
+    (fun i op ->
+      Workload.run_op runner op;
+      Model.apply model op;
+      let e, j = Model.render_parts model in
+      eps.(i + 1) <- e;
+      jrn.(i + 1) <- j;
+      let g_op =
+        match op with
+        | Workload.Checkpoint _ -> Store.durable_at store
+        | Workload.Advance _ -> gua.(i)
+        | _ -> Clock.now clock
+      in
+      gua.(i + 1) <- max gua.(i) g_op)
+    ops_a;
+  Striped.set_fault dev None;
+  {
+    rc_eps = eps;
+    rc_jrn = jrn;
+    rc_guarantees = gua;
+    rc_timeline = timeline;
+    rc_submissions = Fault.submissions fault;
+  }
+
+(* Replay [ops] against a fresh store with a crash planted at global device
+   submission [stop]; returns the crashed device, the virtual time at which
+   Crash_point fired (None if the workload completed first) and how many
+   ops finished. *)
+let replay_to_crash ?(misorder = false) ops ~stop =
+  let clock = Clock.create () in
+  let dev = Striped.create () in
+  let store = Store.format ~dev ~clock in
+  if misorder then Store.set_torture_misorder store true;
+  Striped.set_fault dev (Some (Injector.crash_at ~index:stop));
+  let runner = Workload.runner store in
+  let ops_done = ref 0 in
+  let crash_now =
+    try
+      List.iter
+        (fun op ->
+          Workload.run_op runner op;
+          incr ops_done)
+        ops;
+      None
+    with Fault.Crash_point { now; _ } -> Some now
+  in
+  Striped.set_fault dev None;
+  (dev, crash_now, !ops_done)
+
+(* Crash-point enumeration --------------------------------------------------- *)
+
+type failure = {
+  f_boundary : int;
+  f_mode : string;
+  f_crash_time : int;
+  f_detail : string;
+}
+
+type report = {
+  r_boundaries : int;
+  r_crash_points : int;
+  r_failures : failure list;
+}
+
+let pp_failure f =
+  Printf.sprintf "boundary %d (%s, T=%d): %s" f.f_boundary f.f_mode f.f_crash_time
+    f.f_detail
+
+let recover_observed dev ~crash_time =
+  let rclock = Clock.create () in
+  Clock.on_advance rclock (fun t ->
+      if t > crash_time + recovery_budget_ns then
+        failwith "recovery watchdog: virtual-time budget exhausted");
+  let store = Store.recover ~dev ~clock:rclock in
+  observe_parts store
+
+(* One crash scenario: replay to [stop], cut durability at [crash_time],
+   recover, and demand the observation equals some model snapshot in the
+   window the durability guarantees allow.  Epochs and journals may match
+   different snapshots: checkpoint durability is asynchronous while journal
+   appends are synchronous, so the journals legitimately run ahead. *)
+let check_point rc ops ~misorder ~nops ~boundary ~mode ~stop ~time =
+  let dev, crash_now, ops_done = replay_to_crash ~misorder ops ~stop in
+  let crash_time =
+    match time with
+    | `At_raise -> ( match crash_now with Some t -> t | None -> 0)
+    | `Fixed t -> t
+  in
+  Striped.crash dev ~now:crash_time;
+  (* An op interrupted mid-flight may have made its decisive write durable
+     already (e.g. a truncate's generation bump), so the in-progress op's
+     snapshot stays in the window. *)
+  let ub = match crash_now with Some _ -> min nops (ops_done + 1) | None -> nops in
+  (* Durability guarantees assume the op issued all of its writes, so they
+     bind only up to the last op that finished: the in-progress op's
+     submissions were cut off, and [crash_time] can lie far past the cut
+     (a crashed host whose device drained its queue). *)
+  let lb =
+    let glimit = match crash_now with Some _ -> ops_done | None -> nops in
+    let rec go best k =
+      if k > glimit then best
+      else if rc.rc_guarantees.(k) <= crash_time then go k (k + 1)
+      else best
+    in
+    go 0 0
+  in
+  match recover_observed dev ~crash_time with
+  | eobs, jobs ->
+      let find arr target =
+        let rec go k =
+          if k > ub then None else if arr.(k) = target then Some k else go (k + 1)
+        in
+        go lb
+      in
+      let me = find rc.rc_eps eobs and mj = find rc.rc_jrn jobs in
+      if me <> None && mj <> None then None
+      else
+        let side name = function
+          | Some k -> Printf.sprintf "%s = snapshot %d" name k
+          | None -> Printf.sprintf "%s matches none" name
+        in
+        Some
+          {
+            f_boundary = boundary;
+            f_mode = mode;
+            f_crash_time = crash_time;
+            f_detail =
+              Printf.sprintf "no snapshot in [%d,%d] fits (%s; %s)" lb ub
+                (side "epochs" me) (side "journals" mj);
+          }
+  | exception exn ->
+      Some
+        {
+          f_boundary = boundary;
+          f_mode = mode;
+          f_crash_time = crash_time;
+          f_detail = "recovery raised " ^ Printexc.to_string exn;
+        }
+
+let enumerate ?(misorder = false) ops =
+  let rc = record ~misorder ops in
+  let nops = List.length ops in
+  let failures = ref [] in
+  let points = ref 0 in
+  let run ~boundary ~mode ~stop ~time =
+    incr points;
+    match check_point rc ops ~misorder ~nops ~boundary ~mode ~stop ~time with
+    | None -> ()
+    | Some f -> failures := f :: !failures
+  in
+  for k = 1 to rc.rc_submissions do
+    let completion =
+      match Hashtbl.find_opt rc.rc_timeline k with
+      | Some c -> c
+      | None -> invalid_arg "Torture.enumerate: missing timeline entry"
+    in
+    (* Three durability horizons around boundary k: before its submission
+       is issued, after it is issued but before it completes, and exactly
+       at its completion. *)
+    run ~boundary:k ~mode:"pre-submit" ~stop:k ~time:`At_raise;
+    run ~boundary:k ~mode:"pre-complete" ~stop:(k + 1) ~time:(`Fixed (completion - 1));
+    run ~boundary:k ~mode:"post-complete" ~stop:(k + 1) ~time:(`Fixed completion)
+  done;
+  {
+    r_boundaries = rc.rc_submissions;
+    r_crash_points = !points;
+    r_failures = List.rev !failures;
+  }
+
+(* Randomized fault sweeps ---------------------------------------------------- *)
+
+type sweep_report = {
+  s_runs : int;
+  s_final_matches : int; (* recovered/observed state == the model's final state *)
+  s_detected : int; (* recovery or observation raised: corruption detected *)
+  s_degraded : int;
+      (* parseable but different state.  Without block checksums the store
+         cannot always detect silently dropped writes; these are counted,
+         not failed. *)
+  s_read_faults : int; (* transient read errors absorbed by store retries *)
+}
+
+let read_only_profile (p : Injector.profile) =
+  p.p_drop = 0. && p.p_torn = 0. && p.p_delay = 0.
+
+let sweep ~seed ~runs (profile : Injector.profile) =
+  let final_matches = ref 0 in
+  let detected = ref 0 in
+  let degraded = ref 0 in
+  let read_faults = ref 0 in
+  for r = 0 to runs - 1 do
+    let rng = Rng.create (seed + (r * 7919)) in
+    let ops = Workload.gen_ops rng ~n:12 ~max_oid:6 ~max_pages:20 in
+    let model = Model.create () in
+    List.iter (Model.apply model) ops;
+    let want = Model.render model in
+    let clock = Clock.create () in
+    let dev = Striped.create () in
+    let store = Store.format ~dev ~clock in
+    if profile.p_read_fail > 0. || profile.p_flip > 0. then
+      (* Deep retry budget so a sweep-scale observation survives unlucky
+         streaks; persistence past it still surfaces as Io_error. *)
+      Store.set_read_policy store ~retries:8 ~backoff_ns:20_000;
+    Striped.set_fault dev (Some (Injector.random ~seed:(seed lxor (r * 31)) profile));
+    let runner = Workload.runner store in
+    List.iter (Workload.run_op runner) ops;
+    Store.wait_durable store;
+    Striped.settle dev ~clock;
+    if read_only_profile profile then begin
+      (* Read-path faults leave the media intact: observing the live store
+         through the installed fault must still reproduce the model, with
+         the retry policy absorbing the transient errors. *)
+      (match observe store with
+      | obs -> if obs = want then incr final_matches else incr degraded
+      | exception _ -> incr detected);
+      read_faults := !read_faults + Store.read_faults store
+    end
+    else begin
+      Striped.set_fault dev None;
+      Striped.crash dev ~now:(Clock.now clock);
+      match
+        let eobs, jobs = recover_observed dev ~crash_time:(Clock.now clock) in
+        eobs ^ jobs
+      with
+      | obs -> if obs = want then incr final_matches else incr degraded
+      | exception _ -> incr detected
+    end
+  done;
+  {
+    s_runs = runs;
+    s_final_matches = !final_matches;
+    s_detected = !detected;
+    s_degraded = !degraded;
+    s_read_faults = !read_faults;
+  }

@@ -1,0 +1,164 @@
+module Clock = Aurora_sim.Clock
+module Rng = Aurora_util.Rng
+module Store = Aurora_objstore.Store
+
+type op =
+  | Checkpoint of (int * string * string * (int * char) list) list
+  | Prune of int
+  | Journal_create of int
+  | Journal_append of int * string
+  | Journal_truncate of int
+  | Wait
+  | Advance of int
+
+let payload_size = 64
+let page_payload c = Bytes.make payload_size c
+
+(* Wire size of one journal record (tag u8 + gen u32 + length-prefixed
+   string); the model mirrors the store's capacity check with it. *)
+let journal_record_len data = 9 + String.length data
+
+let journal_capacity_of_size size =
+  let nblocks = max 1 ((size + Store.block_size - 1) / Store.block_size) in
+  nblocks * Store.block_size
+
+(* Printing: every op renders as a line that reads back as OCaml-ish
+   construction syntax, so a failing qcheck case is a replayable script. *)
+
+let op_to_string = function
+  | Checkpoint objs ->
+      let obj (oid, kind, meta, pages) =
+        Printf.sprintf "(%d, %S, %S, [%s])" oid kind meta
+          (String.concat "; "
+             (List.map (fun (i, c) -> Printf.sprintf "(%d, %C)" i c) pages))
+      in
+      Printf.sprintf "Checkpoint [%s]" (String.concat "; " (List.map obj objs))
+  | Prune keep -> Printf.sprintf "Prune %d" keep
+  | Journal_create size -> Printf.sprintf "Journal_create %d" size
+  | Journal_append (id, data) -> Printf.sprintf "Journal_append (%d, %S)" id data
+  | Journal_truncate id -> Printf.sprintf "Journal_truncate %d" id
+  | Wait -> "Wait"
+  | Advance ns -> Printf.sprintf "Advance %d" ns
+
+let ops_to_string ops =
+  String.concat "\n" (List.mapi (fun i op -> Printf.sprintf "  %2d: %s" i (op_to_string op)) ops)
+
+(* Running an op list against a real store ---------------------------------- *)
+
+type runner = {
+  store : Store.t;
+  journals : (int, Store.journal) Hashtbl.t;
+  mutable journal_heads : (int * int * int) list; (* id, head bytes, capacity *)
+}
+
+let runner store = { store; journals = Hashtbl.create 4; journal_heads = [] }
+
+let journal_fits t id len =
+  match List.find_opt (fun (i, _, _) -> i = id) t.journal_heads with
+  | None -> false
+  | Some (_, head, cap) -> head + len <= cap
+
+let note_append t id len =
+  t.journal_heads <-
+    List.map
+      (fun ((i, head, cap) as e) -> if i = id then (i, head + len, cap) else e)
+      t.journal_heads
+
+let run_op t op =
+  match op with
+  | Checkpoint objs ->
+      ignore (Store.begin_checkpoint t.store);
+      List.iter
+        (fun (oid, kind, meta, pages) ->
+          Store.reserve_oids t.store ~upto:oid;
+          Store.put_object t.store ~oid ~kind ~meta;
+          if pages <> [] then
+            Store.put_pages t.store ~oid
+              (List.map (fun (i, c) -> (i, page_payload c)) pages))
+        objs;
+      ignore (Store.commit_checkpoint t.store)
+  | Prune keep -> ignore (Store.prune_history t.store ~keep:(max 1 keep))
+  | Journal_create size ->
+      let j = Store.journal_create t.store ~size in
+      Hashtbl.replace t.journals (Store.journal_id j) j;
+      t.journal_heads <-
+        (Store.journal_id j, 0, journal_capacity_of_size size) :: t.journal_heads
+  | Journal_append (id, data) -> (
+      (* Appends that would overflow are skipped deterministically; the
+         model applies the identical predicate. *)
+      match Hashtbl.find_opt t.journals id with
+      | Some j when journal_fits t id (journal_record_len data) ->
+          Store.journal_append t.store j data;
+          note_append t id (journal_record_len data)
+      | Some _ | None -> ())
+  | Journal_truncate id -> (
+      match Hashtbl.find_opt t.journals id with
+      | Some j ->
+          Store.journal_truncate t.store j;
+          t.journal_heads <-
+            List.map
+              (fun ((i, _, cap) as e) -> if i = id then (i, 0, cap) else e)
+              t.journal_heads
+      | None -> ())
+  | Wait -> Store.wait_durable t.store
+  | Advance ns -> Clock.advance (Store.clock t.store) ns
+
+(* Random workloads ----------------------------------------------------------- *)
+
+let gen_checkpoint rng ~max_oid ~max_pages =
+  let nobjs = Rng.int_in rng 1 (max 1 (max_oid / 2)) in
+  Checkpoint
+    (List.init nobjs (fun _ ->
+         let oid = Rng.int_in rng 1 max_oid in
+         let npages = Rng.int_in rng 0 max_pages in
+         let pages =
+           List.init npages (fun _ ->
+               (Rng.int_in rng 0 900, Char.chr (Rng.int_in rng 33 122)))
+         in
+         (oid, "memory", Printf.sprintf "m%d" (Rng.int_in rng 0 9999), pages)))
+
+let gen_op rng ~max_oid ~max_pages =
+  match Rng.int rng 10 with
+  | 0 -> Prune (Rng.int_in rng 1 3)
+  | 1 -> Journal_create ((1 + Rng.int rng 16) * 4096)
+  | 2 | 3 -> Journal_append (Rng.int_in rng 1 3, Printf.sprintf "r%d" (Rng.int rng 100000))
+  | 4 -> Journal_truncate (Rng.int_in rng 1 3)
+  | 5 -> if Rng.bool rng then Wait else Advance (Rng.int_in rng 1_000 200_000)
+  | _ -> gen_checkpoint rng ~max_oid ~max_pages
+
+let gen_ops rng ~n ~max_oid ~max_pages =
+  List.init n (fun _ -> gen_op rng ~max_oid ~max_pages)
+
+(* The acceptance-criteria workload: three checkpoints with cross-leaf
+   page spreads, journal traffic, and a prune — replayed back-to-back with
+   no waits, so the commit pipeline stays as deep as it ever gets. *)
+let standard =
+  let pages lo n step c =
+    List.init n (fun i -> (lo + (i * step), Char.chr (Char.code c + (i mod 20))))
+  in
+  [
+    Journal_create (64 * 1024);
+    Checkpoint
+      [
+        (1, "memory", "proc-1", pages 0 40 7 'a');
+        (2, "vnode", "file-2", pages 200 30 11 'A');
+      ];
+    Journal_append (1, "record-one");
+    Checkpoint
+      [
+        (1, "memory", "proc-1b", pages 0 25 13 'g');
+        (3, "memory", "proc-3", pages 500 35 9 'p');
+      ];
+    Journal_append (1, "record-two");
+    Journal_append (1, "record-three");
+    Checkpoint
+      [ (2, "vnode", "file-2b", pages 240 20 17 'M'); (3, "memory", "", pages 510 15 23 'q') ];
+    Prune 2;
+    Journal_truncate 1;
+    Journal_append (1, "post-truncate");
+    Checkpoint [ (4, "memory", "wide", pages 0 40 101 'W') ];
+    Journal_append (1, "record-four");
+    Checkpoint
+      [ (4, "memory", "wide2", pages 20 40 97 'X'); (5, "vnode", "tail", pages 1000 25 3 'Y') ];
+    Checkpoint [ (1, "memory", "final", pages 3 12 31 'z') ];
+  ]

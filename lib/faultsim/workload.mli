@@ -1,0 +1,53 @@
+(** Recorded store workloads for crash-consistency torture.
+
+    A workload is a list of {!op} values — the unit the crash-point
+    enumerator replays deterministically and the reference {!Model}
+    applies in parallel.  Ops print as replayable OCaml-ish constructor
+    syntax so a failing qcheck counterexample is a script. *)
+
+type op =
+  | Checkpoint of (int * string * string * (int * char) list) list
+      (** [(oid, kind, meta, [(page index, fill char)])] per object; pages
+          are {!payload_size}-byte runs of the fill character.  Staged with
+          [begin_checkpoint] .. [commit_checkpoint], no wait: commits
+          pipeline. *)
+  | Prune of int  (** [Store.prune_history ~keep] (clamped to >= 1). *)
+  | Journal_create of int  (** [Store.journal_create ~size]. *)
+  | Journal_append of int * string
+      (** Append to the journal with this id; skipped (deterministically,
+          both in the runner and the model) when the journal does not exist
+          or the record would overflow it. *)
+  | Journal_truncate of int  (** Skipped when the journal does not exist. *)
+  | Wait  (** [Store.wait_durable]. *)
+  | Advance of int  (** Advance the virtual clock. *)
+
+val payload_size : int
+val page_payload : char -> bytes
+
+val journal_record_len : string -> int
+(** On-device bytes of one journal record carrying this data (the wire
+    overhead is 9 bytes: tag, generation, length prefix). *)
+
+val journal_capacity_of_size : int -> int
+(** Usable bytes of a journal created with [~size] (rounded up to whole
+    blocks, as the store does). *)
+
+val op_to_string : op -> string
+val ops_to_string : op list -> string
+
+(** {1 Replaying against a real store} *)
+
+type runner
+
+val runner : Aurora_objstore.Store.t -> runner
+val run_op : runner -> op -> unit
+
+(** {1 Workload generation} *)
+
+val gen_op : Aurora_util.Rng.t -> max_oid:int -> max_pages:int -> op
+val gen_ops : Aurora_util.Rng.t -> n:int -> max_oid:int -> max_pages:int -> op list
+
+val standard : op list
+(** The acceptance workload: three-plus pipelined checkpoints with
+    cross-leaf page spreads, journal create/append/truncate traffic and a
+    prune — a few hundred device-submission boundaries. *)

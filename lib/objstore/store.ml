@@ -108,6 +108,16 @@ type t = {
   mutable stat_pages : int;
   mutable stat_dev_base : int;
   mutable last_flush : flush_stats;
+  (* Transient-read-error policy: a charged read that raises
+     Fault.Io_error is retried up to [read_retries] times, backing off
+     exponentially from [read_backoff] ns of virtual time. *)
+  mutable read_retries : int;
+  mutable read_backoff : int;
+  mutable stat_read_faults : int;
+  (* DELIBERATE BUG KNOB, for torture-harness validation only: submit the
+     superblock at commit start instead of after the checkpoint record
+     completes, breaking the data -> record -> superblock write ordering. *)
+  mutable torture_misorder : bool;
 }
 
 (* Block allocation -------------------------------------------------------- *)
@@ -250,8 +260,21 @@ let parse_leaf data =
 
 let read_block_nocharge t blk = Striped.read_nocharge t.dev ~off:(off_of_block blk) ~len:block_size
 
+(* Charged reads retry transient device errors with exponential backoff in
+   virtual time; a persistently failing range surfaces the last error. *)
+let retried_read t f =
+  let rec go attempt backoff =
+    try f ()
+    with Aurora_block.Fault.Io_error _ when attempt < t.read_retries ->
+      t.stat_read_faults <- t.stat_read_faults + 1;
+      Clock.advance t.clk backoff;
+      go (attempt + 1) (2 * backoff)
+  in
+  go 0 t.read_backoff
+
 let read_blocks t ~blk ~nblocks =
-  Striped.read t.dev ~clock:t.clk ~off:(off_of_block blk) ~len:(nblocks * block_size)
+  retried_read t (fun () ->
+      Striped.read t.dev ~clock:t.clk ~off:(off_of_block blk) ~len:(nblocks * block_size))
 
 (* Leaf cache ----------------------------------------------------------------- *)
 
@@ -303,6 +326,10 @@ let fresh dev clk =
     stat_pages = 0;
     stat_dev_base = 0;
     last_flush = empty_flush_stats;
+    read_retries = 4;
+    read_backoff = 20_000;
+    stat_read_faults = 0;
+    torture_misorder = false;
   }
 
 let format ~dev ~clock =
@@ -614,8 +641,11 @@ let commit_checkpoint t =
   in
   let record = serialize_record ~epoch ~prev_block table_list in
   let rblock, rc, _rblocks = write_record t ~now:!data_done record in
-  (* Superblock strictly after the record. *)
-  let sc = write_superblock t ~now:rc ~last_epoch:epoch ~record_block:rblock in
+  (* Superblock strictly after the record.  The torture knob submits it at
+     commit start instead — metadata racing ahead of data — so the
+     crash-point enumerator can demonstrate it catches ordering bugs. *)
+  let sb_submit = if t.torture_misorder then now else rc in
+  let sc = write_superblock t ~now:sb_submit ~last_epoch:epoch ~record_block:rblock in
   t.epochs <-
     t.epochs @ [ { e_epoch = epoch; e_record_block = rblock; e_table = new_table } ];
   t.staging <- None;
@@ -638,6 +668,14 @@ let flush_stats t = t.last_flush
 let durable_at t = t.durable
 let wait_durable t = Clock.advance_to t.clk t.durable
 
+let set_read_policy t ~retries ~backoff_ns =
+  if retries < 0 || backoff_ns < 0 then invalid_arg "Store.set_read_policy";
+  t.read_retries <- retries;
+  t.read_backoff <- backoff_ns
+
+let read_faults t = t.stat_read_faults
+let set_torture_misorder t flag = t.torture_misorder <- flag
+
 let last_complete_epoch t =
   match last_epoch_info t with Some e -> e.e_epoch | None -> 0
 
@@ -647,7 +685,10 @@ let checkpoint_epochs t = List.map (fun e -> e.e_epoch) t.epochs
 
 let recover ~dev ~clock =
   let t = fresh dev clock in
-  let sb = Striped.read dev ~clock ~off:(off_of_block superblock_block) ~len:block_size in
+  let sb =
+    retried_read t (fun () ->
+        Striped.read dev ~clock ~off:(off_of_block superblock_block) ~len:block_size)
+  in
   let r = Wire.reader sb in
   let m = try Wire.rstr r with Wire.Corrupt _ -> "" in
   if m <> magic then raise (Corrupt_store "no superblock");
@@ -747,7 +788,8 @@ let read_page t ~epoch ~oid ~idx =
           (* The data block logically holds 4 KiB; the stored payload is
              its leading bytes (see Page). *)
           let data =
-            Striped.read t.dev ~clock:t.clk ~off:(off_of_block data_blk) ~len
+            retried_read t (fun () ->
+                Striped.read t.dev ~clock:t.clk ~off:(off_of_block data_blk) ~len)
           in
           Some data)
 
@@ -811,19 +853,19 @@ let journal_append t j data =
      synchronous single-stream append path (26 us + bytes at ~2.6 GiB/s,
      the Table 5 journal column).  Synchronous appends ride the device's
      priority lane: they do not wait behind queued background checkpoint
-     flushes, so the caller-visible completion is the sync lane's, not the
-     shared queue's.  (The payload lands via the shared queue for
-     bandwidth accounting; the window in which a crash could catch a
-     sync-acknowledged record still in the background queue is the
-     priority-arbitration window of a real controller, microseconds.) *)
-  ignore
-    (Striped.write t.dev ~now ~off:(off_of_block j.j_start + j.j_head) payload);
+     flushes, and the payload becomes durable exactly at the acknowledged
+     sync completion (write_priority), so a crash can never catch a
+     sync-acknowledged record still volatile — the crash-point enumerator
+     checks precisely this. *)
   let sync_done =
     Resource.submit t.jqueue ~now
       ~duration:
         (Cost.nvme_sync_write_latency
         + Cost.transfer_time ~bandwidth:Cost.journal_stream_bandwidth len)
   in
+  ignore
+    (Striped.write_priority t.dev ~now ~off:(off_of_block j.j_start + j.j_head)
+       payload ~completion:sync_done);
   j.j_head <- j.j_head + len;
   Clock.advance_to t.clk sync_done
 
@@ -848,8 +890,9 @@ let journal_truncate t j =
 
 let journal_records t j =
   let data =
-    Striped.read t.dev ~clock:t.clk ~off:(off_of_block j.j_start)
-      ~len:(journal_capacity j)
+    retried_read t (fun () ->
+        Striped.read t.dev ~clock:t.clk ~off:(off_of_block j.j_start)
+          ~len:(journal_capacity j))
   in
   let r = Wire.reader data in
   let rec scan acc =

@@ -92,6 +92,25 @@ type flush_stats = {
 val flush_stats : t -> flush_stats
 (** Statistics of the most recently committed epoch's flush pipeline. *)
 
+(** {1 Fault tolerance} *)
+
+val set_read_policy : t -> retries:int -> backoff_ns:int -> unit
+(** Transient-read-error policy: a charged read raising
+    {!Aurora_block.Fault.Io_error} is retried up to [retries] times, with
+    exponential backoff starting at [backoff_ns] of virtual time.  The
+    default is 4 retries from 20 µs.  A range that keeps failing re-raises
+    the error to the caller. *)
+
+val read_faults : t -> int
+(** Transient read errors absorbed by retries over the store's lifetime. *)
+
+val set_torture_misorder : t -> bool -> unit
+(** TESTING ONLY: when set, {!commit_checkpoint} submits the superblock at
+    commit start instead of after the checkpoint record completes — the
+    classic metadata-before-data ordering bug.  Exists so the
+    crash-consistency torture harness can demonstrate that it catches the
+    resulting corruption; never set it outside tests. *)
+
 val durable_at : t -> int
 (** Durability time of the most recently committed checkpoint. *)
 

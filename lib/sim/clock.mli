@@ -23,5 +23,15 @@ val advance_to : t -> int -> unit
     future; no-op otherwise.  Used when waiting for an asynchronous device
     completion. *)
 
+val on_advance : t -> (int -> unit) -> unit
+(** [on_advance t f] registers a watcher called with the new time after
+    every forward move.  The torture harness uses this as a virtual-time
+    watchdog: a replay run that spins (for example an unbounded retry loop
+    against a persistently failing device) trips the watcher's budget
+    instead of hanging the sweep.  Watchers must not advance the clock. *)
+
+val clear_watchers : t -> unit
+(** Drop all registered watchers. *)
+
 val elapsed_since : t -> int -> int
 (** [elapsed_since t start] is [now t - start]. *)

@@ -1,6 +1,7 @@
 module Clock = Aurora_sim.Clock
 module Cost = Aurora_sim.Cost
 module Device = Aurora_block.Device
+module Fault = Aurora_block.Fault
 module Striped = Aurora_block.Striped
 
 let bytes_of s = Bytes.of_string s
@@ -208,6 +209,106 @@ let test_write_vec_crash_atomicity () =
   Alcotest.(check (pair string string)) "crash before completion loses both"
     ("\000\000\000\000", "\000\000\000\000") (a, b)
 
+(* Crash models a reboot: host-side counters restart with the machine, and
+   with the in-flight queue discarded nothing is pending, so durable_until
+   must read 0 (regression: stats used to survive the crash). *)
+let test_crash_resets_stats () =
+  let d = Device.create ~name:"nvme0" in
+  let c = Device.write d ~now:0 ~off:0 (Bytes.make 4096 'x') in
+  ignore (Device.write d ~now:c ~off:4096 (Bytes.make 4096 'y'));
+  Alcotest.(check int) "ops before crash" 2 (Device.write_ops d);
+  Alcotest.(check bool) "pending durability" true (Device.durable_until d > 0);
+  Device.crash d ~now:c;
+  Alcotest.(check int) "write ops reset" 0 (Device.write_ops d);
+  Alcotest.(check int) "bytes written reset" 0 (Device.bytes_written d);
+  Alcotest.(check int) "bytes read reset" 0 (Device.bytes_read d);
+  Alcotest.(check int) "nothing in flight" 0 (Device.durable_until d);
+  (* The durable prefix itself survives the reboot. *)
+  Alcotest.(check string) "durable data kept" (String.make 4 'x')
+    (Bytes.to_string (Device.read_nocharge d ~off:0 ~len:4))
+
+(* import_sectors replaces a used device's state wholesale: stale committed
+   sectors, queued writes and counters must all go, exactly as crash does
+   (regression: importing over a device with pending writes used to leak
+   both the old bytes and the old accounting). *)
+let test_import_sectors_resets_used_device () =
+  let clock = Clock.create () in
+  let src = Device.create ~name:"src" in
+  ignore (Device.write src ~now:0 ~off:0 (Bytes.of_string "imported"));
+  Device.settle src ~clock;
+  let image = Device.export_sectors src in
+  let dst = Device.create ~name:"dst" in
+  ignore (Device.write dst ~now:0 ~off:0 (Bytes.of_string "old-committed"));
+  Device.settle dst ~clock;
+  (* Leave a write in flight so the import has a queue to discard. *)
+  ignore (Device.write dst ~now:(Clock.now clock) ~off:8192 (Bytes.of_string "queued"));
+  Device.import_sectors dst image;
+  Alcotest.(check string) "imported bytes visible" "imported"
+    (Bytes.to_string (Device.read_nocharge dst ~off:0 ~len:8));
+  Alcotest.(check string) "stale committed bytes gone" "\000\000\000\000\000"
+    (Bytes.to_string (Device.read_nocharge dst ~off:8 ~len:5));
+  Alcotest.(check string) "queued write discarded" "\000\000\000\000\000\000"
+    (Bytes.to_string (Device.read_nocharge dst ~off:8192 ~len:6));
+  Alcotest.(check int) "stats reset" 0 (Device.write_ops dst);
+  Alcotest.(check int) "nothing in flight" 0 (Device.durable_until dst)
+
+(* Torn vectored writes: a fault that keeps only a prefix of each device's
+   submission tears the extent along per-device segment order — the lowest
+   device-local offsets survive, later segments vanish — and tearing one
+   member of a stripe-spanning extent leaves the other members' data
+   intact (multi-device partial landing). *)
+let test_write_vec_torn_prefix_per_device () =
+  let stripe = Cost.nvme_stripe_size in
+  let s = Striped.create () in
+  let f = Fault.create () in
+  f.Fault.on_write <- (fun _ -> Fault.Torn 1);
+  Striped.set_fault s (Some f);
+  (* Two segments per member device; deliberately unsorted input, so the
+     torn prefix also proves segments are sorted before tearing. *)
+  let seg d k = ((d * stripe) + (k * 4096), Bytes.make 64 (Char.chr (65 + (2 * d) + k))) in
+  let segments = [| seg 2 1; seg 0 0; seg 3 0; seg 1 1; seg 0 1; seg 2 0; seg 1 0; seg 3 1 |] in
+  let c = Striped.write_vec s ~now:0 ~off:0 ~len:(4 * stripe) segments in
+  Striped.set_fault s None;
+  Striped.crash s ~now:c;
+  for d = 0 to 3 do
+    let first = Bytes.to_string (Striped.read_nocharge s ~off:(d * stripe) ~len:64) in
+    let second =
+      Bytes.to_string (Striped.read_nocharge s ~off:((d * stripe) + 4096) ~len:64)
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "device %d keeps its lowest-offset segment" d)
+      (String.make 64 (Char.chr (65 + (2 * d)))) first;
+    Alcotest.(check string)
+      (Printf.sprintf "device %d loses its later segment" d)
+      (String.make 64 '\000') second
+  done
+
+(* Dropping one member's submission loses exactly that member's slice of a
+   stripe-spanning extent, including the tail of a segment that crosses
+   the stripe boundary mid-payload. *)
+let test_write_vec_drop_one_device () =
+  let stripe = Cost.nvme_stripe_size in
+  let s = Striped.create () in
+  let f = Fault.create () in
+  f.Fault.on_write <-
+    (fun (info : Fault.write_info) ->
+      if info.w_dev = "nvme1" then Fault.Drop else Fault.Land);
+  Striped.set_fault s (Some f);
+  (* One segment crossing the stripe-0/stripe-1 boundary: its head lands
+     on nvme0, its tail is on the dropped device. *)
+  let boundary = Bytes.of_string (String.init 64 (fun i -> Char.chr (97 + (i mod 26)))) in
+  let segments = [| (stripe - 32, boundary); ((2 * stripe) + 100, Bytes.make 16 'z') |] in
+  let c = Striped.write_vec s ~now:0 ~off:0 ~len:(3 * stripe) segments in
+  Striped.set_fault s None;
+  Striped.crash s ~now:c;
+  Alcotest.(check string) "head half on nvme0 landed"
+    (String.init 32 (fun i -> Char.chr (97 + (i mod 26))))
+    (Bytes.to_string (Striped.read_nocharge s ~off:(stripe - 32) ~len:32));
+  Alcotest.(check string) "tail half on dropped nvme1 lost" (String.make 32 '\000')
+    (Bytes.to_string (Striped.read_nocharge s ~off:stripe ~len:32));
+  Alcotest.(check string) "nvme2 segment landed" (String.make 16 'z')
+    (Bytes.to_string (Striped.read_nocharge s ~off:((2 * stripe) + 100) ~len:16))
+
 let test_image_save_load () =
   let s = Striped.create () in
   let clock = Clock.create () in
@@ -296,6 +397,9 @@ let () =
           Alcotest.test_case "queue serializes" `Quick test_device_queueing_serializes;
           Alcotest.test_case "charge parameter" `Quick test_device_charge_parameter;
           Alcotest.test_case "stats" `Quick test_device_stats;
+          Alcotest.test_case "crash resets stats" `Quick test_crash_resets_stats;
+          Alcotest.test_case "import resets used device" `Quick
+            test_import_sectors_resets_used_device;
         ] );
       ( "striped",
         [
@@ -309,6 +413,10 @@ let () =
             test_write_vec_one_submission_per_device;
           Alcotest.test_case "write_vec crash atomicity" `Quick
             test_write_vec_crash_atomicity;
+          Alcotest.test_case "write_vec torn prefix" `Quick
+            test_write_vec_torn_prefix_per_device;
+          Alcotest.test_case "write_vec dropped device" `Quick
+            test_write_vec_drop_one_device;
           Alcotest.test_case "image save/load" `Quick test_image_save_load;
           Alcotest.test_case "image bad file" `Quick test_image_bad_file;
         ] );

@@ -1,0 +1,151 @@
+module Clock = Aurora_sim.Clock
+module Striped = Aurora_block.Striped
+module Fault = Aurora_block.Fault
+module Store = Aurora_objstore.Store
+module Rng = Aurora_util.Rng
+module Workload = Aurora_faultsim.Workload
+module Model = Aurora_faultsim.Model
+module Injector = Aurora_faultsim.Injector
+module Torture = Aurora_faultsim.Torture
+
+(* Acceptance criterion: the crash-point enumerator covers every device
+   submission boundary of the standard multi-checkpoint + prune + journal
+   workload — hundreds of crash points — and recovery matches the pure
+   reference model at every one of them. *)
+let test_enumerate_standard () =
+  let r = Torture.enumerate Workload.standard in
+  List.iter
+    (fun f -> Printf.printf "FAIL %s\n%!" (Torture.pp_failure f))
+    r.Torture.r_failures;
+  Alcotest.(check int) "no failures" 0 (List.length r.Torture.r_failures);
+  Alcotest.(check bool)
+    (Printf.sprintf "covers many boundaries (%d)" r.Torture.r_boundaries)
+    true
+    (r.Torture.r_boundaries >= 50);
+  Alcotest.(check int) "three crash modes per boundary"
+    (3 * r.Torture.r_boundaries) r.Torture.r_crash_points;
+  Alcotest.(check bool)
+    (Printf.sprintf "hundreds of crash points (%d)" r.Torture.r_crash_points)
+    true
+    (r.Torture.r_crash_points >= 200)
+
+(* Acceptance criterion: a deliberately injected ordering bug — the
+   superblock submitted before the checkpoint record completes — must be
+   caught by the same enumeration. *)
+let test_enumerate_catches_misorder () =
+  let r = Torture.enumerate ~misorder:true Workload.standard in
+  Alcotest.(check bool)
+    (Printf.sprintf "metadata-before-data bug caught (%d failures)"
+       (List.length r.Torture.r_failures))
+    true
+    (r.Torture.r_failures <> [])
+
+(* The reference model shadows the live store op for op, not only after
+   recovery. *)
+let test_model_tracks_live_store () =
+  let clock = Clock.create () in
+  let dev = Striped.create () in
+  let store = Store.format ~dev ~clock in
+  let runner = Workload.runner store in
+  let model = Model.create () in
+  List.iteri
+    (fun i op ->
+      Workload.run_op runner op;
+      Model.apply model op;
+      Alcotest.(check string)
+        (Printf.sprintf "state after op %d (%s)" i (Workload.op_to_string op))
+        (Model.render model) (Torture.observe store))
+    Workload.standard
+
+let test_sweep_read_errors () =
+  let s = Torture.sweep ~seed:7 ~runs:3 (Injector.read_errors_profile 0.1) in
+  Alcotest.(check int) "every observation matches the model" s.Torture.s_runs
+    s.Torture.s_final_matches;
+  Alcotest.(check bool)
+    (Printf.sprintf "retries absorbed transient errors (%d)" s.Torture.s_read_faults)
+    true
+    (s.Torture.s_read_faults > 0)
+
+let test_sweep_write_loss_terminates () =
+  let s = Torture.sweep ~seed:11 ~runs:3 (Injector.write_loss_profile 0.15) in
+  Alcotest.(check int) "every run classified" s.Torture.s_runs
+    (s.Torture.s_final_matches + s.Torture.s_detected + s.Torture.s_degraded)
+
+(* The crash_at injector fires at exactly the requested global boundary. *)
+let test_crash_at_boundary_index () =
+  let dev = Striped.create () in
+  Striped.set_fault dev (Some (Injector.crash_at ~index:3));
+  let raised =
+    try
+      for i = 0 to 9 do
+        ignore (Striped.write dev ~now:0 ~off:(i * 4096) (Bytes.make 64 'x'))
+      done;
+      None
+    with Fault.Crash_point { index; _ } -> Some index
+  in
+  Striped.set_fault dev None;
+  Alcotest.(check (option int)) "third submission" (Some 3) raised;
+  (* Submissions 1 and 2 were issued, 3 was not. *)
+  Alcotest.(check int) "two writes issued" 2 (Striped.write_ops dev)
+
+let derive_ops seed =
+  Workload.gen_ops (Rng.create seed) ~n:14 ~max_oid:6 ~max_pages:12
+
+(* State-machine property: random op sequences keep the real store and the
+   pure model in lockstep, and a crash at full durability recovers to the
+   model's final state byte for byte.  A failing seed prints the full
+   replayable op trace. *)
+let qcheck_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"random ops: store shadows model, crash/recover matches final state"
+         ~count:20
+         (QCheck.make
+            ~print:(fun seed ->
+              Printf.sprintf "seed=%d, replayable op trace:\n%s" seed
+                (Workload.ops_to_string (derive_ops seed)))
+            QCheck.Gen.(int_bound 1_000_000))
+         (fun seed ->
+           let ops = derive_ops seed in
+           let clock = Clock.create () in
+           let dev = Striped.create () in
+           let store = Store.format ~dev ~clock in
+           let runner = Workload.runner store in
+           let model = Model.create () in
+           List.for_all
+             (fun op ->
+               Workload.run_op runner op;
+               Model.apply model op;
+               Torture.observe store = Model.render model)
+             ops
+           && begin
+                Store.wait_durable store;
+                Striped.settle dev ~clock;
+                Striped.crash dev ~now:(Clock.now clock);
+                let store2 = Store.recover ~dev ~clock:(Clock.create ()) in
+                Torture.observe store2 = Model.render model
+              end));
+  ]
+
+let () =
+  Alcotest.run "aurora_faultsim"
+    [
+      ( "enumeration",
+        [
+          Alcotest.test_case "standard workload clean" `Quick test_enumerate_standard;
+          Alcotest.test_case "catches misorder bug" `Quick test_enumerate_catches_misorder;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "tracks live store" `Quick test_model_tracks_live_store;
+        ] );
+      ( "sweeps",
+        [
+          Alcotest.test_case "read errors absorbed" `Quick test_sweep_read_errors;
+          Alcotest.test_case "write loss terminates" `Quick test_sweep_write_loss_terminates;
+        ] );
+      ( "injector",
+        [ Alcotest.test_case "crash_at boundary" `Quick test_crash_at_boundary_index ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,5 +1,6 @@
 module Clock = Aurora_sim.Clock
 module Striped = Aurora_block.Striped
+module Fault = Aurora_block.Fault
 module Wire = Aurora_objstore.Wire
 module Store = Aurora_objstore.Store
 
@@ -373,6 +374,44 @@ let test_put_pages_newest_wins () =
   let fs = Store.flush_stats store in
   Alcotest.(check int) "dedup happened at staging time" 3 fs.Store.fs_pages
 
+(* Transient read errors are absorbed by the store's retry/backoff policy:
+   the caller sees clean data, the fault counter records the absorbed
+   attempts, and the backoff is charged in virtual time. *)
+let test_read_retry_absorbs_transients () =
+  let clock, dev, store = fresh () in
+  let oid = Store.alloc_oid store in
+  let e = Store.begin_checkpoint store in
+  Store.put_object store ~oid ~kind:"memory" ~meta:"m";
+  Store.put_pages store ~oid [ (4, payload 'r') ];
+  ignore (Store.commit_checkpoint store);
+  Store.wait_durable store;
+  let f = Fault.create () in
+  let remaining = ref 2 in
+  f.Fault.on_read <-
+    (fun _ ->
+      if !remaining > 0 then begin
+        decr remaining;
+        Fault.Fail
+      end
+      else Fault.Clean);
+  Striped.set_fault dev (Some f);
+  let before = Clock.now clock in
+  Alcotest.(check (option bytes)) "read succeeds through faults"
+    (Some (payload 'r'))
+    (Store.read_page store ~epoch:e ~oid ~idx:4);
+  Alcotest.(check int) "both faults absorbed and counted" 2 (Store.read_faults store);
+  Alcotest.(check bool) "backoff charged in virtual time" true
+    (Clock.now clock - before >= 40_000);
+  (* With retries disabled the same fault surfaces to the caller. *)
+  f.Fault.on_read <- (fun _ -> Fault.Fail);
+  Store.set_read_policy store ~retries:0 ~backoff_ns:20_000;
+  Alcotest.(check bool) "zero retries propagates Io_error" true
+    (try
+       ignore (Store.read_page store ~epoch:e ~oid ~idx:4);
+       false
+     with Fault.Io_error _ -> true);
+  Striped.set_fault dev None
+
 let qcheck_tests =
   [
     QCheck_alcotest.to_alcotest
@@ -419,6 +458,64 @@ let qcheck_tests =
                   Store.read_meta store2 ~epoch:e ~oid = meta
                   && Store.read_pages store2 ~epoch:e ~oid = pages)
                 before));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"prune atomicity: crash around the prune record is all-or-nothing"
+         ~count:20
+         QCheck.(
+           pair
+             (list_of_size (Gen.int_range 3 6)
+                (list_of_size (Gen.int_range 1 30)
+                   (pair (int_range 0 600) printable_char)))
+             (int_range 1 2))
+         (fun (epochs_spec, keep) ->
+           (* Build the same history twice; prune_history returns with the
+              clock advanced exactly to its superblock's completion, so
+              [now - 1] crashes with the prune record submitted but not
+              durable and [now] crashes with it just durable. *)
+           let build () =
+             let clock = Clock.create () in
+             let dev = Striped.create () in
+             let store = Store.format ~dev ~clock in
+             let oid = Store.alloc_oid store in
+             List.iter
+               (fun pages ->
+                 ignore (Store.begin_checkpoint store);
+                 Store.put_object store ~oid ~kind:"memory" ~meta:"m";
+                 Store.put_pages store ~oid
+                   (List.map (fun (idx, c) -> (idx, payload c)) pages);
+                 ignore (Store.commit_checkpoint store))
+               epochs_spec;
+             Store.wait_durable store;
+             (clock, dev, store, oid)
+           in
+           let snapshot store oid =
+             List.map
+               (fun e ->
+                 ( e,
+                   Store.read_meta store ~epoch:e ~oid,
+                   Store.read_pages store ~epoch:e ~oid ))
+               (Store.checkpoint_epochs store)
+           in
+           (* Prune record lost: the full pre-prune history recovers —
+              freed-in-memory blocks were never overwritten on disk. *)
+           let clock_a, dev_a, store_a, oid_a = build () in
+           let before_a = snapshot store_a oid_a in
+           ignore (Store.prune_history store_a ~keep);
+           Striped.crash dev_a ~now:(Clock.now clock_a - 1);
+           let ra = Store.recover ~dev:dev_a ~clock:(Clock.create ()) in
+           let ok_a = snapshot ra oid_a = before_a in
+           (* Prune record durable: exactly the kept suffix recovers. *)
+           let clock_b, dev_b, store_b, oid_b = build () in
+           ignore (Store.prune_history store_b ~keep);
+           let after_b = snapshot store_b oid_b in
+           Striped.crash dev_b ~now:(Clock.now clock_b);
+           let rb = Store.recover ~dev:dev_b ~clock:(Clock.create ()) in
+           let ok_b =
+             snapshot rb oid_b = after_b
+             && List.length (Store.checkpoint_epochs rb) = keep
+           in
+           ok_a && ok_b));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"store round-trips random page sets over epochs" ~count:40
          QCheck.(
@@ -491,6 +588,8 @@ let () =
           Alcotest.test_case "crash mid-checkpoint" `Quick test_crash_mid_checkpoint_keeps_previous;
           Alcotest.test_case "crash before first" `Quick test_crash_before_any_checkpoint;
           Alcotest.test_case "uninitialized device" `Quick test_recover_uninitialized_device_fails;
+          Alcotest.test_case "read retry absorbs transients" `Quick
+            test_read_retry_absorbs_transients;
         ] );
       ( "journal",
         [
