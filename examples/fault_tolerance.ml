@@ -29,7 +29,7 @@ let () =
 
   (* Standby: an empty machine whose store receives the stream. *)
   let standby = Sls.boot () in
-  let ha = Ha.create ~primary:group ~standby_store:standby.Sls.store in
+  let ha = Ha.create ~primary:group ~standby_store:standby.Sls.store () in
 
   (* Steady state: serve requests, checkpoint, replicate. *)
   for round = 1 to 3 do

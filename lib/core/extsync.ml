@@ -17,3 +17,8 @@ let drop_all t =
   let n = List.length t.buffered in
   t.buffered <- [];
   n
+
+let drop_after t ~epoch =
+  let dropped, held = List.partition (fun (e, _) -> e > epoch) t.buffered in
+  t.buffered <- held;
+  List.length dropped

@@ -28,3 +28,8 @@ val release_up_to : t -> epoch:int -> now:int -> int
 val drop_all : t -> int
 (** A crash: buffered messages were never visible outside, which is the
     correctness property external synchrony buys. *)
+
+val drop_after : t -> epoch:int -> int
+(** Failover recovered [epoch]: discard exactly the messages produced in
+    later intervals (the discarded window) and keep the rest eligible for
+    release; returns how many were dropped. *)

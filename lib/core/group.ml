@@ -68,6 +68,7 @@ type t = {
          exactly once per checkpoint no matter how many references reach
          it — the POSIX-object-model property. *)
   mutable persist : bool; (* false during memory-only checkpoints *)
+  mutable manifest_oid : int; (* 0 until first flushed checkpoint *)
 }
 
 let attach ~machine ~store ?fs ?(period_ns = 10_000_000) ?group_oid procs =
@@ -91,6 +92,7 @@ let attach ~machine ~store ?fs ?(period_ns = 10_000_000) ?group_oid procs =
       last_ckpt_time = Clock.now machine.Machine.clock;
       seen = Hashtbl.create 128;
       persist = true;
+      manifest_oid = 0;
     }
   in
   t
@@ -237,6 +239,50 @@ let charge t ns = Clock.advance (clock t) ns
 
 let put_obj t ~oid ~kind ~meta =
   if t.persist then Store.put_object t.st ~oid ~kind ~meta
+
+(* The manifest object keeps one stable oid per store: after a restore the
+   group discovers it in the last committed epoch instead of allocating a
+   second one. *)
+let manifest_oid t =
+  if t.manifest_oid <> 0 then t.manifest_oid
+  else begin
+    let oid =
+      let e = Store.last_complete_epoch t.st in
+      let found =
+        if e = 0 then None
+        else
+          List.find_opt
+            (fun (_, kind) -> kind = Serial.kind_manifest)
+            (Store.objects_at t.st ~epoch:e)
+      in
+      match found with Some (oid, _) -> oid | None -> Store.alloc_oid t.st
+    in
+    t.manifest_oid <- oid;
+    oid
+  end
+
+(* Stage the epoch's manifest as the last object before commit: count,
+   epoch id and per-object checksums of everything the commit will
+   contain (the manifest itself excluded), built from the merged
+   staged-plus-carried state the store will actually write. *)
+let stage_manifest t ~epoch =
+  if t.persist then begin
+    let moid = manifest_oid t in
+    let entries =
+      Store.staging_manifest_source t.st
+      |> List.filter (fun (oid, _, _, _) -> oid <> moid)
+      |> List.map Serial.manifest_entry_of_source
+      |> List.sort (fun a b -> compare a.Serial.i_me_oid b.Serial.i_me_oid)
+    in
+    Store.put_object t.st ~oid:moid ~kind:Serial.kind_manifest
+      ~meta:
+        (Serial.manifest_to_string
+           {
+             Serial.i_m_epoch = epoch;
+             i_m_count = List.length entries;
+             i_m_entries = entries;
+           })
+  end
 
 let put_pgs t ~oid pages = if t.persist then Store.put_pages t.st ~oid pages
 
@@ -723,6 +769,7 @@ let checkpoint_common t ~flush =
       let static_pages =
         Hashtbl.fold (fun _ r acc -> acc + flush_static t r) t.memrecs 0
       in
+      stage_manifest t ~epoch;
       charge t Cost.ckpt_record_write;
       ignore (Store.commit_checkpoint t.st);
       t.last_epoch_committed <- epoch;
@@ -791,6 +838,7 @@ let checkpoint_region t (entry : Vm_map.entry) =
   charge t Cost.async_flush_setup;
   let mark_ns = Clock.elapsed_since clk stop_begin in
   let pages = flush_frozen t r in
+  stage_manifest t ~epoch;
   charge t Cost.ckpt_record_write;
   ignore (Store.commit_checkpoint t.st);
   t.last_epoch_committed <- epoch;

@@ -1,40 +1,235 @@
 module Clock = Aurora_sim.Clock
 module Machine = Aurora_kern.Machine
 module Store = Aurora_objstore.Store
+module Link = Aurora_net.Link
+
+type stats = {
+  ha_shipments : int;
+  ha_attempts : int;
+  ha_retransmits : int;
+  ha_dup_acks : int;
+  ha_verify_rejects : int;
+}
+
+let zero_stats =
+  {
+    ha_shipments = 0;
+    ha_attempts = 0;
+    ha_retransmits = 0;
+    ha_dup_acks = 0;
+    ha_verify_rejects = 0;
+  }
 
 type t = {
   primary : Group.t;
   standby_store : Store.t;
+  link : Link.t;
+  outbox : Extsync.t option;
+  max_retries : int;
   mutable last_shipped : int; (* primary epoch *)
   mutable total_bytes : int;
+  mutable next_seq : int;
+  mutable rcv_src_epoch : int; (* newest primary epoch installed on standby *)
+  mutable installed : (int * int) list; (* standby epoch -> primary epoch *)
+  mutable pending_acks : (int * Migrate.ack) list; (* arrival, ack *)
+  mutable stats : stats;
 }
 
-let create ~primary ~standby_store =
-  { primary; standby_store; last_shipped = 0; total_bytes = 0 }
+let create ?link ?outbox ?(max_retries = 8) ~primary ~standby_store () =
+  let link = match link with Some l -> l | None -> Link.create ~name:"ha" () in
+  {
+    primary;
+    standby_store;
+    link;
+    outbox;
+    max_retries;
+    last_shipped = 0;
+    total_bytes = 0;
+    next_seq = 1;
+    rcv_src_epoch = 0;
+    installed = [];
+    pending_acks = [];
+    stats = zero_stats;
+  }
 
-let replicate t =
+let link t = t.link
+let stats t = t.stats
+
+(* Standby side: one delivery through the fault plane.  A frame that
+   fails its CRC earns no ack at all (the sender times out); a duplicate
+   of an epoch already installed is re-acked without touching the store;
+   anything else is installed through the manifest-digest check.  The
+   acks themselves travel back through the same fault plane. *)
+let receive t (d : Link.delivery) =
+  let sclk = Store.clock t.standby_store in
+  Clock.advance_to sclk d.Link.d_arrival;
+  match Migrate.open_shipment d.Link.d_payload with
+  | Error _ -> [] (* corrupt in flight: silence, sender retransmits *)
+  | Ok sh ->
+      let ok, reason =
+        if sh.Migrate.sh_epoch <= t.rcv_src_epoch then begin
+          t.stats <- { t.stats with ha_dup_acks = t.stats.ha_dup_acks + 1 };
+          (true, "duplicate")
+        end
+        else begin
+          match Migrate.install_verified ~store:t.standby_store sh with
+          | Ok standby_epoch ->
+              t.rcv_src_epoch <- sh.Migrate.sh_epoch;
+              t.installed <-
+                (standby_epoch, sh.Migrate.sh_epoch) :: t.installed;
+              (true, "")
+          | Error msg ->
+              t.stats <-
+                { t.stats with ha_verify_rejects = t.stats.ha_verify_rejects + 1 };
+              (false, msg)
+        end
+      in
+      let frame =
+        Migrate.seal_ack ~seq:sh.Migrate.sh_seq ~epoch:sh.Migrate.sh_epoch ~ok
+          ~reason
+      in
+      Link.transmit t.link ~now:(Clock.now sclk) ~payload:frame ()
+      |> List.filter_map (fun (ad : Link.delivery) ->
+             match Migrate.open_ack ad.Link.d_payload with
+             | Ok a -> Some (ad.Link.d_arrival, a)
+             | Error _ -> None (* ack corrupted in flight *))
+
+let replicate_result t =
   let epoch = Group.last_epoch t.primary in
-  if epoch = 0 || epoch = t.last_shipped then 0
+  if epoch = 0 || epoch = t.last_shipped then Ok 0
   else begin
     let store = Group.store t.primary in
+    let pclk = Store.clock store in
     let stream =
       if t.last_shipped = 0 then Migrate.serialize ~store ~epoch
       else Migrate.serialize_incremental ~store ~base:t.last_shipped ~epoch
     in
     let bytes = Migrate.stream_size stream in
-    (* The wire time lands on the standby: it can only fail over once the
-       stream has fully arrived and installed. *)
-    Clock.advance
-      (Store.clock t.standby_store)
-      (Migrate.transfer_time_ns ~bytes);
-    ignore (Migrate.install ~store:t.standby_store stream);
-    t.last_shipped <- epoch;
-    t.total_bytes <- t.total_bytes + bytes;
-    bytes
+    (* The shipped digest comes from the primary's own manifest for this
+       epoch: the ack will certify that the standby's composed state
+       hashes to the same thing. *)
+    match
+      List.find_opt
+        (fun (_, kind) -> kind = Serial.kind_manifest)
+        (Store.objects_at store ~epoch)
+    with
+    | None ->
+        Error (Printf.sprintf "primary epoch %d carries no manifest" epoch)
+    | Some (moid, _) -> (
+        match Serial.manifest_of_string (Store.read_meta store ~epoch ~oid:moid) with
+        | exception Serial.Malformed msg ->
+            Error ("primary manifest unreadable: " ^ msg)
+        | m ->
+            let seq = t.next_seq in
+            t.next_seq <- seq + 1;
+            let frame =
+              Migrate.seal_shipment ~seq ~base:t.last_shipped ~epoch
+                ~manifest_oid:moid ~count:m.Serial.i_m_count
+                ~summary:(Serial.manifest_summary m.Serial.i_m_entries)
+                stream
+            in
+            let fbytes = String.length frame in
+            let base_timeout = 2 * Link.rtt ~bytes:fbytes in
+            (* Stop-and-wait with exponential backoff in virtual time.
+               Acks from older attempts that straggle in are kept in
+               [pending_acks] so a late arrival still counts in a later
+               wait window. *)
+            let rec attempt k =
+              if k > t.max_retries then
+                Error
+                  (Printf.sprintf "epoch %d unacknowledged after %d attempts"
+                     epoch t.max_retries)
+              else begin
+                let now = Clock.now pclk in
+                t.stats <- { t.stats with ha_attempts = t.stats.ha_attempts + 1 };
+                if k > 1 then
+                  t.stats <-
+                    { t.stats with ha_retransmits = t.stats.ha_retransmits + 1 };
+                let deliveries =
+                  Link.transmit t.link ~retransmit:(k > 1) ~now ~payload:frame ()
+                in
+                List.iter
+                  (fun d -> t.pending_acks <- t.pending_acks @ receive t d)
+                  (List.sort
+                     (fun a b -> compare a.Link.d_arrival b.Link.d_arrival)
+                     deliveries);
+                let deadline = now + (base_timeout * (1 lsl (k - 1))) in
+                (* A partition that outlives the window cannot be out-waited
+                   by backoff alone: extend the deadline past the heal. *)
+                let deadline =
+                  let heal = Link.partitioned_until t.link in
+                  if heal > deadline then heal + base_timeout else deadline
+                in
+                let usable, later =
+                  List.partition
+                    (fun (arrival, (a : Migrate.ack)) ->
+                      a.Migrate.ack_epoch = epoch && arrival <= deadline)
+                    t.pending_acks
+                in
+                match
+                  List.sort (fun (a, _) (b, _) -> compare a b) usable
+                with
+                | [] ->
+                    Clock.advance_to pclk deadline;
+                    attempt (k + 1)
+                | (arrival, first) :: _ ->
+                    t.pending_acks <- later;
+                    Clock.advance_to pclk arrival;
+                    if first.Migrate.ack_ok then begin
+                      t.last_shipped <- epoch;
+                      t.total_bytes <- t.total_bytes + bytes;
+                      t.stats <-
+                        {
+                          t.stats with
+                          ha_shipments = t.stats.ha_shipments + 1;
+                        };
+                      Ok bytes
+                    end
+                    else
+                      (* The standby refused the composed epoch: bytes
+                         arrived intact but contradict the manifest.
+                         Retransmitting the same frame cannot help. *)
+                      Error
+                        (Printf.sprintf "standby rejected epoch %d: %s" epoch
+                           first.Migrate.ack_reason)
+              end
+            in
+            attempt 1)
   end
 
+let replicate t = match replicate_result t with Ok bytes -> bytes | Error _ -> 0
 let shipped_epoch t = t.last_shipped
 let lag_epochs t = Group.last_epoch t.primary - t.last_shipped
 let bytes_replicated t = t.total_bytes
 
-let failover t ~machine = Restore.restore ~machine ~store:t.standby_store ()
+type failover_report = {
+  fo_restore : Restore.verified;
+  fo_source_epoch : int;
+  fo_dropped_msgs : int;
+}
+
+let failover_verified t ~machine =
+  match Restore.restore_verified ~machine ~store:t.standby_store () with
+  | Error e -> Error e
+  | Ok v ->
+      let source =
+        match List.assoc_opt v.Restore.vr_epoch t.installed with
+        | Some primary_epoch -> primary_epoch
+        | None -> 0
+      in
+      (* Externally-synchronized messages from the discarded window were
+         never released — failing over past them must drop them, which is
+         exactly the correctness property external synchrony buys. *)
+      let dropped =
+        match t.outbox with
+        | None -> 0
+        | Some outbox ->
+            if source > 0 then Extsync.drop_after outbox ~epoch:source
+            else Extsync.drop_all outbox
+      in
+      Ok { fo_restore = v; fo_source_epoch = source; fo_dropped_msgs = dropped }
+
+let failover t ~machine =
+  match failover_verified t ~machine with
+  | Ok r -> r.fo_restore.Restore.vr_result
+  | Error e -> failwith ("Ha.failover: " ^ Restore.pp_restore_error e)

@@ -3,27 +3,86 @@
     store over the network; on primary failure the standby restores the
     last shipped checkpoint and takes over.  The recovery point is the
     last replicated epoch — with 10 ms checkpoints and page-granular
-    deltas, typically a handful of milliseconds of work. *)
+    deltas, typically a handful of milliseconds of work.
+
+    Shipping is a stop-and-wait protocol over a faultable
+    {!Aurora_net.Link}: every shipment is a sequenced, CRC-framed frame
+    carrying the stream plus a digest of the primary's epoch manifest;
+    the standby installs only if its composed state hashes to the same
+    digest, and only then acks.  Unacknowledged frames are retransmitted
+    with exponential backoff in virtual time, extended across network
+    partitions; duplicates and reordered deliveries are idempotent.
+    [shipped_epoch] advances exclusively on a verified ack. *)
 
 type t
 
 val create :
-  primary:Group.t -> standby_store:Aurora_objstore.Store.t -> t
+  ?link:Aurora_net.Link.t ->
+  ?outbox:Extsync.t ->
+  ?max_retries:int ->
+  primary:Group.t ->
+  standby_store:Aurora_objstore.Store.t ->
+  unit ->
+  t
+(** [link] defaults to a fresh fault-free link; inject one with a fault
+    profile to exercise the protocol.  [outbox] is the primary's
+    external-synchrony buffer, consulted on failover to drop messages
+    from the discarded window.  [max_retries] (default 8) bounds
+    retransmissions per epoch. *)
 
 val replicate : t -> int
 (** Ship everything the standby has not seen (the first call ships the
     full checkpoint, later calls page-granular deltas); installs it in
     the standby store and charges the transfer to the standby's clock.
-    Returns the bytes shipped (0 when the standby is current). *)
+    Returns the bytes shipped (0 when the standby is current {e or} the
+    shipment could not be acknowledged — see {!replicate_result}). *)
+
+val replicate_result : t -> (int, string) result
+(** Like {!replicate} but surfaces why a shipment failed: retries
+    exhausted (possibly across a partition) or the standby rejecting a
+    composed epoch that contradicts the manifest digest. *)
 
 val shipped_epoch : t -> int
-(** The primary epoch the standby could fail over to right now. *)
+(** The primary epoch the standby could fail over to right now; advances
+    only on a verified acknowledgement. *)
 
 val lag_epochs : t -> int
 (** Primary epochs not yet replicated. *)
 
 val bytes_replicated : t -> int
 
+val link : t -> Aurora_net.Link.t
+
+type stats = {
+  ha_shipments : int;  (** epochs successfully shipped and acked *)
+  ha_attempts : int;  (** frames sent, including retransmissions *)
+  ha_retransmits : int;
+  ha_dup_acks : int;  (** duplicate deliveries re-acked without install *)
+  ha_verify_rejects : int;  (** composed epochs the standby refused *)
+}
+
+val stats : t -> stats
+
+(** {1 Failover} *)
+
+type failover_report = {
+  fo_restore : Restore.verified;
+  fo_source_epoch : int;
+      (** the {e primary} epoch the restored state corresponds to (0 when
+          the mapping is unknown, e.g. a store populated out of band) *)
+  fo_dropped_msgs : int;
+      (** externally-synchronized messages discarded with the lost window *)
+}
+
+val failover_verified :
+  t ->
+  machine:Aurora_kern.Machine.t ->
+  (failover_report, Restore.restore_error) result
+(** The primary is gone: restore the newest manifest-verified epoch on
+    the standby machine, falling back past corrupt epochs
+    ({!Restore.restore_verified}), and drop buffered externally-
+    synchronized messages from the discarded window. *)
+
 val failover : t -> machine:Aurora_kern.Machine.t -> Restore.result
-(** The primary is gone: restore the last shipped checkpoint on the
-    standby machine. *)
+(** {!failover_verified} unwrapped; raises [Failure] when no epoch on the
+    standby verifies. *)

@@ -1,8 +1,14 @@
 module Cost = Aurora_sim.Cost
+module Crc32 = Aurora_util.Crc32
 module Store = Aurora_objstore.Store
 module Wire = Aurora_objstore.Wire
 
 let magic = "AURSTRM1"
+
+(* Manifests never cross the wire as stream objects: each side writes its
+   own (the receiver after verifying the composed state, see
+   [install_verified]), so incremental streams stay page-sized. *)
+let streamable (_, kind) = kind <> Serial.kind_manifest
 
 let serialize_objects ~store ~epoch ~pages_of oids =
   let w = Wire.writer () in
@@ -24,7 +30,7 @@ let serialize_objects ~store ~epoch ~pages_of oids =
 let serialize ~store ~epoch =
   serialize_objects ~store ~epoch
     ~pages_of:(fun oid -> Store.read_pages store ~epoch ~oid)
-    (Store.objects_at store ~epoch)
+    (List.filter streamable (Store.objects_at store ~epoch))
 
 (* Page-granular deltas: an object appears if it is new, its metadata
    changed, or some of its pages changed — and only the changed pages are
@@ -56,7 +62,7 @@ let serialize_incremental ~store ~base ~epoch =
         let pages = delta_pages oid in
         Hashtbl.replace page_deltas oid pages;
         pages <> [] || changed_meta (oid, ""))
-      (Store.objects_at store ~epoch)
+      (List.filter streamable (Store.objects_at store ~epoch))
   in
   serialize_objects ~store ~epoch
     ~pages_of:(fun oid -> Option.value ~default:[] (Hashtbl.find_opt page_deltas oid))
@@ -64,13 +70,13 @@ let serialize_incremental ~store ~base ~epoch =
 
 let stream_size s = String.length s
 
-let install ~store stream =
+let parse_stream stream =
   let r = Wire.reader (Bytes.of_string stream) in
   (match Wire.rstr r with
   | m when m = magic -> ()
   | _ -> failwith "Migrate.install: bad stream magic"
   | exception Wire.Corrupt msg -> failwith ("Migrate.install: " ^ msg));
-  let _src_epoch = Wire.ru64 r in
+  let src_epoch = Wire.ru64 r in
   let objects =
     Wire.rlist r (fun r ->
         let oid = Wire.ru64 r in
@@ -84,6 +90,9 @@ let install ~store stream =
         in
         (oid, kind, meta, pages))
   in
+  (src_epoch, objects)
+
+let install_objects ~store objects =
   let epoch = Store.begin_checkpoint store in
   List.iter
     (fun (oid, kind, meta, pages) ->
@@ -91,9 +100,192 @@ let install ~store stream =
       Store.put_object store ~oid ~kind ~meta;
       Store.put_pages store ~oid pages)
     objects;
+  epoch
+
+let install ~store stream =
+  let _src_epoch, objects = parse_stream stream in
+  let epoch = install_objects ~store objects in
   ignore (Store.commit_checkpoint store);
   Store.wait_durable store;
   epoch
 
 let transfer_time_ns ~bytes =
   Cost.net_one_way_latency + Cost.transfer_time ~bandwidth:Cost.net_bandwidth bytes
+
+(* Replication frames --------------------------------------------------------------- *)
+
+(* HA shipments wrap a stream in a sequenced frame with a CRC-32 trailer,
+   so a corrupted delivery is rejected (and retransmitted) instead of
+   parsed.  Alongside the stream travels a digest of the sender's epoch
+   manifest: the receiver composes the delta onto its own previous epoch,
+   recomputes the manifest of the result, and only commits — and acks —
+   if the digests agree.  That makes the ack a statement about the
+   *composed standby state*, not just about the bytes that crossed. *)
+
+let shipment_magic = "AURSHIP1"
+let ack_magic = "AURACK01"
+
+type shipment = {
+  sh_seq : int;
+  sh_base : int;
+  sh_epoch : int;
+  sh_manifest_oid : int;
+  sh_count : int;
+  sh_summary : int;
+  sh_body : string;
+}
+
+type ack = { ack_seq : int; ack_epoch : int; ack_ok : bool; ack_reason : string }
+
+let seal frame_of =
+  let w = Wire.writer () in
+  frame_of w;
+  let crc = Crc32.of_bytes (Wire.contents w) in
+  Wire.u32 w crc;
+  Bytes.to_string (Wire.contents w)
+
+let open_sealed ~what parse s =
+  if String.length s < 4 then Error (what ^ ": frame too short")
+  else begin
+    let body_len = String.length s - 4 in
+    let r = Wire.reader (Bytes.of_string s) in
+    let expect =
+      let tr = Wire.reader (Bytes.of_string (String.sub s body_len 4)) in
+      Wire.ru32 tr
+    in
+    if Crc32.of_string (String.sub s 0 body_len) <> expect then
+      Error (what ^ ": frame CRC mismatch")
+    else
+      try Ok (parse r) with
+      | Wire.Corrupt msg -> Error (what ^ ": " ^ msg)
+      | Failure msg -> Error (what ^ ": " ^ msg)
+  end
+
+let seal_shipment ~seq ~base ~epoch ~manifest_oid ~count ~summary body =
+  seal (fun w ->
+      Wire.str w shipment_magic;
+      Wire.u64 w seq;
+      Wire.u64 w base;
+      Wire.u64 w epoch;
+      Wire.u64 w manifest_oid;
+      Wire.u32 w count;
+      Wire.u32 w summary;
+      Wire.str w body)
+
+let open_shipment s =
+  open_sealed ~what:"shipment"
+    (fun r ->
+      (match Wire.rstr r with
+      | m when m = shipment_magic -> ()
+      | m -> failwith (Printf.sprintf "bad magic %S" m));
+      let sh_seq = Wire.ru64 r in
+      let sh_base = Wire.ru64 r in
+      let sh_epoch = Wire.ru64 r in
+      let sh_manifest_oid = Wire.ru64 r in
+      let sh_count = Wire.ru32 r in
+      let sh_summary = Wire.ru32 r in
+      let sh_body = Wire.rstr r in
+      { sh_seq; sh_base; sh_epoch; sh_manifest_oid; sh_count; sh_summary; sh_body })
+    s
+
+let seal_ack ~seq ~epoch ~ok ~reason =
+  seal (fun w ->
+      Wire.str w ack_magic;
+      Wire.u64 w seq;
+      Wire.u64 w epoch;
+      Wire.u8 w (if ok then 1 else 0);
+      Wire.str w reason)
+
+let open_ack s =
+  open_sealed ~what:"ack"
+    (fun r ->
+      (match Wire.rstr r with
+      | m when m = ack_magic -> ()
+      | m -> failwith (Printf.sprintf "bad magic %S" m));
+      let ack_seq = Wire.ru64 r in
+      let ack_epoch = Wire.ru64 r in
+      let ack_ok = Wire.ru8 r = 1 in
+      let ack_reason = Wire.rstr r in
+      { ack_seq; ack_epoch; ack_ok; ack_reason })
+    s
+
+(* Install a shipment, verifying the composed epoch against the sender's
+   manifest digest before committing anything.  On [Error] the standby
+   store is untouched (the composition is computed read-only first). *)
+let install_verified ~store (sh : shipment) =
+  match parse_stream sh.sh_body with
+  | exception Failure msg -> Error msg
+  | exception Wire.Corrupt msg -> Error msg
+  | src_epoch, objects ->
+      if src_epoch <> sh.sh_epoch then
+        Error
+          (Printf.sprintf "stream epoch %d contradicts frame epoch %d" src_epoch
+             sh.sh_epoch)
+      else begin
+        (* Composed state = previous standby epoch overridden by the
+           delta, mirroring how commit merges staged pages into leaves. *)
+        let composed = Hashtbl.create 64 in
+        let prev = Store.last_complete_epoch store in
+        if prev <> 0 then
+          List.iter
+            (fun (oid, kind) ->
+              if kind <> Serial.kind_manifest then begin
+                let crcs = Hashtbl.create 8 in
+                List.iter
+                  (fun (idx, crc) -> Hashtbl.replace crcs idx crc)
+                  (Store.page_crcs store ~epoch:prev ~oid);
+                Hashtbl.replace composed oid
+                  (kind, Store.read_meta store ~epoch:prev ~oid, crcs)
+              end)
+            (Store.objects_at store ~epoch:prev);
+        List.iter
+          (fun (oid, kind, meta, pages) ->
+            let crcs =
+              match Hashtbl.find_opt composed oid with
+              | Some (_, _, crcs) -> crcs
+              | None -> Hashtbl.create 8
+            in
+            List.iter
+              (fun (idx, payload) ->
+                Hashtbl.replace crcs idx (Crc32.of_bytes payload))
+              pages;
+            Hashtbl.replace composed oid (kind, meta, crcs))
+          objects;
+        let entries =
+          Hashtbl.fold
+            (fun oid (kind, meta, crcs) acc ->
+              let pages =
+                Hashtbl.fold (fun i c a -> (i, c) :: a) crcs []
+                |> List.sort compare
+              in
+              Serial.manifest_entry_of_source (oid, kind, meta, pages) :: acc)
+            composed []
+          |> List.sort (fun a b ->
+                 compare a.Serial.i_me_oid b.Serial.i_me_oid)
+        in
+        if List.length entries <> sh.sh_count then
+          Error
+            (Printf.sprintf "composed epoch has %d objects, manifest says %d"
+               (List.length entries) sh.sh_count)
+        else if Serial.manifest_summary entries <> sh.sh_summary then
+          Error "composed epoch contradicts the shipped manifest digest"
+        else begin
+          let epoch = install_objects ~store objects in
+          Store.reserve_oids store ~upto:sh.sh_manifest_oid;
+          (* The standby's manifest names its own epoch (epochs are local
+             to a store); the primary-epoch correspondence is the
+             shipping layer's to remember. *)
+          Store.put_object store ~oid:sh.sh_manifest_oid
+            ~kind:Serial.kind_manifest
+            ~meta:
+              (Serial.manifest_to_string
+                 {
+                   Serial.i_m_epoch = epoch;
+                   i_m_count = List.length entries;
+                   i_m_entries = entries;
+                 });
+          ignore (Store.commit_checkpoint store);
+          Store.wait_durable store;
+          Ok epoch
+        end
+      end

@@ -23,3 +23,46 @@ val install :
 
 val transfer_time_ns : bytes:int -> int
 (** Time to push a stream over the 10 GbE link of the testbed. *)
+
+(** {1 Replication frames}
+
+    HA shipments wrap a stream in a sequenced frame with a CRC-32
+    trailer plus a digest of the sender's epoch manifest.  Manifests
+    themselves never cross the wire as stream objects: the receiver
+    composes the delta onto its previous epoch, recomputes the manifest
+    of the result, and commits (and acks) only if the digests agree. *)
+
+type shipment = {
+  sh_seq : int;  (** ARQ sequence number *)
+  sh_base : int;  (** base epoch the delta assumes (0 = full stream) *)
+  sh_epoch : int;  (** sender epoch the stream materializes *)
+  sh_manifest_oid : int;  (** oid the manifest object lives at *)
+  sh_count : int;  (** objects in the epoch, manifest excluded *)
+  sh_summary : int;  (** {!Serial.manifest_summary} of the sender manifest *)
+  sh_body : string;  (** the {!serialize}/{!serialize_incremental} stream *)
+}
+
+type ack = { ack_seq : int; ack_epoch : int; ack_ok : bool; ack_reason : string }
+
+val seal_shipment :
+  seq:int ->
+  base:int ->
+  epoch:int ->
+  manifest_oid:int ->
+  count:int ->
+  summary:int ->
+  string ->
+  string
+
+val open_shipment : string -> (shipment, string) result
+(** Checks the CRC trailer before parsing; a flipped bit anywhere in the
+    frame is an [Error], never an exception. *)
+
+val seal_ack : seq:int -> epoch:int -> ok:bool -> reason:string -> string
+val open_ack : string -> (ack, string) result
+
+val install_verified :
+  store:Aurora_objstore.Store.t -> shipment -> (int, string) result
+(** Install a shipment: compose, verify against the manifest digest,
+    then commit — writing the receiver's own manifest object into the
+    new epoch.  On [Error] the store is untouched. *)

@@ -504,3 +504,151 @@ let restore ~machine ~store ?epoch ?(lazy_pages = false) ?group_oid () =
   Hashtbl.iter register ctx.memobjs;
   Group.prepare_after_restore group;
   { group; procs; fs = restored_fs; restore_ns }
+
+(* Verified restore --------------------------------------------------------------- *)
+
+module Crc32 = Aurora_util.Crc32
+module Wire = Aurora_objstore.Wire
+
+type attempt = { at_epoch : int; at_reason : string }
+
+type restore_error =
+  | No_checkpoints
+  | No_valid_epoch of attempt list
+
+let pp_restore_error = function
+  | No_checkpoints -> "no complete checkpoint in the store"
+  | No_valid_epoch attempts ->
+      "no verifiable epoch: "
+      ^ String.concat "; "
+          (List.map
+             (fun a -> Printf.sprintf "epoch %d (%s)" a.at_epoch a.at_reason)
+             attempts)
+
+(* Check one epoch against its own manifest: every object the manifest
+   names must be present with the recorded kind, its metadata and page
+   payloads must hash to the recorded CRCs, and the metadata must still
+   parse.  All reads are charged normally but nothing is mutated. *)
+let verify_epoch ~store ~epoch =
+  try
+    let objects = Store.objects_at store ~epoch in
+    match List.filter (fun (_, k) -> k = Serial.kind_manifest) objects with
+    | [] -> Error "no manifest object"
+    | _ :: _ :: _ -> Error "several manifest objects"
+    | [ (moid, _) ] ->
+        let m = Serial.manifest_of_string (Store.read_meta store ~epoch ~oid:moid) in
+        if m.Serial.i_m_epoch <> epoch then
+          Error
+            (Printf.sprintf "manifest written for epoch %d, found in epoch %d"
+               m.Serial.i_m_epoch epoch)
+        else begin
+          let others = List.filter (fun (oid, _) -> oid <> moid) objects in
+          if List.length others <> m.Serial.i_m_count then
+            Error
+              (Printf.sprintf "epoch holds %d objects, manifest says %d"
+                 (List.length others) m.Serial.i_m_count)
+          else begin
+            let check (e : Serial.manifest_entry) =
+              let oid = e.Serial.i_me_oid in
+              match List.find_opt (fun (o, _) -> o = oid) others with
+              | None -> Error (Printf.sprintf "oid %d named but absent" oid)
+              | Some (_, kind) when kind <> e.Serial.i_me_kind ->
+                  Error
+                    (Printf.sprintf "oid %d is %S, manifest says %S" oid kind
+                       e.Serial.i_me_kind)
+              | Some (_, kind) ->
+                  let meta = Store.read_meta store ~epoch ~oid in
+                  if Crc32.of_string meta <> e.Serial.i_me_meta_crc then
+                    Error (Printf.sprintf "oid %d metadata CRC mismatch" oid)
+                  else begin
+                    let crcs = Store.page_crcs store ~epoch ~oid in
+                    if List.length crcs <> e.Serial.i_me_pages then
+                      Error
+                        (Printf.sprintf "oid %d has %d pages, manifest says %d"
+                           oid (List.length crcs) e.Serial.i_me_pages)
+                    else if
+                      Serial.pages_fingerprint crcs <> e.Serial.i_me_pages_crc
+                    then Error (Printf.sprintf "oid %d page-set fingerprint mismatch" oid)
+                    else begin
+                      match Serial.parse_check ~kind meta with
+                      | Error msg ->
+                          Error (Printf.sprintf "oid %d metadata unparseable: %s" oid msg)
+                      | Ok () ->
+                          (* Deep check: the payloads on disk, not just the
+                             CRCs the leaves recorded at write time. *)
+                          let bad =
+                            List.find_opt
+                              (fun (idx, payload) ->
+                                match List.assoc_opt idx crcs with
+                                | Some crc -> Crc32.of_bytes payload <> crc
+                                | None -> true)
+                              (Store.read_pages store ~epoch ~oid)
+                          in
+                          (match bad with
+                          | Some (idx, _) ->
+                              Error
+                                (Printf.sprintf "oid %d page %d payload corrupt" oid idx)
+                          | None -> Ok ())
+                    end
+                  end
+            in
+            let rec all = function
+              | [] -> Ok m
+              | e :: rest -> (
+                  match check e with Ok () -> all rest | Error _ as err -> err)
+            in
+            all m.Serial.i_m_entries
+          end
+        end
+  with
+  | Serial.Malformed msg -> Error ("malformed manifest: " ^ msg)
+  | Wire.Corrupt msg -> Error ("corrupt manifest encoding: " ^ msg)
+  | Store.Corrupt_store msg -> Error ("corrupt store: " ^ msg)
+  | Failure msg -> Error msg
+
+type verified = {
+  vr_result : result;
+  vr_epoch : int;
+  vr_manifest : Serial.manifest_image;
+  vr_skipped : attempt list;
+}
+
+let restore_verified ~machine ~store ?(lazy_pages = false) ?group_oid
+    ?max_fallback () =
+  let newest_first = List.rev (Store.checkpoint_epochs store) in
+  let epochs =
+    match max_fallback with
+    | None -> newest_first
+    | Some n ->
+        List.filteri (fun i _ -> i <= n) newest_first
+  in
+  match epochs with
+  | [] -> Error No_checkpoints
+  | _ ->
+      let rec go tried = function
+        | [] -> Error (No_valid_epoch (List.rev tried))
+        | epoch :: rest -> (
+            match verify_epoch ~store ~epoch with
+            | Error reason ->
+                go ({ at_epoch = epoch; at_reason = reason } :: tried) rest
+            | Ok manifest -> (
+                match restore ~machine ~store ~epoch ~lazy_pages ?group_oid () with
+                | r ->
+                    Ok
+                      {
+                        vr_result = r;
+                        vr_epoch = epoch;
+                        vr_manifest = manifest;
+                        vr_skipped = List.rev tried;
+                      }
+                | exception
+                    (( Serial.Malformed msg
+                     | Wire.Corrupt msg
+                     | Store.Corrupt_store msg
+                     | Failure msg ) as _e) ->
+                    go
+                      ({ at_epoch = epoch; at_reason = "restore failed: " ^ msg }
+                      :: tried)
+                      rest))
+      in
+      go [] epochs

@@ -45,3 +45,52 @@ val restore :
     window, modeling Aurora's lazy restore where the application pages in
     its working set on demand (section 6, "Memory Overcommitment").
     Contents are identical either way. *)
+
+(** {1 Verified restore}
+
+    Every committed epoch carries a manifest object (per-object metadata
+    and page CRCs, see {!Serial.manifest_image}).  Verified restore checks
+    an epoch against its manifest before touching it, and falls back
+    epoch-by-epoch when the newest checkpoint fails verification —
+    degraded recovery instead of a crash on a torn or corrupted epoch. *)
+
+type attempt = { at_epoch : int; at_reason : string }
+(** An epoch that failed verification (or restore) and was skipped. *)
+
+type restore_error =
+  | No_checkpoints  (** the store holds no complete checkpoint at all *)
+  | No_valid_epoch of attempt list
+      (** every candidate epoch failed, newest first, with reasons *)
+
+val pp_restore_error : restore_error -> string
+
+val verify_epoch :
+  store:Aurora_objstore.Store.t ->
+  epoch:int ->
+  (Serial.manifest_image, string) Stdlib.result
+(** Check [epoch] against its own manifest: exactly one manifest object
+    must exist, its entry set must match the epoch's objects, each
+    object's metadata CRC, page count, page-set fingerprint, and on-disk
+    page payload CRCs must agree, and the metadata must still parse.
+    Read-only; never raises. *)
+
+type verified = {
+  vr_result : result;
+  vr_epoch : int;  (** the epoch actually restored *)
+  vr_manifest : Serial.manifest_image;  (** its verified manifest *)
+  vr_skipped : attempt list;  (** newer epochs rejected on the way *)
+}
+
+val restore_verified :
+  machine:Aurora_kern.Machine.t ->
+  store:Aurora_objstore.Store.t ->
+  ?lazy_pages:bool ->
+  ?group_oid:int ->
+  ?max_fallback:int ->
+  unit ->
+  (verified, restore_error) Stdlib.result
+(** Restore the newest epoch that passes {!verify_epoch}, falling back to
+    older epochs when verification (or the restore itself) fails.
+    [max_fallback] bounds how many epochs below the newest may be tried
+    (default: all retained epochs).  Never raises on corrupt state: a
+    store with no recoverable epoch yields [Error]. *)

@@ -1,3 +1,4 @@
+module Crc32 = Aurora_util.Crc32
 module Wire = Aurora_objstore.Wire
 module Thread = Aurora_kern.Thread
 
@@ -95,6 +96,24 @@ type group_image = {
   i_ephemeral_parents : int list;
 }
 
+(* The epoch manifest: object count, epoch id and a per-object checksum
+   line for everything the epoch contains.  Written as an ordinary store
+   object ([kind_manifest]) into the very epoch it describes, and checked
+   on replication install and on restore. *)
+type manifest_entry = {
+  i_me_oid : int;
+  i_me_kind : string;
+  i_me_meta_crc : int;
+  i_me_pages : int;
+  i_me_pages_crc : int;
+}
+
+type manifest_image = {
+  i_m_epoch : int;
+  i_m_count : int;
+  i_m_entries : manifest_entry list;
+}
+
 let kind_group = "sls.group"
 let kind_proc = "sls.proc"
 let kind_fdesc = "sls.fdesc"
@@ -104,6 +123,20 @@ let kind_kqueue = "sls.kqueue"
 let kind_pty = "sls.pty"
 let kind_shm = "sls.shm"
 let kind_memobj = "sls.memobj"
+let kind_manifest = "sls.manifest"
+
+exception Malformed of string
+
+(* Every exported parser funnels malformed input through [Malformed]:
+   short reads and bad tags (Wire.Corrupt, with the byte offset) as well
+   as anything a hostile payload provokes out of the runtime
+   (Failure/Invalid_argument from string indexing and conversions). *)
+let hardened kind parse s =
+  try parse s with
+  | Malformed _ as e -> raise e
+  | Wire.Corrupt msg -> raise (Malformed (Printf.sprintf "%s: %s" kind msg))
+  | Failure msg | Invalid_argument msg ->
+      raise (Malformed (Printf.sprintf "%s: %s" kind msg))
 
 let bool_w w b = Wire.u8 w (if b then 1 else 0)
 let bool_r r = Wire.ru8 r = 1
@@ -297,7 +330,10 @@ let fdesc_of_string s =
     | 6 -> I_pty_s (Wire.ru64 r)
     | 7 -> I_shm (Wire.ru64 r)
     | 8 -> I_device (Wire.rstr r)
-    | k -> raise (Wire.Corrupt (Printf.sprintf "bad fdesc kind %d" k))
+    | k ->
+        raise
+          (Wire.Corrupt
+             (Printf.sprintf "bad fdesc kind %d at byte %d" k (Wire.pos r - 1)))
   in
   let i_ext_sync = bool_r r in
   { i_kind; i_ext_sync }
@@ -454,7 +490,10 @@ let shm_of_string str =
     match Wire.ru8 r with
     | 0 -> Either.Left (Wire.rstr r)
     | 1 -> Either.Right (Wire.ru64 r)
-    | k -> raise (Wire.Corrupt (Printf.sprintf "bad shm kind %d" k))
+    | k ->
+        raise
+          (Wire.Corrupt
+             (Printf.sprintf "bad shm kind %d at byte %d" k (Wire.pos r - 1)))
   in
   let i_npages = Wire.ru64 r in
   let i_backing_oid = Wire.ru64 r in
@@ -504,6 +543,109 @@ let group_of_string s =
   in
   let i_ephemeral_parents = Wire.rlist r Wire.ru64 in
   { i_proc_oids; i_period; i_ext_sync_on; i_name_ckpts; i_ephemeral_parents }
+
+(* Manifests ------------------------------------------------------------------------- *)
+
+let manifest_magic = "AURMANF1"
+
+let manifest_to_string (m : manifest_image) =
+  let w = Wire.writer () in
+  Wire.str w manifest_magic;
+  Wire.u64 w m.i_m_epoch;
+  Wire.u32 w m.i_m_count;
+  Wire.list w
+    (fun e ->
+      Wire.u64 w e.i_me_oid;
+      Wire.str w e.i_me_kind;
+      Wire.u32 w e.i_me_meta_crc;
+      Wire.u32 w e.i_me_pages;
+      Wire.u32 w e.i_me_pages_crc)
+    m.i_m_entries;
+  finish w
+
+let manifest_of_string s =
+  let r = start s in
+  (match Wire.rstr r with
+  | m when m = manifest_magic -> ()
+  | m -> raise (Wire.Corrupt (Printf.sprintf "bad manifest magic %S" m)));
+  let i_m_epoch = Wire.ru64 r in
+  let i_m_count = Wire.ru32 r in
+  let i_m_entries =
+    Wire.rlist r (fun r ->
+        let i_me_oid = Wire.ru64 r in
+        let i_me_kind = Wire.rstr r in
+        let i_me_meta_crc = Wire.ru32 r in
+        let i_me_pages = Wire.ru32 r in
+        let i_me_pages_crc = Wire.ru32 r in
+        { i_me_oid; i_me_kind; i_me_meta_crc; i_me_pages; i_me_pages_crc })
+  in
+  { i_m_epoch; i_m_count; i_m_entries }
+
+(* Order-independent combination of per-page checksums: manifests compare
+   whole page maps without fixing an iteration order. *)
+let pages_fingerprint crcs =
+  List.fold_left
+    (fun acc (idx, crc) -> acc lxor ((crc + (idx * 0x9E3779B1)) land 0xFFFFFFFF))
+    0 crcs
+
+let manifest_entry_of_source (oid, kind, meta, crcs) =
+  {
+    i_me_oid = oid;
+    i_me_kind = kind;
+    i_me_meta_crc = Crc32.of_string meta;
+    i_me_pages = List.length crcs;
+    i_me_pages_crc = pages_fingerprint crcs;
+  }
+
+(* Whole-manifest digest: shipped in the replication frame (a few bytes)
+   so the receiver can check its freshly composed epoch against the
+   sender's manifest without the manifest itself crossing the wire. *)
+let manifest_summary entries =
+  List.fold_left
+    (fun acc e ->
+      let w = Wire.writer () in
+      Wire.u64 w e.i_me_oid;
+      Wire.str w e.i_me_kind;
+      Wire.u32 w e.i_me_meta_crc;
+      Wire.u32 w e.i_me_pages;
+      Wire.u32 w e.i_me_pages_crc;
+      acc lxor Crc32.of_bytes (Wire.contents w))
+    0 entries
+
+(* Hardened exports ------------------------------------------------------------------ *)
+
+let proc_of_string = hardened kind_proc proc_of_string
+let fdesc_of_string = hardened kind_fdesc fdesc_of_string
+let pipe_of_string = hardened kind_pipe pipe_of_string
+let socket_of_string = hardened kind_socket socket_of_string
+let kqueue_of_string = hardened kind_kqueue kqueue_of_string
+let pty_of_string = hardened kind_pty pty_of_string
+let shm_of_string = hardened kind_shm shm_of_string
+let memobj_of_string = hardened kind_memobj memobj_of_string
+let group_of_string = hardened kind_group group_of_string
+let manifest_of_string = hardened kind_manifest manifest_of_string
+
+(* Can [meta] be parsed as a [kind] image?  Restore verification runs this
+   over every manifest entry so a corrupt image is rejected *before* the
+   restore path starts materializing kernel objects from it. *)
+let parse_check ~kind meta =
+  let parsers =
+    [
+      (kind_proc, fun s -> ignore (proc_of_string s));
+      (kind_fdesc, fun s -> ignore (fdesc_of_string s));
+      (kind_pipe, fun s -> ignore (pipe_of_string s));
+      (kind_socket, fun s -> ignore (socket_of_string s));
+      (kind_kqueue, fun s -> ignore (kqueue_of_string s));
+      (kind_pty, fun s -> ignore (pty_of_string s));
+      (kind_shm, fun s -> ignore (shm_of_string s));
+      (kind_memobj, fun s -> ignore (memobj_of_string s));
+      (kind_group, fun s -> ignore (group_of_string s));
+      (kind_manifest, fun s -> ignore (manifest_of_string s));
+    ]
+  in
+  match List.assoc_opt kind parsers with
+  | None -> Ok () (* fs.* and raw memory objects have their own parsers *)
+  | Some p -> ( try Ok (p meta) with Malformed msg -> Error msg)
 
 (* Capture helpers --------------------------------------------------------------------- *)
 

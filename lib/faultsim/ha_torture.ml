@@ -1,0 +1,267 @@
+module Rng = Aurora_util.Rng
+module Clock = Aurora_sim.Clock
+module Machine = Aurora_kern.Machine
+module Process = Aurora_kern.Process
+module Syscall = Aurora_kern.Syscall
+module Vm_space = Aurora_vm.Vm_space
+module Store = Aurora_objstore.Store
+module Link = Aurora_net.Link
+module Sls = Aurora_core.Sls
+module Group = Aurora_core.Group
+module Ha = Aurora_core.Ha
+module Restore = Aurora_core.Restore
+
+(* One torture run: a primary service mutating memory under continuous
+   checkpointing, shipping every epoch to a standby over a faulty link,
+   killed at a random round; the standby fails over and its recovered
+   state must match the reference model at the epoch the failover
+   reports.  The reference model is the per-round state string — each
+   round r overwrites the service's state page with "state-r", so the
+   store state at the primary epoch committed in round r renders as
+   "state-r" exactly. *)
+
+let npages = 16
+let state_of_round r = Printf.sprintf "state-%06d" r
+let state_len = String.length (state_of_round 0)
+
+type run_report = {
+  hr_seed : int;
+  hr_rate : float;
+  hr_rounds : int;  (** rounds the primary completed before the kill *)
+  hr_shipped : int;  (** primary epochs acked by the standby *)
+  hr_source_epoch : int;  (** primary epoch the failover recovered *)
+  hr_fallbacks : int;  (** epochs skipped by the fallback loop *)
+  hr_retransmits : int;
+  hr_dup_acks : int;
+  hr_verify_rejects : int;
+  hr_outcome : string;  (** "match" or the failure detail *)
+  hr_ok : bool;
+}
+
+let run ~seed ~rounds ~rate =
+  let rng = Rng.create seed in
+  let primary = Sls.boot () in
+  let p = Syscall.spawn primary.Sls.machine ~name:"svc" in
+  let e = Syscall.mmap_anon p ~npages in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.touch_write p.Process.space ~addr ~len:(npages * 4096);
+  let group = Sls.attach primary [ p ] in
+  let standby = Sls.boot () in
+  let link = Link.create ~name:"ha-torture" () in
+  Link.set_faults link ~seed:(seed * 7919) (Link.lossy_profile rate);
+  let ha = Ha.create ~link ~primary:group ~standby_store:standby.Sls.store () in
+  let pclk = primary.Sls.machine.Machine.clock in
+  (* primary epoch -> round whose state it committed *)
+  let round_of_epoch = Hashtbl.create 32 in
+  let kill_round = 1 + Rng.int rng rounds in
+  (* Sometimes the primary dies with lag: the last round checkpoints but
+     never replicates, so failover must land on an older epoch. *)
+  let killed_before_replicate = Rng.bool rng in
+  let completed = ref 0 in
+  (try
+     for r = 1 to kill_round do
+       Vm_space.write_string p.Process.space ~addr (state_of_round r);
+       (* Touch a second, rotating page so deltas vary in shape. *)
+       Vm_space.write_string p.Process.space
+         ~addr:(addr + ((1 + (r mod (npages - 1))) * 4096))
+         (Printf.sprintf "fill-%d" r);
+       ignore (Group.checkpoint ~wait_durable:true group);
+       Hashtbl.replace round_of_epoch (Group.last_epoch group) r;
+       (* Occasional hard partition on top of the probabilistic faults. *)
+       if Rng.int rng 10 = 0 then
+         Link.partition link ~now:(Clock.now pclk)
+           ~duration:(500_000 + Rng.int rng 2_000_000);
+       if not (r = kill_round && killed_before_replicate) then
+         ignore (Ha.replicate_result ha);
+       incr completed
+     done
+   with _ -> ());
+  (* The primary machine and devices are gone; only the standby's store
+     survives.  Failover must recover a manifest-verified epoch. *)
+  let takeover = Machine.create () in
+  let hstats = Ha.stats ha in
+  let base =
+    {
+      hr_seed = seed;
+      hr_rate = rate;
+      hr_rounds = !completed;
+      hr_shipped = hstats.Ha.ha_shipments;
+      hr_source_epoch = 0;
+      hr_fallbacks = 0;
+      hr_retransmits = hstats.Ha.ha_retransmits;
+      hr_dup_acks = hstats.Ha.ha_dup_acks;
+      hr_verify_rejects = hstats.Ha.ha_verify_rejects;
+      hr_outcome = "match";
+      hr_ok = true;
+    }
+  in
+  match Ha.failover_verified ha ~machine:takeover with
+  | exception exn ->
+      { base with hr_outcome = "uncaught: " ^ Printexc.to_string exn; hr_ok = false }
+  | Error err ->
+      if Ha.shipped_epoch ha = 0 then
+        (* Nothing was ever acknowledged (possible at brutal rates with a
+           short run): no epoch to recover is the honest answer. *)
+        { base with hr_outcome = "nothing shipped"; hr_ok = true }
+      else
+        {
+          base with
+          hr_outcome = "no valid epoch: " ^ Restore.pp_restore_error err;
+          hr_ok = false;
+        }
+  | Ok report -> (
+      let source = report.Ha.fo_source_epoch in
+      let base =
+        {
+          base with
+          hr_source_epoch = source;
+          hr_fallbacks = List.length report.Ha.fo_restore.Restore.vr_skipped;
+        }
+      in
+      match Hashtbl.find_opt round_of_epoch source with
+      | None ->
+          {
+            base with
+            hr_outcome = Printf.sprintf "recovered unknown epoch %d" source;
+            hr_ok = false;
+          }
+      | Some round -> (
+          if source < Ha.shipped_epoch ha then
+            {
+              base with
+              hr_outcome =
+                Printf.sprintf "recovered epoch %d older than acked %d" source
+                  (Ha.shipped_epoch ha);
+              hr_ok = false;
+            }
+          else
+            match report.Ha.fo_restore.Restore.vr_result.Restore.procs with
+            | [ p' ] ->
+                let got =
+                  Vm_space.read_string p'.Process.space ~addr ~len:state_len
+                in
+                let want = state_of_round round in
+                if got = want then base
+                else
+                  {
+                    base with
+                    hr_outcome =
+                      Printf.sprintf "epoch %d rendered %S, model says %S"
+                        source got want;
+                    hr_ok = false;
+                  }
+            | procs ->
+                {
+                  base with
+                  hr_outcome =
+                    Printf.sprintf "expected 1 process, restored %d"
+                      (List.length procs);
+                  hr_ok = false;
+                }))
+
+(* Negative control: corrupt the standby's newest epoch after clean
+   replication and demand the fallback loop skips it — recovering the
+   previous round's state, never the corrupted bytes. *)
+type control = Meta | Page
+
+let negative_control ~seed ~mode =
+  let primary = Sls.boot () in
+  let p = Syscall.spawn primary.Sls.machine ~name:"svc" in
+  let e = Syscall.mmap_anon p ~npages in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.touch_write p.Process.space ~addr ~len:(npages * 4096);
+  let group = Sls.attach primary [ p ] in
+  let standby = Sls.boot () in
+  let link = Link.create ~name:"ha-control" () in
+  ignore seed;
+  let ha = Ha.create ~link ~primary:group ~standby_store:standby.Sls.store () in
+  let rounds = 3 in
+  for r = 1 to rounds do
+    Vm_space.write_string p.Process.space ~addr (state_of_round r);
+    ignore (Group.checkpoint ~wait_durable:true group);
+    match Ha.replicate_result ha with
+    | Ok _ -> ()
+    | Error msg -> failwith ("control replication failed: " ^ msg)
+  done;
+  let store = standby.Sls.store in
+  let newest = Store.last_complete_epoch store in
+  (* Corrupt a non-manifest object in the newest standby epoch. *)
+  let victim =
+    match
+      List.find_opt
+        (fun (_, kind) -> kind = Aurora_core.Serial.kind_memobj)
+        (Store.objects_at store ~epoch:newest)
+    with
+    | Some (oid, _) -> oid
+    | None -> failwith "control: no memory object in newest epoch"
+  in
+  (match mode with
+  | Meta -> Store.corrupt_meta_for_tests store ~epoch:newest ~oid:victim
+  | Page -> Store.corrupt_page_for_tests store ~epoch:newest ~oid:victim);
+  let takeover = Machine.create () in
+  match Ha.failover_verified ha ~machine:takeover with
+  | Error err -> Error ("no epoch recovered: " ^ Restore.pp_restore_error err)
+  | Ok report -> (
+      let v = report.Ha.fo_restore in
+      let skipped_newest =
+        List.exists
+          (fun (a : Restore.attempt) -> a.Restore.at_epoch = newest)
+          v.Restore.vr_skipped
+      in
+      if not skipped_newest then
+        Error
+          (Printf.sprintf "corrupted epoch %d was not skipped (restored %d)"
+             newest v.Restore.vr_epoch)
+      else
+        match v.Restore.vr_result.Restore.procs with
+        | [ p' ] ->
+            let got = Vm_space.read_string p'.Process.space ~addr ~len:state_len in
+            let want = state_of_round (rounds - 1) in
+            if got = want then Ok ()
+            else
+              Error
+                (Printf.sprintf "fallback rendered %S, model says %S" got want)
+        | procs ->
+            Error (Printf.sprintf "expected 1 process, restored %d" (List.length procs)))
+
+(* Sweeps ------------------------------------------------------------------------- *)
+
+type sweep_report = {
+  h_runs : int;
+  h_ok : int;
+  h_shipments : int;
+  h_retransmits : int;
+  h_dup_acks : int;
+  h_verify_rejects : int;
+  h_fallbacks : int;
+  h_failures : run_report list;
+}
+
+let sweep ~seed ~runs_per_rate ~rates ~rounds =
+  let reports =
+    List.concat_map
+      (fun rate ->
+        List.init runs_per_rate (fun i ->
+            run ~seed:(seed + (i * 131) + int_of_float (rate *. 10_000.)) ~rounds
+              ~rate))
+      rates
+  in
+  {
+    h_runs = List.length reports;
+    h_ok = List.length (List.filter (fun r -> r.hr_ok) reports);
+    h_shipments = List.fold_left (fun a r -> a + r.hr_shipped) 0 reports;
+    h_retransmits = List.fold_left (fun a r -> a + r.hr_retransmits) 0 reports;
+    h_dup_acks = List.fold_left (fun a r -> a + r.hr_dup_acks) 0 reports;
+    h_verify_rejects =
+      List.fold_left (fun a r -> a + r.hr_verify_rejects) 0 reports;
+    h_fallbacks = List.fold_left (fun a r -> a + r.hr_fallbacks) 0 reports;
+    h_failures = List.filter (fun r -> not r.hr_ok) reports;
+  }
+
+let pp_run r =
+  Printf.sprintf
+    "seed=%d rate=%.3f rounds=%d shipped=%d source=%d fallbacks=%d \
+     retx=%d dups=%d rejects=%d: %s"
+    r.hr_seed r.hr_rate r.hr_rounds r.hr_shipped r.hr_source_epoch
+    r.hr_fallbacks r.hr_retransmits r.hr_dup_acks r.hr_verify_rejects
+    r.hr_outcome

@@ -1,0 +1,61 @@
+(** HA torture: checkpoint shipping and failover under network faults.
+
+    Each run boots a primary service under continuous checkpointing,
+    ships every epoch to a standby store through a {!Aurora_net.Link}
+    with an injected fault profile (drops, duplicates, reordering,
+    corruption, hard partitions), kills the primary at a random round —
+    sometimes before the final replicate, leaving the standby lagging —
+    and fails over.  The recovered state must byte-match the reference
+    model at exactly the primary epoch the failover reports, the
+    reported epoch must be no older than the last acknowledged one, and
+    nothing may escape as an uncaught exception.
+
+    The negative control corrupts the standby's newest epoch after a
+    clean replication and demands the epoch-fallback loop demonstrably
+    skip it.  Everything is deterministic from the seed. *)
+
+type run_report = {
+  hr_seed : int;
+  hr_rate : float;
+  hr_rounds : int;  (** rounds the primary completed before the kill *)
+  hr_shipped : int;  (** primary epochs acked by the standby *)
+  hr_source_epoch : int;  (** primary epoch the failover recovered *)
+  hr_fallbacks : int;  (** epochs skipped by the fallback loop *)
+  hr_retransmits : int;
+  hr_dup_acks : int;
+  hr_verify_rejects : int;
+  hr_outcome : string;  (** "match" or the failure detail *)
+  hr_ok : bool;
+}
+
+val run : seed:int -> rounds:int -> rate:float -> run_report
+(** One deterministic torture run at the given link fault rate
+    ({!Aurora_net.Link.lossy_profile}). *)
+
+type control = Meta | Page
+
+val negative_control : seed:int -> mode:control -> (unit, string) result
+(** Replicate cleanly, corrupt the standby's newest epoch (object
+    metadata or a page payload), fail over: [Ok ()] iff the corrupted
+    epoch was skipped and the previous round's state came back intact. *)
+
+type sweep_report = {
+  h_runs : int;
+  h_ok : int;
+  h_shipments : int;
+  h_retransmits : int;
+  h_dup_acks : int;
+  h_verify_rejects : int;
+  h_fallbacks : int;
+  h_failures : run_report list;
+}
+
+val sweep :
+  seed:int ->
+  runs_per_rate:int ->
+  rates:float list ->
+  rounds:int ->
+  sweep_report
+(** [runs_per_rate] independent runs at every fault rate in [rates]. *)
+
+val pp_run : run_report -> string

@@ -1,5 +1,6 @@
 module Clock = Aurora_sim.Clock
 module Cost = Aurora_sim.Cost
+module Crc32 = Aurora_util.Crc32
 module Resource = Aurora_sim.Resource
 module Striped = Aurora_block.Striped
 module IntMap = Map.Make (Int)
@@ -7,8 +8,8 @@ module IntMap = Map.Make (Int)
 exception Corrupt_store of string
 
 let block_size = 4096
-(* 250 entries x 16 bytes + header fits one 4 KiB block. *)
-let leaf_span = 250
+(* 200 entries x 20 bytes + header fits one 4 KiB block. *)
+let leaf_span = 200
 let magic = "AURSTORE"
 let superblock_block = 0
 
@@ -85,7 +86,7 @@ type t = {
   free_set : (int, unit) Hashtbl.t; (* reusable single blocks, O(1) dedup *)
   mutable free_stack : int list; (* LIFO over [free_set]; may hold stale ids *)
   mutable freed : int;
-  leaf_cache : (int, (int * int * int) list) Hashtbl.t;
+  leaf_cache : (int, (int * int * int * int) list) Hashtbl.t;
       (* leaf block -> parsed entries.  Leaf blocks are COW (written once),
          so the cache is exact as long as freed blocks are invalidated
          before reuse (free_block) and a recovered instance starts cold. *)
@@ -236,16 +237,20 @@ let parse_version data =
 (* Leaf blocks: a leaf covers page indices [k*leaf_span, (k+1)*leaf_span) and
    stores (index, data block) pairs for the resident ones. *)
 
-(* Leaf entries are (page index, data block, payload length): payloads are
-   variable-sized (compact for anonymous memory, full for file pages). *)
+(* Leaf entries are (page index, data block, payload length, payload
+   CRC-32): payloads are variable-sized (compact for anonymous memory,
+   full for file pages); the checksum, computed once when the page is
+   flushed, is what checkpoint manifests and restore verification compare
+   against without re-reading data blocks. *)
 let serialize_leaf entries =
   let w = Wire.writer () in
   Wire.u8 w 0xA3;
   Wire.list w
-    (fun (idx, blk, len) ->
+    (fun (idx, blk, len, crc) ->
       Wire.u32 w idx;
       Wire.u64 w blk;
-      Wire.u32 w len)
+      Wire.u32 w len;
+      Wire.u32 w crc)
     entries;
   Wire.contents w
 
@@ -256,7 +261,8 @@ let parse_leaf data =
       let idx = Wire.ru32 r in
       let blk = Wire.ru64 r in
       let len = Wire.ru32 r in
-      (idx, blk, len))
+      let crc = Wire.ru32 r in
+      (idx, blk, len, crc))
 
 let read_block_nocharge t blk = Striped.read_nocharge t.dev ~off:(off_of_block blk) ~len:block_size
 
@@ -537,13 +543,15 @@ let build_version t ~now ~prev st =
       in
       let carried = ref [] in
       List.iter
-        (fun ((idx, _, _) as entry) ->
+        (fun ((idx, _, _, _) as entry) ->
           if not (mem_run !i !j idx) then carried := entry :: !carried)
         old_entries;
       let fresh_entries = ref [] in
       for k = !j - 1 downto !i do
         let idx, payload = fresh.(k) in
-        fresh_entries := (idx, blocks.(k), Bytes.length payload) :: !fresh_entries
+        fresh_entries :=
+          (idx, blocks.(k), Bytes.length payload, Crc32.of_bytes payload)
+          :: !fresh_entries
       done;
       let entries =
         List.sort compare (List.rev_append !carried !fresh_entries)
@@ -781,10 +789,10 @@ let read_page t ~epoch ~oid ~idx =
   | None -> None
   | Some leaf_blk -> (
       match
-        List.find_opt (fun (i, _, _) -> i = idx) (leaf_entries_charged t leaf_blk)
+        List.find_opt (fun (i, _, _, _) -> i = idx) (leaf_entries_charged t leaf_blk)
       with
       | None -> None
-      | Some (_, data_blk, len) ->
+      | Some (_, data_blk, len, _) ->
           (* The data block logically holds 4 KiB; the stored payload is
              its leading bytes (see Page). *)
           let data =
@@ -803,7 +811,7 @@ let read_pages t ~epoch ~oid =
       let entries = leaf_entries_charged t leaf_blk in
       Striped.charge_read t.dev ~clock:t.clk ~bytes:(List.length entries * block_size);
       List.fold_left
-        (fun acc (idx, data_blk, len) ->
+        (fun acc (idx, data_blk, len, _) ->
           (idx, Striped.read_nocharge t.dev ~off:(off_of_block data_blk) ~len) :: acc)
         acc entries)
     v.v_leaves []
@@ -813,7 +821,7 @@ let page_indices t ~epoch ~oid =
   let v = version_exn t ~epoch ~oid in
   IntMap.fold
     (fun _ leaf_blk acc ->
-      List.fold_left (fun acc (idx, _, _) -> idx :: acc) acc (cached_leaf t leaf_blk))
+      List.fold_left (fun acc (idx, _, _, _) -> idx :: acc) acc (cached_leaf t leaf_blk))
     v.v_leaves []
   |> List.sort compare
 
@@ -936,7 +944,7 @@ let reachable_blocks t e =
         (fun _ leaf_blk ->
           Hashtbl.replace out leaf_blk ();
           List.iter
-            (fun (_, data_blk, _) -> Hashtbl.replace out data_blk ())
+            (fun (_, data_blk, _, _) -> Hashtbl.replace out data_blk ())
             (cached_leaf t leaf_blk))
         v.v_leaves)
     e.e_table;
@@ -998,3 +1006,108 @@ let prune_history t ~keep =
 
 let blocks_allocated t = t.next_block - Hashtbl.length t.free_set
 let blocks_free t = Hashtbl.length t.free_set
+
+(* Verification ------------------------------------------------------------------------ *)
+
+let page_crcs t ~epoch ~oid =
+  let v = version_exn t ~epoch ~oid in
+  IntMap.fold
+    (fun _ leaf_blk acc ->
+      List.fold_left
+        (fun acc (idx, _, _, crc) -> (idx, crc) :: acc)
+        acc (cached_leaf t leaf_blk))
+    v.v_leaves []
+  |> List.sort compare
+
+(* What the open staging epoch will contain once committed: carried
+   objects included, with per-page checksums merged the same way
+   [commit_checkpoint] merges leaves (previous leaves overridden by staged
+   payloads).  The SLS builds the epoch's manifest from this, *before*
+   commit, so the manifest is part of the very epoch it describes. *)
+let staging_manifest_source t =
+  let s = staging_exn t in
+  let prev_table =
+    match last_epoch_info t with
+    | Some e -> e.e_table
+    | None -> Hashtbl.create 0
+  in
+  let oids = Hashtbl.create 64 in
+  Hashtbl.iter (fun oid _ -> Hashtbl.replace oids oid ()) prev_table;
+  Hashtbl.iter (fun oid _ -> Hashtbl.replace oids oid ()) s;
+  Hashtbl.fold
+    (fun oid () acc ->
+      let st = Hashtbl.find_opt s oid in
+      let prev = Hashtbl.find_opt prev_table oid in
+      let kind =
+        match st with
+        | Some st when st.s_kind <> "" -> st.s_kind
+        | _ -> ( match prev with Some v -> v.v_kind | None -> "memory")
+      in
+      let meta =
+        match st with
+        | Some st when st.s_meta <> "" -> st.s_meta
+        | _ -> ( match prev with Some v -> v.v_meta | None -> "")
+      in
+      let crcs = Hashtbl.create 16 in
+      (match prev with
+      | None -> ()
+      | Some v ->
+          IntMap.iter
+            (fun _ leaf_blk ->
+              List.iter
+                (fun (idx, _, _, crc) -> Hashtbl.replace crcs idx crc)
+                (cached_leaf t leaf_blk))
+            v.v_leaves);
+      (match st with
+      | None -> ()
+      | Some st ->
+          Hashtbl.iter
+            (fun idx payload -> Hashtbl.replace crcs idx (Crc32.of_bytes payload))
+            st.s_pages);
+      let pages =
+        Hashtbl.fold (fun idx crc acc -> (idx, crc) :: acc) crcs []
+        |> List.sort compare
+      in
+      (oid, kind, meta, pages) :: acc)
+    oids []
+  |> List.sort compare
+
+(* Deliberate-corruption knobs, torture-harness counterparts of
+   [set_torture_misorder]: they exist so the negative-control tests can
+   prove that manifest verification and epoch fallback actually fire. *)
+
+let corrupt_meta_for_tests t ~epoch ~oid =
+  let e = epoch_info t epoch in
+  match Hashtbl.find_opt e.e_table oid with
+  | None -> raise (Corrupt_store (Printf.sprintf "oid %d not in epoch %d" oid epoch))
+  | Some v ->
+      let meta =
+        if v.v_meta = "" then "\x01"
+        else begin
+          let b = Bytes.of_string v.v_meta in
+          Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+          Bytes.to_string b
+        end
+      in
+      (* Version records are shared across epoch tables by commit's
+         table copy; replacing the binding corrupts this epoch only. *)
+      Hashtbl.replace e.e_table oid { v with v_meta = meta }
+
+let corrupt_page_for_tests t ~epoch ~oid =
+  let v = version_exn t ~epoch ~oid in
+  let entry =
+    IntMap.fold
+      (fun _ leaf_blk acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> ( match cached_leaf t leaf_blk with e :: _ -> Some e | [] -> None))
+      v.v_leaves None
+  in
+  match entry with
+  | None -> invalid_arg "Store.corrupt_page_for_tests: object has no pages"
+  | Some (_, data_blk, len, _) ->
+      let garbage = Bytes.init (max len 1) (fun i -> Char.chr ((i * 7 + 0xEE) land 0xFF)) in
+      let c =
+        Striped.write t.dev ~now:(Clock.now t.clk) ~off:(off_of_block data_blk) garbage
+      in
+      Clock.advance_to t.clk c

@@ -135,6 +135,33 @@ val read_pages : t -> epoch:int -> oid:int -> (int * bytes) list
 
 val page_indices : t -> epoch:int -> oid:int -> int list
 
+(** {1 Verification}
+
+    Every flushed page carries a CRC-32 in its radix-leaf entry, computed
+    once at flush time.  Checkpoint manifests are built from these
+    checksums, and restore verification compares them against both the
+    manifest and a deep re-read of the data blocks. *)
+
+val page_crcs : t -> epoch:int -> oid:int -> (int * int) list
+(** [(page index, payload CRC-32)] of every resident page, from the leaf
+    entries alone (no data-block reads, no device charge). *)
+
+val staging_manifest_source : t -> (int * string * string * (int * int) list) list
+(** [(oid, kind, meta, page_crcs)] of every object the open staging epoch
+    will contain once committed — carried objects included, previous
+    leaves merged with staged payloads exactly as commit merges them.
+    Invalid outside [begin_checkpoint] .. [commit_checkpoint]. *)
+
+val corrupt_meta_for_tests : t -> epoch:int -> oid:int -> unit
+(** TESTING ONLY: flip a byte of the object's committed metadata in the
+    given epoch's table (other epochs sharing the version are unharmed) —
+    the negative control proving manifest verification detects it. *)
+
+val corrupt_page_for_tests : t -> epoch:int -> oid:int -> unit
+(** TESTING ONLY: overwrite the device block of one of the object's pages
+    with garbage.  Data blocks are shared across epochs by COW, so
+    corrupt a page that the target epoch wrote freshly. *)
+
 (** {1 Journals} *)
 
 type journal

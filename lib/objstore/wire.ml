@@ -59,3 +59,4 @@ let rlist r f =
   List.init n (fun _ -> f r)
 
 let remaining r = Bytes.length r.data - r.pos
+let pos r = r.pos

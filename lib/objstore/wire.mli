@@ -34,3 +34,6 @@ val ru64 : reader -> int
 val rstr : reader -> string
 val rlist : reader -> (reader -> 'a) -> 'a list
 val remaining : reader -> int
+
+val pos : reader -> int
+(** Current byte offset, for error reporting. *)

@@ -758,6 +758,515 @@ let qcheck_tests =
            | _ -> false));
   ]
 
+(* Serial image round-trips for every image type ------------------------------- *)
+
+let sample_proc =
+  {
+    Serial.i_pid_local = 4;
+    i_ppid_local = 1;
+    i_pgid = 4;
+    i_sid = 1;
+    i_name = "svc";
+    i_ephemeral = false;
+    i_cwd = "/tmp";
+    i_threads =
+      [
+        {
+          Serial.i_tid_local = 100;
+          i_regs =
+            {
+              Serial.i_rip = 0x1000;
+              i_rsp = 0x2000;
+              i_rflags = 0x202;
+              i_gp = Array.init 14 (fun i -> i);
+              i_fpu = String.make 64 'f';
+            };
+          i_sigmask = 0;
+          i_pending = [ 17 ];
+          i_priority = 120;
+        };
+      ];
+    i_fds = [ (0, 7); (1, 8) ];
+    i_entries =
+      [
+        {
+          Serial.i_start_vpn = 16;
+          i_npages = 4;
+          i_read = true;
+          i_write = true;
+          i_exec = false;
+          i_shared = false;
+          i_excluded = false;
+          i_obj_oid = 9;
+          i_obj_pgoff = 0;
+        };
+      ];
+    i_proc_pending = [];
+    i_aio_reads = [ (3, 0, 64) ];
+  }
+
+let sample_manifest =
+  let entries =
+    [
+      Serial.manifest_entry_of_source (3, "sls.memobj", "meta-a", [ (0, 17); (1, 99) ]);
+      Serial.manifest_entry_of_source (5, "sls.proc", "meta-b", []);
+    ]
+  in
+  { Serial.i_m_epoch = 12; i_m_count = 2; i_m_entries = entries }
+
+let roundtrip_qcheck_tests =
+  let t name gen image_of roundtrip =
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name ~count:200 gen (fun x -> roundtrip (image_of x)))
+  in
+  [
+    t "fdesc image round-trips"
+      QCheck.(triple (int_bound 8) small_nat bool)
+      (fun (variant, n, b) ->
+        let kind =
+          match variant with
+          | 0 -> Serial.I_vnode { inode = n; offset = n * 3; append = b }
+          | 1 -> Serial.I_pipe_r n
+          | 2 -> Serial.I_pipe_w n
+          | 3 -> Serial.I_socket n
+          | 4 -> Serial.I_kqueue n
+          | 5 -> Serial.I_pty_m n
+          | 6 -> Serial.I_pty_s n
+          | 7 -> Serial.I_shm n
+          | _ -> Serial.I_device (Printf.sprintf "dev-%d" n)
+        in
+        { Serial.i_kind = kind; i_ext_sync = b })
+      (fun i -> Serial.fdesc_of_string (Serial.fdesc_to_string i) = i);
+    t "pipe image round-trips"
+      QCheck.(triple small_string bool bool)
+      (fun (data, rd, wr) -> { Serial.i_data = data; i_rd_open = rd; i_wr_open = wr })
+      (fun i -> Serial.pipe_of_string (Serial.pipe_to_string i) = i);
+    t "kqueue image round-trips"
+      QCheck.(small_list (quad small_nat small_nat small_nat small_nat))
+      (List.map (fun (a, b, c, d) ->
+           { Serial.i_ident = a; i_filter = b; i_flags = c; i_udata = d }))
+      (fun evs -> Serial.kqueue_of_string (Serial.kqueue_to_string evs) = evs);
+    t "pty image round-trips"
+      QCheck.(quad small_nat bool small_string small_string)
+      (fun (u, echo, input, output) ->
+        {
+          Serial.i_unit = u;
+          i_echo = echo;
+          i_canonical = not echo;
+          i_baud = 115200;
+          i_input = input;
+          i_output = output;
+        })
+      (fun i -> Serial.pty_of_string (Serial.pty_to_string i) = i);
+    t "shm image round-trips"
+      QCheck.(triple bool small_string small_nat)
+      (fun (posix, name, n) ->
+        {
+          Serial.i_shm_kind = (if posix then Either.Left name else Either.Right n);
+          i_npages = n + 1;
+          i_backing_oid = n * 2;
+        })
+      (fun i -> Serial.shm_of_string (Serial.shm_to_string i) = i);
+    t "memobj image round-trips"
+      QCheck.(pair (option small_nat) bool)
+      (fun (parent, anon) -> { Serial.i_parent_oid = parent; i_anon = anon })
+      (fun i -> Serial.memobj_of_string (Serial.memobj_to_string i) = i);
+    t "group image round-trips"
+      QCheck.(
+        quad (small_list small_nat) small_nat
+          (small_list (pair small_string small_nat))
+          (small_list small_nat))
+      (fun (oids, period, names, parents) ->
+        {
+          Serial.i_proc_oids = oids;
+          i_period = period;
+          i_ext_sync_on = period mod 2 = 0;
+          i_name_ckpts = names;
+          i_ephemeral_parents = parents;
+        })
+      (fun i -> Serial.group_of_string (Serial.group_to_string i) = i);
+    t "manifest image round-trips"
+      QCheck.(
+        pair small_nat
+          (small_list
+             (triple small_nat small_string (small_list (pair small_nat small_nat)))))
+      (fun (epoch, sources) ->
+        let entries =
+          List.mapi
+            (fun i (oid, meta, crcs) ->
+              Serial.manifest_entry_of_source (oid + (i * 1000), "sls.kind", meta, crcs))
+            sources
+        in
+        {
+          Serial.i_m_epoch = epoch;
+          i_m_count = List.length entries;
+          i_m_entries = entries;
+        })
+      (fun i -> Serial.manifest_of_string (Serial.manifest_to_string i) = i);
+  ]
+
+(* Hardened parsers: truncation and bit-flips surface [Serial.Malformed],
+   never [Failure] or [Invalid_argument]. *)
+let test_parsers_raise_typed_malformed () =
+  let samples =
+    [
+      ("proc", Serial.proc_to_string sample_proc,
+       fun s -> ignore (Serial.proc_of_string s));
+      ( "fdesc",
+        Serial.fdesc_to_string
+          { Serial.i_kind = Serial.I_vnode { inode = 3; offset = 10; append = true };
+            i_ext_sync = true },
+        fun s -> ignore (Serial.fdesc_of_string s) );
+      ( "pipe",
+        Serial.pipe_to_string
+          { Serial.i_data = "buffered"; i_rd_open = true; i_wr_open = false },
+        fun s -> ignore (Serial.pipe_of_string s) );
+      ( "socket",
+        Serial.socket_to_string
+          {
+            Serial.i_domain = 1;
+            i_proto = 1;
+            i_laddr = Some ("10.0.0.1", 80);
+            i_raddr = None;
+            i_opts = [ ("nodelay", 1) ];
+            i_tcp = 2;
+            i_snd_seq = 5;
+            i_rcv_seq = 6;
+            i_peer_oid = 0;
+            i_recvq = [ { Serial.i_msg_data = "m"; i_ctl_oids = [ 4 ] } ];
+            i_sendq = [];
+          },
+        fun s -> ignore (Serial.socket_of_string s) );
+      ( "kqueue",
+        Serial.kqueue_to_string
+          [ { Serial.i_ident = 1; i_filter = 2; i_flags = 3; i_udata = 4 } ],
+        fun s -> ignore (Serial.kqueue_of_string s) );
+      ( "pty",
+        Serial.pty_to_string
+          {
+            Serial.i_unit = 1;
+            i_echo = true;
+            i_canonical = false;
+            i_baud = 9600;
+            i_input = "in";
+            i_output = "out";
+          },
+        fun s -> ignore (Serial.pty_of_string s) );
+      ( "shm",
+        Serial.shm_to_string
+          { Serial.i_shm_kind = Either.Left "seg"; i_npages = 2; i_backing_oid = 5 },
+        fun s -> ignore (Serial.shm_of_string s) );
+      ( "memobj",
+        Serial.memobj_to_string { Serial.i_parent_oid = Some 2; i_anon = true },
+        fun s -> ignore (Serial.memobj_of_string s) );
+      ( "group",
+        Serial.group_to_string
+          {
+            Serial.i_proc_oids = [ 1; 2 ];
+            i_period = 10_000_000;
+            i_ext_sync_on = true;
+            i_name_ckpts = [ ("v1", 3) ];
+            i_ephemeral_parents = [ 2 ];
+          },
+        fun s -> ignore (Serial.group_of_string s) );
+      ("manifest", Serial.manifest_to_string sample_manifest,
+       fun s -> ignore (Serial.manifest_of_string s));
+    ]
+  in
+  List.iter
+    (fun (kind, valid, parse) ->
+      (* Every strict prefix: truncation mid-field must be typed. *)
+      for len = 0 to String.length valid - 1 do
+        match parse (String.sub valid 0 len) with
+        | () -> ()
+        | exception Serial.Malformed _ -> ()
+        | exception e ->
+            Alcotest.fail
+              (Printf.sprintf "%s truncated at %d raised %s" kind len
+                 (Printexc.to_string e))
+      done;
+      (* Every single-byte flip: parses or fails typed, never crashes. *)
+      String.iteri
+        (fun i _ ->
+          let b = Bytes.of_string valid in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x41));
+          match parse (Bytes.to_string b) with
+          | () -> ()
+          | exception Serial.Malformed _ -> ()
+          | exception e ->
+              Alcotest.fail
+                (Printf.sprintf "%s flipped byte %d raised %s" kind i
+                   (Printexc.to_string e)))
+        valid)
+    samples
+
+let test_parse_check_dispatch () =
+  (match Serial.parse_check ~kind:Serial.kind_proc (Serial.proc_to_string sample_proc) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("valid proc rejected: " ^ e));
+  (match Serial.parse_check ~kind:Serial.kind_proc "garbage" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "garbage proc accepted");
+  (* Unknown kinds (fs.*, memory) are not image-parseable: accepted as-is. *)
+  match Serial.parse_check ~kind:"fs.namespace" "anything" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("unknown kind rejected: " ^ e)
+
+(* Replication frames ----------------------------------------------------------- *)
+
+let test_shipment_frames () =
+  let body = "stream-bytes-go-here" in
+  let frame =
+    Migrate.seal_shipment ~seq:3 ~base:1 ~epoch:2 ~manifest_oid:44 ~count:5
+      ~summary:0xBEEF body
+  in
+  (match Migrate.open_shipment frame with
+  | Ok sh ->
+      Alcotest.(check int) "seq" 3 sh.Migrate.sh_seq;
+      Alcotest.(check int) "base" 1 sh.Migrate.sh_base;
+      Alcotest.(check int) "epoch" 2 sh.Migrate.sh_epoch;
+      Alcotest.(check int) "manifest oid" 44 sh.Migrate.sh_manifest_oid;
+      Alcotest.(check int) "count" 5 sh.Migrate.sh_count;
+      Alcotest.(check int) "summary" 0xBEEF sh.Migrate.sh_summary;
+      Alcotest.(check string) "body" body sh.Migrate.sh_body
+  | Error e -> Alcotest.fail ("valid frame rejected: " ^ e));
+  (* Any single flipped byte is caught by the trailer CRC. *)
+  String.iteri
+    (fun i _ ->
+      let b = Bytes.of_string frame in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+      match Migrate.open_shipment (Bytes.to_string b) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (Printf.sprintf "flip at %d went unnoticed" i))
+    frame;
+  (match Migrate.open_shipment "abc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "3-byte frame accepted");
+  (* An ack frame is not a shipment: valid CRC, wrong magic. *)
+  let ack = Migrate.seal_ack ~seq:3 ~epoch:2 ~ok:true ~reason:"" in
+  (match Migrate.open_shipment ack with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ack parsed as shipment");
+  match Migrate.open_ack ack with
+  | Ok a ->
+      Alcotest.(check int) "ack seq" 3 a.Migrate.ack_seq;
+      Alcotest.(check bool) "ack ok" true a.Migrate.ack_ok
+  | Error e -> Alcotest.fail ("valid ack rejected: " ^ e)
+
+(* External synchrony: the discarded window --------------------------------------- *)
+
+let test_extsync_drop_after () =
+  let t = Extsync.create () in
+  let released = ref [] in
+  let buffer epoch tag =
+    Extsync.buffer t ~epoch
+      { Extsync.tag; deliver = (fun ~release_time:_ -> released := tag :: !released) }
+  in
+  buffer 1 "a";
+  buffer 2 "b";
+  buffer 3 "c";
+  buffer 3 "d";
+  (* Failover recovered epoch 2: exactly the epoch-3 window vanishes. *)
+  Alcotest.(check int) "dropped the window" 2 (Extsync.drop_after t ~epoch:2);
+  Alcotest.(check int) "older survive" 2 (Extsync.pending t);
+  ignore (Extsync.release_up_to t ~epoch:2 ~now:99);
+  Alcotest.(check (list string)) "released in order" [ "a"; "b" ] (List.rev !released)
+
+(* Verified restore and epoch fallback -------------------------------------------- *)
+
+let test_verify_epoch_and_fallback () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:8 in
+  let group = Sls.attach sys [ p ] in
+  Vm_space.write_string p.Process.space ~addr "gen-1";
+  ignore (Group.checkpoint ~wait_durable:true group);
+  Vm_space.write_string p.Process.space ~addr "gen-2";
+  ignore (Group.checkpoint ~wait_durable:true group);
+  let store = sys.Sls.store in
+  let newest = Store.last_complete_epoch store in
+  (match Restore.verify_epoch ~store ~epoch:newest with
+  | Ok m ->
+      Alcotest.(check int) "manifest names its epoch" newest m.Serial.i_m_epoch;
+      Alcotest.(check bool) "covers the epoch's objects" true (m.Serial.i_m_count > 0)
+  | Error e -> Alcotest.fail ("healthy epoch rejected: " ^ e));
+  (* Corrupt the newest epoch's memory-object metadata: verification must
+     fail there and verified restore must fall back to gen-1. *)
+  let victim =
+    match
+      List.find_opt
+        (fun (_, kind) -> kind = Serial.kind_memobj)
+        (Store.objects_at store ~epoch:newest)
+    with
+    | Some (oid, _) -> oid
+    | None -> Alcotest.fail "no memobj in checkpoint"
+  in
+  Store.corrupt_meta_for_tests store ~epoch:newest ~oid:victim;
+  (match Restore.verify_epoch ~store ~epoch:newest with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted epoch verified");
+  match Restore.restore_verified ~machine:(Machine.create ()) ~store () with
+  | Error e -> Alcotest.fail ("fallback found nothing: " ^ Restore.pp_restore_error e)
+  | Ok v -> (
+      Alcotest.(check bool) "older epoch restored" true (v.Restore.vr_epoch < newest);
+      Alcotest.(check bool) "the corrupted epoch was skipped" true
+        (List.exists
+           (fun (a : Restore.attempt) -> a.Restore.at_epoch = newest)
+           v.Restore.vr_skipped);
+      match v.Restore.vr_result.Restore.procs with
+      | [ p' ] ->
+          Alcotest.(check string) "previous generation" "gen-1"
+            (Vm_space.read_string p'.Process.space ~addr ~len:5)
+      | _ -> Alcotest.fail "expected 1 process")
+
+let test_restore_verified_empty_store () =
+  let sys = Sls.boot () in
+  match Restore.restore_verified ~machine:(Machine.create ()) ~store:sys.Sls.store () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "restored from a store with no group checkpoint"
+
+(* HA edge cases ------------------------------------------------------------------- *)
+
+module Ha = Aurora_core.Ha
+module Link = Aurora_net.Link
+
+let ha_fixture () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"svc" ~npages:8 in
+  Vm_space.touch_write p.Process.space ~addr ~len:(8 * 4096);
+  let group = Sls.attach sys [ p ] in
+  let standby = Sls.boot () in
+  (sys, p, addr, group, standby)
+
+let checkpoint_round group p ~addr r =
+  Vm_space.write_string p.Process.space ~addr (Printf.sprintf "round-%d" r);
+  ignore (Group.checkpoint ~wait_durable:true group)
+
+let test_ha_failover_before_replicate () =
+  let _sys, _p, _addr, group, standby = ha_fixture () in
+  let ha = Ha.create ~primary:group ~standby_store:standby.Sls.store () in
+  (match Ha.failover_verified ha ~machine:(Machine.create ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "failover succeeded with nothing shipped");
+  match Ha.failover ha ~machine:(Machine.create ()) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_ha_lag_recovers_shipped_epoch () =
+  let _sys, p, addr, group, standby = ha_fixture () in
+  let ha = Ha.create ~primary:group ~standby_store:standby.Sls.store () in
+  checkpoint_round group p ~addr 1;
+  ignore (Ha.replicate ha);
+  checkpoint_round group p ~addr 2;
+  ignore (Ha.replicate ha);
+  (* Round 3 checkpoints but never replicates: the primary dies lagging. *)
+  checkpoint_round group p ~addr 3;
+  Alcotest.(check int) "one epoch of lag" 1 (Ha.lag_epochs ha);
+  match Ha.failover_verified ha ~machine:(Machine.create ()) with
+  | Error e -> Alcotest.fail (Restore.pp_restore_error e)
+  | Ok report -> (
+      Alcotest.(check int) "recovered the shipped epoch, not the latest"
+        (Ha.shipped_epoch ha) report.Ha.fo_source_epoch;
+      match report.Ha.fo_restore.Restore.vr_result.Restore.procs with
+      | [ p' ] ->
+          Alcotest.(check string) "round-2 state" "round-2"
+            (Vm_space.read_string p'.Process.space ~addr ~len:7)
+      | _ -> Alcotest.fail "expected 1 process")
+
+let test_ha_double_failover_idempotent () =
+  let _sys, p, addr, group, standby = ha_fixture () in
+  let ha = Ha.create ~primary:group ~standby_store:standby.Sls.store () in
+  checkpoint_round group p ~addr 1;
+  ignore (Ha.replicate ha);
+  checkpoint_round group p ~addr 2;
+  ignore (Ha.replicate ha);
+  let fo () =
+    match Ha.failover_verified ha ~machine:(Machine.create ()) with
+    | Error e -> Alcotest.fail (Restore.pp_restore_error e)
+    | Ok report -> (
+        match report.Ha.fo_restore.Restore.vr_result.Restore.procs with
+        | [ p' ] ->
+            ( report.Ha.fo_source_epoch,
+              Vm_space.read_string p'.Process.space ~addr ~len:7 )
+        | _ -> Alcotest.fail "expected 1 process")
+  in
+  let first = fo () in
+  let second = fo () in
+  Alcotest.(check (pair int string)) "same epoch, same state" first second;
+  Alcotest.(check string) "round-2 state" "round-2" (snd first)
+
+let test_ha_replication_over_lossy_link () =
+  let _sys, p, addr, group, standby = ha_fixture () in
+  let link = Link.create ~name:"lossy" () in
+  Link.set_faults link ~seed:1905 (Link.lossy_profile 0.25);
+  let ha = Ha.create ~link ~primary:group ~standby_store:standby.Sls.store () in
+  for r = 1 to 8 do
+    checkpoint_round group p ~addr r;
+    match Ha.replicate_result ha with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail (Printf.sprintf "round %d not acknowledged: %s" r e)
+  done;
+  Alcotest.(check int) "standby current" 0 (Ha.lag_epochs ha);
+  let s = Ha.stats ha in
+  Alcotest.(check int) "every epoch shipped" 8 s.Ha.ha_shipments;
+  Alcotest.(check bool)
+    (Printf.sprintf "faults forced retransmits (%d)" s.Ha.ha_retransmits)
+    true
+    (s.Ha.ha_retransmits > 0);
+  (* And the recovered state is the last round despite the chaos. *)
+  match Ha.failover_verified ha ~machine:(Machine.create ()) with
+  | Error e -> Alcotest.fail (Restore.pp_restore_error e)
+  | Ok report -> (
+      match report.Ha.fo_restore.Restore.vr_result.Restore.procs with
+      | [ p' ] ->
+          Alcotest.(check string) "round-8 state" "round-8"
+            (Vm_space.read_string p'.Process.space ~addr ~len:7)
+      | _ -> Alcotest.fail "expected 1 process")
+
+let test_ha_partition_outwaited () =
+  let sys, p, addr, group, standby = ha_fixture () in
+  let link = Link.create ~name:"partitioned" () in
+  let ha = Ha.create ~link ~primary:group ~standby_store:standby.Sls.store () in
+  checkpoint_round group p ~addr 1;
+  (* Cut the cable for 5 ms of virtual time right before the shipment. *)
+  let now = Clock.now sys.Sls.machine.Machine.clock in
+  Link.partition link ~now ~duration:5_000_000;
+  (match Ha.replicate_result ha with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("partition not outwaited: " ^ e));
+  Alcotest.(check int) "standby current after heal" 0 (Ha.lag_epochs ha);
+  Alcotest.(check bool) "retransmitted across the partition" true
+    ((Ha.stats ha).Ha.ha_retransmits > 0);
+  Alcotest.(check bool) "primary clock crossed the heal" true
+    (Clock.now sys.Sls.machine.Machine.clock > now + 5_000_000)
+
+let test_ha_standby_rejects_divergent_state () =
+  let _sys, p, addr, group, standby = ha_fixture () in
+  let ha = Ha.create ~primary:group ~standby_store:standby.Sls.store () in
+  checkpoint_round group p ~addr 1;
+  (match Ha.replicate_result ha with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* Silently corrupt the standby's carried metadata (every object: the
+     page-granular delta re-ships only what changed, so the untouched
+     ones are composed from this corrupted state).  The next delta's
+     digest cannot match the primary's manifest, so the standby must
+     refuse and the epoch must not count as shipped. *)
+  let store = standby.Sls.store in
+  let newest = Store.last_complete_epoch store in
+  List.iter
+    (fun (oid, kind) ->
+      if kind <> Serial.kind_manifest then
+        Store.corrupt_meta_for_tests store ~epoch:newest ~oid)
+    (Store.objects_at store ~epoch:newest);
+  let shipped_before = Ha.shipped_epoch ha in
+  checkpoint_round group p ~addr 2;
+  (match Ha.replicate_result ha with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "standby installed a divergent epoch");
+  Alcotest.(check int) "shipped epoch did not advance" shipped_before
+    (Ha.shipped_epoch ha);
+  Alcotest.(check bool) "reject counted" true ((Ha.stats ha).Ha.ha_verify_rejects > 0)
+
 let () =
   Alcotest.run "aurora_core"
     [
@@ -797,6 +1306,11 @@ let () =
           Alcotest.test_case "store error paths" `Quick test_store_error_paths;
           Alcotest.test_case "fdctl" `Quick test_fdctl;
           Alcotest.test_case "external synchrony" `Quick test_extsync_buffering;
+          Alcotest.test_case "extsync discarded window" `Quick test_extsync_drop_after;
+          Alcotest.test_case "typed malformed parsers" `Quick
+            test_parsers_raise_typed_malformed;
+          Alcotest.test_case "parse_check dispatch" `Quick test_parse_check_dispatch;
+          Alcotest.test_case "shipment frames" `Quick test_shipment_frames;
         ] );
       ( "tools",
         [
@@ -811,5 +1325,25 @@ let () =
           Alcotest.test_case "unreferenced sysv shm" `Quick test_unreferenced_sysv_shm_survives;
           Alcotest.test_case "periodic driver" `Quick test_run_for_takes_periodic_checkpoints;
         ] );
-      ("properties", qcheck_tests);
+      ( "verified restore",
+        [
+          Alcotest.test_case "manifest verify and fallback" `Quick
+            test_verify_epoch_and_fallback;
+          Alcotest.test_case "empty store" `Quick test_restore_verified_empty_store;
+        ] );
+      ( "high availability",
+        [
+          Alcotest.test_case "failover before replicate" `Quick
+            test_ha_failover_before_replicate;
+          Alcotest.test_case "lag recovers shipped epoch" `Quick
+            test_ha_lag_recovers_shipped_epoch;
+          Alcotest.test_case "double failover idempotent" `Quick
+            test_ha_double_failover_idempotent;
+          Alcotest.test_case "replication over lossy link" `Quick
+            test_ha_replication_over_lossy_link;
+          Alcotest.test_case "partition outwaited" `Quick test_ha_partition_outwaited;
+          Alcotest.test_case "standby rejects divergent state" `Quick
+            test_ha_standby_rejects_divergent_state;
+        ] );
+      ("properties", qcheck_tests @ roundtrip_qcheck_tests);
     ]

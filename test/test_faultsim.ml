@@ -128,6 +128,20 @@ let qcheck_tests =
               end));
   ]
 
+module Ha_torture = Aurora_faultsim.Ha_torture
+
+let test_ha_torture_run () =
+  let r = Ha_torture.run ~seed:2026 ~rounds:5 ~rate:0.08 in
+  Alcotest.(check bool) (Ha_torture.pp_run r) true r.Ha_torture.hr_ok
+
+let test_ha_torture_negative_controls () =
+  (match Ha_torture.negative_control ~seed:1 ~mode:Ha_torture.Meta with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("meta control: " ^ e));
+  match Ha_torture.negative_control ~seed:1 ~mode:Ha_torture.Page with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("page control: " ^ e)
+
 let () =
   Alcotest.run "aurora_faultsim"
     [
@@ -147,5 +161,12 @@ let () =
         ] );
       ( "injector",
         [ Alcotest.test_case "crash_at boundary" `Quick test_crash_at_boundary_index ] );
+      ( "ha torture",
+        [
+          Alcotest.test_case "faulty run recovers model state" `Quick
+            test_ha_torture_run;
+          Alcotest.test_case "negative controls skip corruption" `Quick
+            test_ha_torture_negative_controls;
+        ] );
       ("properties", qcheck_tests);
     ]

@@ -845,7 +845,7 @@ let test_ha_failover () =
   Vm_space.touch_write p.Process.space ~addr ~len:(64 * 4096);
   let group = Sls.attach primary_sys [ p ] in
   let standby_sys = Sls.boot () in
-  let ha = Aurora_core.Ha.create ~primary:group ~standby_store:standby_sys.Sls.store in
+  let ha = Aurora_core.Ha.create ~primary:group ~standby_store:standby_sys.Sls.store () in
   (* Steady state: checkpoint, replicate, repeat. *)
   let first_bytes = ref 0 and later_bytes = ref 0 in
   for round = 1 to 5 do
@@ -890,14 +890,15 @@ let test_wire_fuzz_rejects_garbage () =
     (try ignore (Wire.rstr r) with Wire.Corrupt _ -> ());
     (try ignore (Wire.rlist r Wire.ru64) with Wire.Corrupt _ -> ())
   done;
-  (* Same for the high-level image parsers. *)
+  (* The high-level image parsers surface exactly one typed exception. *)
   for _ = 1 to 500 do
     let len = Aurora_util.Rng.int rng 100 in
     let garbage =
       String.init len (fun _ -> Char.chr (Aurora_util.Rng.int rng 256))
     in
     List.iter
-      (fun parse -> try ignore (parse garbage) with Wire.Corrupt _ -> ())
+      (fun parse ->
+        try ignore (parse garbage) with Aurora_core.Serial.Malformed _ -> ())
       [
         (fun s -> ignore (Aurora_core.Serial.proc_of_string s));
         (fun s -> ignore (Aurora_core.Serial.socket_of_string s));

@@ -1,0 +1,116 @@
+module Link = Aurora_net.Link
+
+let payload = String.init 200 (fun i -> Char.chr (i mod 256))
+
+let transmit_n link ~n =
+  List.concat
+    (List.init n (fun i ->
+         Link.transmit link ~now:(i * 1_000_000) ~payload ()))
+
+let test_faultfree_delivery () =
+  let link = Link.create () in
+  let ds = Link.transmit link ~now:0 ~payload () in
+  (match ds with
+  | [ d ] ->
+      Alcotest.(check string) "payload intact" payload d.Link.d_payload;
+      Alcotest.(check bool) "arrival after send" true (d.Link.d_arrival > 0)
+  | _ -> Alcotest.fail "expected exactly one delivery");
+  let s = Link.stats link in
+  Alcotest.(check int) "sent" 1 s.Link.l_sent;
+  Alcotest.(check int) "delivered" 1 s.Link.l_delivered;
+  Alcotest.(check int) "dropped" 0 s.Link.l_dropped
+
+let test_deterministic_replay () =
+  let run () =
+    let link = Link.create () in
+    Link.set_faults link ~seed:7 (Link.lossy_profile 0.3);
+    List.map
+      (fun (d : Link.delivery) -> (d.Link.d_arrival, d.Link.d_payload))
+      (transmit_n link ~n:50)
+  in
+  Alcotest.(check bool) "same seed, same deliveries" true (run () = run ())
+
+let test_fault_kinds_observed () =
+  let link = Link.create () in
+  Link.set_faults link ~seed:11 (Link.lossy_profile 0.3);
+  let ds = transmit_n link ~n:200 in
+  let s = Link.stats link in
+  Alcotest.(check int) "sent" 200 s.Link.l_sent;
+  Alcotest.(check bool) "drops happened" true (s.Link.l_dropped > 0);
+  Alcotest.(check bool) "duplicates happened" true (s.Link.l_duplicated > 0);
+  Alcotest.(check bool) "corruptions happened" true (s.Link.l_corrupted > 0);
+  Alcotest.(check bool) "reorders happened" true (s.Link.l_reordered > 0);
+  Alcotest.(check int) "accounting adds up" s.Link.l_delivered (List.length ds);
+  Alcotest.(check int) "dropped + delivered - dup = sent" s.Link.l_sent
+    (s.Link.l_dropped + s.Link.l_delivered - s.Link.l_duplicated);
+  (* Corrupted copies differ from the original in at least one byte. *)
+  Alcotest.(check bool) "some payload differs" true
+    (List.exists (fun d -> d.Link.d_payload <> payload) ds)
+
+let test_duplicate_copies_are_late () =
+  let link = Link.create () in
+  Link.set_faults link ~seed:3
+    { Link.no_faults with p_duplicate = 1.0 };
+  match Link.transmit link ~now:0 ~payload () with
+  | [ a; b ] ->
+      Alcotest.(check bool) "second copy strictly later" true
+        (b.Link.d_arrival > a.Link.d_arrival);
+      Alcotest.(check string) "same bytes" a.Link.d_payload b.Link.d_payload
+  | ds -> Alcotest.fail (Printf.sprintf "expected 2 deliveries, got %d" (List.length ds))
+
+let test_partition_blackout_and_heal () =
+  let link = Link.create () in
+  Link.partition link ~now:1_000 ~duration:10_000;
+  Alcotest.(check int) "heal time" 11_000 (Link.partitioned_until link);
+  Alcotest.(check (list (pair string int))) "inside the window: nothing" []
+    (List.map
+       (fun (d : Link.delivery) -> (d.Link.d_payload, d.Link.d_arrival))
+       (Link.transmit link ~now:5_000 ~payload ()));
+  Alcotest.(check int) "partition drop counted" 1
+    (Link.stats link).Link.l_partition_drops;
+  Alcotest.(check int) "after the heal: delivery" 1
+    (List.length (Link.transmit link ~now:20_000 ~payload ()))
+
+let test_reset_clears_state_and_replays () =
+  let link = Link.create () in
+  Link.set_faults link ~seed:7 (Link.lossy_profile 0.3);
+  Link.partition link ~now:0 ~duration:1_000_000;
+  Alcotest.(check bool) "partition active" true (Link.partitioned_until link > 0);
+  Link.reset link;
+  Alcotest.(check int) "partition cleared" 0 (Link.partitioned_until link);
+  let first =
+    List.map (fun (d : Link.delivery) -> d.Link.d_arrival) (transmit_n link ~n:30)
+  in
+  Alcotest.(check bool) "stats accumulated" true ((Link.stats link).Link.l_sent > 0);
+  Link.reset link;
+  Alcotest.(check int) "counters cleared" 0 (Link.stats link).Link.l_sent;
+  (* Same seed, same queue state: the decision sequence replays, so the
+     whole run (including resource queueing) is reproducible. *)
+  let second =
+    List.map (fun (d : Link.delivery) -> d.Link.d_arrival) (transmit_n link ~n:30)
+  in
+  Alcotest.(check bool) "decision sequence replays" true (first = second)
+
+let test_retransmit_marked () =
+  let link = Link.create () in
+  ignore (Link.transmit link ~now:0 ~payload ());
+  ignore (Link.transmit link ~retransmit:true ~now:1_000_000 ~payload ());
+  let s = Link.stats link in
+  Alcotest.(check int) "sent counts both" 2 s.Link.l_sent;
+  Alcotest.(check int) "one retransmit" 1 s.Link.l_retransmits
+
+let () =
+  Alcotest.run "aurora_net"
+    [
+      ( "link faults",
+        [
+          Alcotest.test_case "fault-free delivery" `Quick test_faultfree_delivery;
+          Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+          Alcotest.test_case "fault kinds observed" `Quick test_fault_kinds_observed;
+          Alcotest.test_case "duplicate copies late" `Quick test_duplicate_copies_are_late;
+          Alcotest.test_case "partition blackout" `Quick test_partition_blackout_and_heal;
+          Alcotest.test_case "reset clears and replays" `Quick
+            test_reset_clears_state_and_replays;
+          Alcotest.test_case "retransmit marked" `Quick test_retransmit_marked;
+        ] );
+    ]
