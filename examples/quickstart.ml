@@ -28,7 +28,7 @@ let () =
   Vm_space.write_string app.Process.space ~addr "draft: single level stores rock";
   let fd = Syscall.open_file m app ~path:"/notes.txt" ~create:true in
   ignore (Syscall.write m app ~fd "saved note\n");
-  (Process.main_thread app).Thread.regs.Thread.rip <- 0xfeedface;
+  Thread.set_rip (Process.main_thread app) 0xfeedface;
   print_endline "app wrote memory, a file, and has live CPU state";
 
   (* 3. Attach to Aurora: transparent checkpoints every 10 ms. *)

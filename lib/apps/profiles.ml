@@ -51,7 +51,8 @@ let build sys profile =
       (* Extra threads beyond the initial one. *)
       for _ = 2 to profile.threads_per_proc do
         p.Process.threads <-
-          p.Process.threads @ [ Thread.create ~tid:(Machine.alloc_tid machine) ]
+          p.Process.threads @ [ Thread.create ~tid:(Machine.alloc_tid machine) ];
+        Process.touch p
       done;
       (* The address space: many mappings sharing the footprint; every
          page resident (the paper's applications are warmed up). *)

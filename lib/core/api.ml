@@ -9,9 +9,9 @@ type journal = Store.journal
 
 let charge g ns = Clock.advance (Group.clock g) ns
 
-let sls_checkpoint g =
+let sls_checkpoint ?full g =
   charge g Cost.syscall_overhead;
-  Group.checkpoint g
+  Group.checkpoint ?full g
 
 let sls_restore = Restore.restore
 
@@ -37,9 +37,9 @@ let sls_barrier g =
   charge g Cost.syscall_overhead;
   Store.wait_durable (Group.store g)
 
-let sls_mctl (entry : Vm_map.entry) ~persist = entry.Vm_map.excluded <- not persist
+let sls_mctl (entry : Vm_map.entry) ~persist = Vm_map.set_excluded entry (not persist)
 
 let sls_fdctl p ~fd ~ext_sync =
   match Process.fd p fd with
-  | Some d -> d.Fdesc.ext_sync <- ext_sync
+  | Some d -> Fdesc.set_ext_sync d ext_sync
   | None -> invalid_arg "sls_fdctl: bad fd"

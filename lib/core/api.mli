@@ -7,8 +7,12 @@
 
 type journal
 
-val sls_checkpoint : Group.t -> Group.ckpt_stats
-(** Manually trigger a full group checkpoint. *)
+val sls_checkpoint : ?full:bool -> Group.t -> Group.ckpt_stats
+(** Manually trigger a group checkpoint.  By default the OS-state pass is
+    incremental (clean objects are dirty-checked and skipped); [~full:true]
+    forces every object to re-serialize and re-stage — the Table 4/Table 7
+    measurement path and the escape hatch if stamp discipline is in
+    doubt. *)
 
 val sls_restore :
   machine:Aurora_kern.Machine.t ->

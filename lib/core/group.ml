@@ -45,6 +45,9 @@ type ckpt_stats = {
   epoch : int;
   durable_at : int;
   flush : Store.flush_stats option;
+  objects_serialized : int;
+  objects_skipped : int;
+  meta_bytes_written : int;
 }
 
 type t = {
@@ -69,6 +72,15 @@ type t = {
          it — the POSIX-object-model property. *)
   mutable persist : bool; (* false during memory-only checkpoints *)
   mutable manifest_oid : int; (* 0 until first flushed checkpoint *)
+  last_gen : (int, int) Hashtbl.t;
+      (* oid -> generation stamp at the object's last persisted image;
+         an object whose current stamp still matches is skipped by the
+         incremental OS-state pass (the store's epoch-composed read path
+         resolves it from the prior epoch) *)
+  mutable full_cycle : bool; (* [~full:true]: disable skipping this cycle *)
+  mutable c_serialized : int; (* OS objects serialized this cycle *)
+  mutable c_skipped : int; (* OS objects dirty-checked and skipped *)
+  mutable c_meta_bytes : int; (* serialized OS metadata staged this cycle *)
 }
 
 let attach ~machine ~store ?fs ?(period_ns = 10_000_000) ?group_oid procs =
@@ -93,6 +105,11 @@ let attach ~machine ~store ?fs ?(period_ns = 10_000_000) ?group_oid procs =
       seen = Hashtbl.create 128;
       persist = true;
       manifest_oid = 0;
+      last_gen = Hashtbl.create 128;
+      full_cycle = false;
+      c_serialized = 0;
+      c_skipped = 0;
+      c_meta_bytes = 0;
     }
   in
   t
@@ -264,15 +281,26 @@ let manifest_oid t =
 (* Stage the epoch's manifest as the last object before commit: count,
    epoch id and per-object checksums of everything the commit will
    contain (the manifest itself excluded), built from the merged
-   staged-plus-carried state the store will actually write. *)
+   staged-plus-carried state the store will actually write.  The rows come
+   from the store's delta-aware summary, so a mostly-skipped incremental
+   checkpoint doesn't pay a full per-page manifest walk; entries for
+   skipped objects carry the cached CRCs of their prior image, keeping
+   verified shipping and restore verification over the full composed
+   state. *)
 let stage_manifest t ~epoch =
   if t.persist then begin
     let moid = manifest_oid t in
     let entries =
-      Store.staging_manifest_source t.st
-      |> List.filter (fun (oid, _, _, _) -> oid <> moid)
-      |> List.map Serial.manifest_entry_of_source
-      |> List.sort (fun a b -> compare a.Serial.i_me_oid b.Serial.i_me_oid)
+      Store.staging_manifest_entries t.st
+      |> List.filter (fun (oid, _, _, _, _) -> oid <> moid)
+      |> List.map (fun (oid, kind, meta_crc, npages, fp) ->
+             {
+               Serial.i_me_oid = oid;
+               i_me_kind = kind;
+               i_me_meta_crc = meta_crc;
+               i_me_pages = npages;
+               i_me_pages_crc = fp;
+             })
     in
     Store.put_object t.st ~oid:moid ~kind:Serial.kind_manifest
       ~meta:
@@ -290,23 +318,50 @@ let put_pgs t ~oid pages = if t.persist then Store.put_pages t.st ~oid pages
    cycle. *)
 let once t oid f = if not (Hashtbl.mem t.seen oid) then begin Hashtbl.replace t.seen oid (); f () end
 
+(* The incremental OS-state pass.  An object whose generation stamp still
+   matches its last persisted image is dirty-checked and skipped: no
+   serialization charge, nothing staged — the store's epoch-composed read
+   path resolves it from the prior epoch.  [children] always runs on the
+   skip path: a clean composite can still reach dirty children (a process
+   whose fd table is unchanged may hold a pipe that filled up), and the
+   serialize path reaches them through [serialize] itself. *)
+let ckpt_obj t ~oid ~gen ~children ~serialize =
+  once t oid (fun () ->
+      if (not t.full_cycle) && Hashtbl.find_opt t.last_gen oid = Some gen then begin
+        charge t Cost.ckpt_dirty_check;
+        t.c_skipped <- t.c_skipped + 1;
+        children ()
+      end
+      else begin
+        let kind, meta = serialize () in
+        put_obj t ~oid ~kind ~meta;
+        if t.persist then begin
+          Hashtbl.replace t.last_gen oid gen;
+          t.c_meta_bytes <- t.c_meta_bytes + String.length meta
+        end;
+        t.c_serialized <- t.c_serialized + 1
+      end)
+
 let checkpoint_pipe t pipe =
   let oid = sub_oid t "pipe" (Pipe.id pipe) in
-  once t oid (fun () ->
+  ckpt_obj t ~oid ~gen:(Pipe.generation pipe)
+    ~children:(fun () -> ())
+    ~serialize:(fun () ->
       charge t (Cost.obj_serialize_base + pipe_extra);
-      put_obj t ~oid ~kind:Serial.kind_pipe
-        ~meta:
-          (Serial.pipe_to_string
-             {
-               Serial.i_data = Pipe.peek_all pipe;
-               i_rd_open = Pipe.read_open pipe;
-               i_wr_open = Pipe.write_open pipe;
-             }));
+      ( Serial.kind_pipe,
+        Serial.pipe_to_string
+          {
+            Serial.i_data = Pipe.peek_all pipe;
+            i_rd_open = Pipe.read_open pipe;
+            i_wr_open = Pipe.write_open pipe;
+          } ));
   oid
 
 let checkpoint_kqueue t kq =
   let oid = sub_oid t "kqueue" (Kqueue.id kq) in
-  once t oid (fun () ->
+  ckpt_obj t ~oid ~gen:(Kqueue.generation kq)
+    ~children:(fun () -> ())
+    ~serialize:(fun () ->
   charge t (Cost.obj_serialize_base + (Kqueue.event_count kq * Cost.kqueue_per_event));
   let evs =
     List.map
@@ -325,25 +380,26 @@ let checkpoint_kqueue t kq =
         })
       (Kqueue.events kq)
   in
-  put_obj t ~oid ~kind:Serial.kind_kqueue ~meta:(Serial.kqueue_to_string evs));
+  (Serial.kind_kqueue, Serial.kqueue_to_string evs));
   oid
 
 let checkpoint_pty t pty =
   let oid = sub_oid t "pty" (Pty.id pty) in
-  once t oid (fun () ->
+  ckpt_obj t ~oid ~gen:(Pty.generation pty)
+    ~children:(fun () -> ())
+    ~serialize:(fun () ->
       charge t (Cost.obj_serialize_base + pty_ckpt_extra);
       let tio = Pty.termios pty in
-      put_obj t ~oid ~kind:Serial.kind_pty
-        ~meta:
-          (Serial.pty_to_string
-             {
-               Serial.i_unit = Pty.unit_number pty;
-               i_echo = tio.Pty.echo;
-               i_canonical = tio.Pty.canonical;
-               i_baud = tio.Pty.baud;
-               i_input = Pty.in_buffered pty;
-               i_output = Pty.out_buffered pty;
-             }));
+      ( Serial.kind_pty,
+        Serial.pty_to_string
+          {
+            Serial.i_unit = Pty.unit_number pty;
+            i_echo = tio.Pty.echo;
+            i_canonical = tio.Pty.canonical;
+            i_baud = tio.Pty.baud;
+            i_input = Pty.in_buffered pty;
+            i_output = Pty.out_buffered pty;
+          } ));
   oid
 
 let addr_image = function
@@ -354,7 +410,20 @@ let addr_image = function
    may recursively serialize descriptions not present in any fd table. *)
 let rec checkpoint_socket t sock =
   let oid = sub_oid t "socket" (Socket.id sock) in
-  once t oid (fun () ->
+  ckpt_obj t ~oid ~gen:(Socket.generation sock)
+    ~children:(fun () ->
+      (* Even when the socket is clean its buffered SCM_RIGHTS descriptions
+         may have mutated independently: visit them. *)
+      List.iter
+        (fun (m : Socket.msg) ->
+          List.iter
+            (fun desc_id ->
+              match Machine.find_description t.mach desc_id with
+              | Some d -> ignore (checkpoint_desc t d)
+              | None -> ())
+            m.Socket.ctl_fds)
+        (Socket.recv_buffered sock @ Socket.send_buffered sock))
+    ~serialize:(fun () ->
   let buffered_kib = (Socket.buffered_bytes sock + 1023) / 1024 in
   charge t
     (Cost.obj_serialize_base + socket_extra
@@ -382,30 +451,35 @@ let rec checkpoint_socket t sock =
     | None -> 0
     | Some p -> sub_oid t "socket" (Socket.id p)
   in
-  put_obj t ~oid ~kind:Serial.kind_socket
-    ~meta:
-      (Serial.socket_to_string
-         {
-           Serial.i_domain =
-             (match Socket.domain sock with Socket.Inet -> 0 | Socket.Unix_dom -> 1);
-           i_proto = (match Socket.proto sock with Socket.Udp -> 0 | Socket.Tcp -> 1);
-           i_laddr = addr_image (Socket.local_addr sock);
-           i_raddr = addr_image (Socket.remote_addr sock);
-           i_opts = Socket.options sock;
-           i_tcp = tcp;
-           i_snd_seq = snd;
-           i_rcv_seq = rcv;
-           i_peer_oid = peer_oid;
-           (* Listening sockets omit the accept queue (clients retry the
-              SYN): nothing of the queue is serialized. *)
-           i_recvq = List.map msg_image (Socket.recv_buffered sock);
-           i_sendq = List.map msg_image (Socket.send_buffered sock);
-         }));
+  ( Serial.kind_socket,
+    Serial.socket_to_string
+      {
+        Serial.i_domain =
+          (match Socket.domain sock with Socket.Inet -> 0 | Socket.Unix_dom -> 1);
+        i_proto = (match Socket.proto sock with Socket.Udp -> 0 | Socket.Tcp -> 1);
+        i_laddr = addr_image (Socket.local_addr sock);
+        i_raddr = addr_image (Socket.remote_addr sock);
+        i_opts = Socket.options sock;
+        i_tcp = tcp;
+        i_snd_seq = snd;
+        i_rcv_seq = rcv;
+        i_peer_oid = peer_oid;
+        (* Listening sockets omit the accept queue (clients retry the
+           SYN): nothing of the queue is serialized. *)
+        i_recvq = List.map msg_image (Socket.recv_buffered sock);
+        i_sendq = List.map msg_image (Socket.send_buffered sock);
+      } ));
   oid
 
 and checkpoint_shm t shm =
   let oid = sub_oid t "shm" (Shm.id shm) in
-  once t oid (fun () ->
+  ckpt_obj t ~oid ~gen:(Shm.generation shm)
+    ~children:(fun () ->
+      (* The backing rotates shadows every checkpoint (stable store oid):
+         its memrec must exist for the mark phase even when the segment's
+         own image is clean. *)
+      ignore (ensure_memrec t (Shm.backing shm)))
+    ~serialize:(fun () ->
   (match Shm.kind shm with
   | Shm.Posix_shm _ -> charge t (Cost.obj_serialize_base + Cost.shm_shadow_setup + shm_posix_extra)
   | Shm.Sysv_shm _ ->
@@ -413,17 +487,16 @@ and checkpoint_shm t shm =
         (Cost.obj_serialize_base + Cost.shm_shadow_setup + shm_posix_extra
         + Cost.sysv_namespace_scan));
   let backing = ensure_memrec t (Shm.backing shm) in
-  put_obj t ~oid ~kind:Serial.kind_shm
-    ~meta:
-      (Serial.shm_to_string
-         {
-           Serial.i_shm_kind =
-             (match Shm.kind shm with
-             | Shm.Posix_shm name -> Either.Left name
-             | Shm.Sysv_shm key -> Either.Right key);
-           i_npages = Shm.npages shm;
-           i_backing_oid = backing.mo_oid;
-         }));
+  ( Serial.kind_shm,
+    Serial.shm_to_string
+      {
+        Serial.i_shm_kind =
+          (match Shm.kind shm with
+          | Shm.Posix_shm name -> Either.Left name
+          | Shm.Sysv_shm key -> Either.Right key);
+        i_npages = Shm.npages shm;
+        i_backing_oid = backing.mo_oid;
+      } ));
   oid
 
 and checkpoint_vnode_ref t vn =
@@ -439,7 +512,18 @@ and checkpoint_vnode_ref t vn =
 
 and checkpoint_desc t (d : Fdesc.t) =
   let oid = desc_oid t d in
-  once t oid (fun () ->
+  ckpt_obj t ~oid ~gen:(Fdesc.generation d)
+    ~children:(fun () ->
+      (* A clean description can still point at a dirty object: descend. *)
+      match d.Fdesc.kind with
+      | Fdesc.Vnode_file _ | Fdesc.Device_fd _ -> ()
+      | Fdesc.Pipe_read p | Fdesc.Pipe_write p -> ignore (checkpoint_pipe t p)
+      | Fdesc.Socket_fd s -> ignore (checkpoint_socket t s)
+      | Fdesc.Kqueue_fd k -> ignore (checkpoint_kqueue t k)
+      | Fdesc.Pty_master_fd p | Fdesc.Pty_slave_fd p ->
+          ignore (checkpoint_pty t p)
+      | Fdesc.Shm_fd s -> ignore (checkpoint_shm t s))
+    ~serialize:(fun () ->
       let kind_image =
         match d.Fdesc.kind with
         | Fdesc.Vnode_file { vn; offset; append } ->
@@ -454,10 +538,9 @@ and checkpoint_desc t (d : Fdesc.t) =
         | Fdesc.Shm_fd s -> Serial.I_shm (checkpoint_shm t s)
         | Fdesc.Device_fd name -> Serial.I_device name
       in
-      put_obj t ~oid ~kind:Serial.kind_fdesc
-        ~meta:
-          (Serial.fdesc_to_string
-             { Serial.i_kind = kind_image; i_ext_sync = d.Fdesc.ext_sync }));
+      ( Serial.kind_fdesc,
+        Serial.fdesc_to_string
+          { Serial.i_kind = kind_image; i_ext_sync = d.Fdesc.ext_sync } ));
   oid
 
 let entry_image t (e : Vm_map.entry) =
@@ -485,10 +568,6 @@ let entry_image t (e : Vm_map.entry) =
   }
 
 let checkpoint_proc t (p : Process.t) =
-  charge t Cost.proc_serialize;
-  List.iter
-    (fun _thr -> charge t (Cost.thread_serialize + Cost.cpu_state_copy))
-    p.Process.threads;
   let oid =
     match Hashtbl.find_opt t.proc_oids p.Process.pid_local with
     | Some oid -> oid
@@ -497,46 +576,66 @@ let checkpoint_proc t (p : Process.t) =
         Hashtbl.replace t.proc_oids p.Process.pid_local oid;
         oid
   in
-  let fds =
-    List.map (fun (slot, d) -> (slot, checkpoint_desc t d)) (Process.fds p)
-  in
-  let entries =
-    List.filter_map
-      (fun (e : Vm_map.entry) ->
-        if e.Vm_map.excluded then None else Some (entry_image t e))
-      (Vm_map.entries (Vm_space.map p.Process.space))
-  in
-  let ppid_local =
-    match Machine.proc t.mach p.Process.ppid with
-    | Some parent -> parent.Process.pid_local
-    | None -> 0
-  in
-  let aio_reads =
-    List.filter_map
-      (fun (a : Aurora_kern.Aio.t) ->
-        match a.Aurora_kern.Aio.aio_op with
-        | Aurora_kern.Aio.Aio_read ->
-            Some (a.Aurora_kern.Aio.aio_slot, a.Aurora_kern.Aio.aio_off, a.Aurora_kern.Aio.aio_len)
-        | Aurora_kern.Aio.Aio_write -> None)
-      (Aurora_kern.Syscall.aio_pending t.mach p)
-  in
-  let image =
-    {
-      Serial.i_pid_local = p.Process.pid_local;
-      i_ppid_local = ppid_local;
-      i_pgid = p.Process.pgid;
-      i_sid = p.Process.sid;
-      i_name = p.Process.name;
-      i_ephemeral = p.Process.ephemeral;
-      i_cwd = p.Process.cwd;
-      i_threads = List.map Serial.image_of_thread p.Process.threads;
-      i_fds = fds;
-      i_entries = entries;
-      i_proc_pending = p.Process.pending_signals;
-      i_aio_reads = aio_reads;
-    }
-  in
-  put_obj t ~oid ~kind:Serial.kind_proc ~meta:(Serial.proc_to_string image);
+  (* The process image folds in thread CPU state and the vm layout, so the
+     stamp compared is the composite one.  In-flight AIO reads are part of
+     the image too, but every AIO transition touches the owner process. *)
+  ckpt_obj t ~oid ~gen:(Process.effective_generation p)
+    ~children:(fun () ->
+      List.iter (fun (_, d) -> ignore (checkpoint_desc t d)) (Process.fds p);
+      (* Anonymous mappings need their memrecs live for the mark phase even
+         when the layout (and so the image) is unchanged. *)
+      List.iter
+        (fun (e : Vm_map.entry) ->
+          if not e.Vm_map.excluded then
+            match Vm_object.kind e.Vm_map.obj with
+            | Vm_object.Anonymous -> ignore (ensure_memrec t e.Vm_map.obj)
+            | Vm_object.Vnode_backed _ | Vm_object.Device_backed _ -> ())
+        (Vm_map.entries (Vm_space.map p.Process.space)))
+    ~serialize:(fun () ->
+      charge t Cost.proc_serialize;
+      List.iter
+        (fun _thr -> charge t (Cost.thread_serialize + Cost.cpu_state_copy))
+        p.Process.threads;
+      let fds =
+        List.map (fun (slot, d) -> (slot, checkpoint_desc t d)) (Process.fds p)
+      in
+      let entries =
+        List.filter_map
+          (fun (e : Vm_map.entry) ->
+            if e.Vm_map.excluded then None else Some (entry_image t e))
+          (Vm_map.entries (Vm_space.map p.Process.space))
+      in
+      let ppid_local =
+        match Machine.proc t.mach p.Process.ppid with
+        | Some parent -> parent.Process.pid_local
+        | None -> 0
+      in
+      let aio_reads =
+        List.filter_map
+          (fun (a : Aurora_kern.Aio.t) ->
+            match a.Aurora_kern.Aio.aio_op with
+            | Aurora_kern.Aio.Aio_read ->
+                Some (a.Aurora_kern.Aio.aio_slot, a.Aurora_kern.Aio.aio_off, a.Aurora_kern.Aio.aio_len)
+            | Aurora_kern.Aio.Aio_write -> None)
+          (Aurora_kern.Syscall.aio_pending t.mach p)
+      in
+      let image =
+        {
+          Serial.i_pid_local = p.Process.pid_local;
+          i_ppid_local = ppid_local;
+          i_pgid = p.Process.pgid;
+          i_sid = p.Process.sid;
+          i_name = p.Process.name;
+          i_ephemeral = p.Process.ephemeral;
+          i_cwd = p.Process.cwd;
+          i_threads = List.map Serial.image_of_thread p.Process.threads;
+          i_fds = fds;
+          i_entries = entries;
+          i_proc_pending = p.Process.pending_signals;
+          i_aio_reads = aio_reads;
+        }
+      in
+      (Serial.kind_proc, Serial.proc_to_string image));
   oid
 
 (* System shadowing ------------------------------------------------------------- *)
@@ -644,6 +743,31 @@ let flush_static t r =
   end
   else 0
 
+(* The memrecs to shadow this cycle: every object currently mapped by a
+   member space, deduplicated by store oid with an int-keyed table (shared
+   objects appear once per mapping space; no polymorphic compares on the
+   stop path).  Anonymous objects get their memrec created here if the
+   OS-state pass skipped their owning process before it ever serialized
+   them. *)
+let mark_targets t spaces =
+  let seen_oids = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (fun space ->
+      List.iter
+        (fun obj ->
+          (* [unique_objects] yields only shadowable objects (writable,
+             anonymous, non-excluded), so each deserves a memrec even if
+             the OS-state pass never serialized its owning process. *)
+          let r = ensure_memrec t obj in
+          if not (Hashtbl.mem seen_oids r.mo_oid) then begin
+            Hashtbl.replace seen_oids r.mo_oid ();
+            out := r :: !out
+          end)
+        (Vm_space.unique_objects space))
+    spaces;
+  List.rev !out
+
 (* The checkpoint cycle --------------------------------------------------------------- *)
 
 let live_members t =
@@ -652,7 +776,7 @@ let live_members t =
 let persistent_members t =
   List.filter (fun p -> not p.Process.ephemeral) (live_members t)
 
-let checkpoint_common t ~flush =
+let checkpoint_common t ~flush ~full =
   let clk = clock t in
   let procs = persistent_members t in
   let spaces = List.map (fun p -> p.Process.space) procs in
@@ -661,6 +785,10 @@ let checkpoint_common t ~flush =
      initiating another one"). *)
   if flush then Store.wait_durable t.st;
   t.persist <- flush;
+  t.full_cycle <- full;
+  t.c_serialized <- 0;
+  t.c_skipped <- 0;
+  t.c_meta_bytes <- 0;
   Hashtbl.reset t.seen;
   let epoch = if flush then Store.begin_checkpoint t.st else Store.last_complete_epoch t.st in
   let stop_begin = Clock.now clk in
@@ -737,14 +865,7 @@ let checkpoint_common t ~flush =
   (* 4. System shadowing: freeze the dirty sets, one shadow per writable
      object across the whole group. *)
   let mark_begin = Clock.now clk in
-  let to_shadow =
-    List.concat_map
-      (fun space ->
-        List.filter_map (fun obj -> memrec_of_top t obj) (Vm_space.unique_objects space))
-      spaces
-    (* Shared objects appear once per mapping space; dedup by oid. *)
-    |> List.sort_uniq (fun a b -> compare a.mo_oid b.mo_oid)
-  in
+  let to_shadow = mark_targets t spaces in
   List.iter (fun r -> interpose_shadow t spaces r) to_shadow;
   (* Chains no mapping writes anymore (e.g. a shadow that became a fork
      backing mid-epoch) still hold unflushed dirty pages: freeze their
@@ -778,16 +899,20 @@ let checkpoint_common t ~flush =
     else 0
   in
   (* In-flight asynchronous writes belong to this checkpoint: it is not
-     complete until they are incorporated (section 5.3). *)
+     complete until they are incorporated (section 5.3).  The per-pid AIO
+     index makes this a walk over the members' own requests instead of a
+     scan of the machine-wide table. *)
   let aio_write_done =
-    Hashtbl.fold
-      (fun _ ((a : Aurora_kern.Aio.t), pid) acc ->
-        if
-          a.Aurora_kern.Aio.aio_op = Aurora_kern.Aio.Aio_write
-          && List.mem pid t.member_pids
-        then max acc a.Aurora_kern.Aio.done_at
-        else acc)
-      t.mach.Machine.aios 0
+    List.fold_left
+      (fun acc pid ->
+        List.fold_left
+          (fun acc (a : Aurora_kern.Aio.t) ->
+            if a.Aurora_kern.Aio.aio_op = Aurora_kern.Aio.Aio_write then
+              max acc a.Aurora_kern.Aio.done_at
+            else acc)
+          acc
+          (Machine.aios_of_pid t.mach pid))
+      0 t.member_pids
   in
   t.persist <- true;
   t.last_ckpt_time <- Clock.now clk;
@@ -801,6 +926,9 @@ let checkpoint_common t ~flush =
       (if flush then max (Store.durable_at t.st) aio_write_done
        else Clock.now clk);
     flush = (if flush then Some (Store.flush_stats t.st) else None);
+    objects_serialized = t.c_serialized;
+    objects_skipped = t.c_skipped;
+    meta_bytes_written = t.c_meta_bytes;
   }
 
 (* After a restore, entries point directly at the restored logical
@@ -808,13 +936,7 @@ let checkpoint_common t ~flush =
    tracked and the next checkpoint stays incremental. *)
 let prepare_after_restore t =
   let spaces = List.map (fun p -> p.Process.space) (persistent_members t) in
-  let to_shadow =
-    List.concat_map
-      (fun space ->
-        List.filter_map (fun obj -> memrec_of_top t obj) (Vm_space.unique_objects space))
-      spaces
-    |> List.sort_uniq (fun a b -> compare a.mo_oid b.mo_oid)
-  in
+  let to_shadow = mark_targets t spaces in
   List.iter
     (fun r ->
       interpose_shadow t spaces r;
@@ -851,6 +973,9 @@ let checkpoint_region t (entry : Vm_map.entry) =
     epoch;
     durable_at = Store.durable_at t.st;
     flush = Some (Store.flush_stats t.st);
+    objects_serialized = 0;
+    objects_skipped = 0;
+    meta_bytes_written = 0;
   }
 
 (* Memory overcommitment: the unified zero-copy swap path. ------------------ *)
@@ -907,12 +1032,12 @@ let resident_group_pages t =
     (fun acc p -> acc + Vm_space.resident_pages p.Process.space)
     0 (persistent_members t)
 
-let checkpoint ?(wait_durable = false) t =
-  let stats = checkpoint_common t ~flush:true in
+let checkpoint ?(wait_durable = false) ?(full = false) t =
+  let stats = checkpoint_common t ~flush:true ~full in
   if wait_durable then Store.wait_durable t.st;
   stats
 
-let checkpoint_mem_only t = checkpoint_common t ~flush:false
+let checkpoint_mem_only t = checkpoint_common t ~flush:false ~full:false
 
 let suspend t =
   let stats = checkpoint ~wait_durable:true t in

@@ -35,6 +35,16 @@ type ckpt_stats = {
   flush : Aurora_objstore.Store.flush_stats option;
       (** the store's coalesced-flush statistics for this epoch ([None]
           for memory-only checkpoints, which skip the store flush) *)
+  objects_serialized : int;
+      (** OS-state objects serialized and staged this cycle (the group
+          object and the manifest are bookkeeping, not counted) *)
+  objects_skipped : int;
+      (** OS-state objects whose generation stamp matched their last
+          persisted image: dirty-checked and skipped, carried into the new
+          epoch by the store's composed read path *)
+  meta_bytes_written : int;
+      (** serialized OS metadata staged this cycle (skipped objects
+          contribute nothing) *)
 }
 
 val attach :
@@ -65,10 +75,19 @@ val detach_process : t -> Aurora_kern.Process.t -> unit
 val ext_sync_enabled : t -> bool
 val set_ext_sync : t -> bool -> unit
 
-val checkpoint : ?wait_durable:bool -> t -> ckpt_stats
+val checkpoint : ?wait_durable:bool -> ?full:bool -> t -> ckpt_stats
 (** One full checkpoint cycle.  With [wait_durable] (default false) the
     clock additionally advances until the checkpoint is on stable storage
-    ([sls_barrier] semantics). *)
+    ([sls_barrier] semantics).
+
+    The OS-state pass is incremental by default: each object carries a
+    monotonic generation stamp bumped at every mutation, and an object
+    whose stamp matches its last persisted image is dirty-checked
+    ([Cost.ckpt_dirty_check]) and skipped — not re-serialized, not
+    re-staged; the store's epoch-composed read path resolves it from the
+    prior epoch and the manifest folds in its cached checksums.
+    [~full:true] forces every object to re-serialize and re-stage (the
+    measurement path for Tables 4 and 7, and a safety valve). *)
 
 val checkpoint_mem_only : t -> ckpt_stats
 (** Stop, serialize and shadow, but skip the store flush — the "Mem"

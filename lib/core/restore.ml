@@ -137,10 +137,8 @@ let pty ctx oid =
       charge ctx (Cost.obj_restore_base + Cost.devfs_lock);
       let image = Serial.pty_of_string (meta ctx oid) in
       let p = Pty.create () in
-      let tio = Pty.termios p in
-      tio.Pty.echo <- image.Serial.i_echo;
-      tio.Pty.canonical <- image.Serial.i_canonical;
-      tio.Pty.baud <- image.Serial.i_baud;
+      Pty.set_termios p ~echo:image.Serial.i_echo
+        ~canonical:image.Serial.i_canonical ~baud:image.Serial.i_baud;
       Pty.refill p ~input:image.Serial.i_input ~output:image.Serial.i_output;
       Hashtbl.replace ctx.ptys oid p;
       p
@@ -241,7 +239,7 @@ and desc ctx oid =
         | Serial.I_device name -> Fdesc.Device_fd name
       in
       let d = Fdesc.create kind in
-      d.Fdesc.ext_sync <- image.Serial.i_ext_sync;
+      Fdesc.set_ext_sync d image.Serial.i_ext_sync;
       Machine.register_description ctx.mach d;
       Hashtbl.replace ctx.descs oid d;
       d

@@ -183,7 +183,8 @@ let restore machine image =
       let p = Aurora_kern.Syscall.spawn machine ~name in
       for _ = 2 to nthreads do
         p.Process.threads <-
-          p.Process.threads @ [ Aurora_kern.Thread.create ~tid:(Machine.alloc_tid machine) ]
+          p.Process.threads @ [ Aurora_kern.Thread.create ~tid:(Machine.alloc_tid machine) ];
+        Process.touch p
       done;
       let fds =
         Wire.rlist r (fun r ->

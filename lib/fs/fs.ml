@@ -17,6 +17,10 @@ type t = {
   names : (string, int) Hashtbl.t;
   vnodes : (int, Vnode.t) Hashtbl.t;
   oids : (int, int) Hashtbl.t; (* inode -> store oid *)
+  flushed_gens : (int, int) Hashtbl.t;
+      (* inode -> Vnode.generation at last staging; catches metadata-only
+         mutations (truncate, link-count changes) that leave no dirty page
+         but must restage the vnode's serialized meta *)
   mutable next_inode : int;
   mutable namespace_oid : int;
   mutable namespace_dirty : bool;
@@ -28,6 +32,7 @@ let create ~store =
     names = Hashtbl.create 256;
     vnodes = Hashtbl.create 256;
     oids = Hashtbl.create 256;
+    flushed_gens = Hashtbl.create 256;
     next_inode = 0;
     namespace_oid = 0;
     namespace_dirty = true;
@@ -70,7 +75,8 @@ let unlink t path =
              reachable through its inode (the hidden reference). *)
           if Vnode.links vn = 0 && Vnode.open_count vn = 0 then begin
             Hashtbl.remove t.vnodes ino;
-            Hashtbl.remove t.oids ino
+            Hashtbl.remove t.oids ino;
+            Hashtbl.remove t.flushed_gens ino
           end
       | None -> ());
       true
@@ -149,8 +155,13 @@ let flush_to_store t =
   Hashtbl.iter
     (fun ino vn ->
       let dirty = Vnode.take_dirty vn in
-      if dirty <> [] || not (Hashtbl.mem t.oids ino) then begin
+      if
+        dirty <> []
+        || (not (Hashtbl.mem t.oids ino))
+        || Hashtbl.find_opt t.flushed_gens ino <> Some (Vnode.generation vn)
+      then begin
         let oid = oid_for t ino in
+        Hashtbl.replace t.flushed_gens ino (Vnode.generation vn);
         Store.put_object t.st ~oid ~kind:"fs.vnode" ~meta:(serialize_vnode_meta vn);
         let pages =
           List.filter_map
@@ -202,6 +213,7 @@ let restore_from_store ~store ~epoch =
         ignore (Vnode.take_dirty vn);
         Hashtbl.replace t.vnodes ino vn;
         Hashtbl.replace t.oids ino oid;
+        Hashtbl.replace t.flushed_gens ino (Vnode.generation vn);
         t.namespace_dirty <- false
       end)
     objects;

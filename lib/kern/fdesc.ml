@@ -14,6 +14,7 @@ type t = {
   kind : kind;
   mutable refs : int;
   mutable ext_sync : bool;
+  mutable gen : int;
 }
 
 let next_id = ref 0
@@ -25,8 +26,25 @@ let create kind =
   | Pipe_read _ | Pipe_write _ | Socket_fd _ | Kqueue_fd _ | Pty_master_fd _
   | Pty_slave_fd _ | Shm_fd _ | Device_fd _ ->
       ());
-  { desc_id = !next_id; kind; refs = 1; ext_sync = true }
+  { desc_id = !next_id; kind; refs = 1; ext_sync = true; gen = 0 }
 
+let generation t = t.gen
+let touch t = t.gen <- t.gen + 1
+
+let set_ext_sync t v =
+  if t.ext_sync <> v then touch t;
+  t.ext_sync <- v
+
+let set_offset t off =
+  match t.kind with
+  | Vnode_file f ->
+      if f.offset <> off then touch t;
+      f.offset <- off
+  | _ -> invalid_arg "Fdesc.set_offset: not a vnode-backed description"
+
+(* Reference counting is fd-table bookkeeping, not serialized state: no
+   stamp.  (When refs hits zero the description stops being checkpointed
+   altogether.) *)
 let retain t = t.refs <- t.refs + 1
 
 let release t =

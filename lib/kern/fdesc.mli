@@ -23,10 +23,28 @@ type t = {
   mutable refs : int;  (** fd-table slots referencing this description *)
   mutable ext_sync : bool;
       (** external synchrony enabled ([sls_fdctl]); on by default *)
+  mutable gen : int;
+      (** monotonic mutation stamp; use the setters below (or [touch])
+          rather than mutating serialized fields in place *)
 }
 
 val create : kind -> t
+
+val generation : t -> int
+(** Monotonic mutation stamp over the serialized image (kind payload —
+    offset/append for files — and the ext_sync flag). *)
+
+val touch : t -> unit
+
+val set_ext_sync : t -> bool -> unit
+(** Flip external synchrony, bumping the stamp on change. *)
+
+val set_offset : t -> int -> unit
+(** Update a vnode-backed description's file offset, bumping the stamp on
+    change.  @raise Invalid_argument for other kinds. *)
+
 val retain : t -> unit
+
 val release : t -> unit
 (** Decrements; when it reaches zero, closes the underlying object
     (vnode open count, pipe end, ...). *)

@@ -1,23 +1,30 @@
 type filter = Ev_read | Ev_write | Ev_timer | Ev_signal | Ev_proc
 type kevent = { ident : int; filter : filter; flags : int; udata : int }
-type t = { kq_id : int; mutable evs : kevent list }
+type t = { kq_id : int; mutable evs : kevent list; mutable gen : int }
 
 let next_id = ref 0
 
 let create () =
   incr next_id;
-  { kq_id = !next_id; evs = [] }
+  { kq_id = !next_id; evs = []; gen = 0 }
 
 let id t = t.kq_id
+let generation t = t.gen
+let touch t = t.gen <- t.gen + 1
 
 let same_slot a ~ident ~filter = a.ident = ident && a.filter = filter
 
 let register t ev =
-  t.evs <- ev :: List.filter (fun e -> not (same_slot e ~ident:ev.ident ~filter:ev.filter)) t.evs
+  t.evs <- ev :: List.filter (fun e -> not (same_slot e ~ident:ev.ident ~filter:ev.filter)) t.evs;
+  touch t
 
 let deregister t ~ident ~filter =
-  t.evs <- List.filter (fun e -> not (same_slot e ~ident ~filter)) t.evs
+  t.evs <- List.filter (fun e -> not (same_slot e ~ident ~filter)) t.evs;
+  touch t
 
 let events t = t.evs
 let event_count t = List.length t.evs
-let replace_events t evs = t.evs <- evs
+
+let replace_events t evs =
+  t.evs <- evs;
+  touch t

@@ -17,6 +17,11 @@ type t
 val create : unit -> t
 val id : t -> int
 
+val generation : t -> int
+(** Monotonic mutation stamp over the registered-event set. *)
+
+val touch : t -> unit
+
 val register : t -> kevent -> unit
 val deregister : t -> ident:int -> filter:filter -> unit
 val events : t -> kevent list

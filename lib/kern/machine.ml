@@ -10,6 +10,10 @@ type t = {
   sysv_shm : (int, Shm.t) Hashtbl.t;
   descriptions : (int, Fdesc.t) Hashtbl.t;
   aios : (int, Aio.t * int) Hashtbl.t;
+  aios_by_pid : (int, (int, Aio.t) Hashtbl.t) Hashtbl.t;
+      (* owner pid_global -> (aio_id -> aio); secondary index so the
+         checkpoint fold visits only a group's own AIOs instead of scanning
+         the machine-wide table *)
   mutable vfs : Vfs.ops option;
   ncpus : int;
   device_whitelist : string list;
@@ -25,6 +29,7 @@ let create ?(ncpus = 24) () =
     sysv_shm = Hashtbl.create 16;
     descriptions = Hashtbl.create 256;
     aios = Hashtbl.create 16;
+    aios_by_pid = Hashtbl.create 16;
     vfs = None;
     ncpus;
     device_whitelist = [ "hpet0"; "vdso"; "null"; "zero"; "urandom" ];
@@ -73,7 +78,46 @@ let proc_by_local_pid ?scope t pid_local =
   | p :: _, None -> Some p
 
 let add_proc t p = Hashtbl.replace t.procs p.Process.pid_global p
-let remove_proc t pid = Hashtbl.remove t.procs pid
+
+let remove_proc t pid =
+  Hashtbl.remove t.procs pid;
+  (* Orphaned children serialize a different parent link (ppid resolves to
+     nothing -> 0 in the image): stamp them so incremental checkpoints
+     re-serialize. *)
+  Hashtbl.iter
+    (fun _ p -> if p.Process.ppid = pid then Process.touch p)
+    t.procs
+
+(* AIO table ------------------------------------------------------------ *)
+
+let add_aio t ~aio ~pid =
+  Hashtbl.replace t.aios aio.Aio.aio_id (aio, pid);
+  let per_pid =
+    match Hashtbl.find_opt t.aios_by_pid pid with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.aios_by_pid pid tbl;
+        tbl
+  in
+  Hashtbl.replace per_pid aio.Aio.aio_id aio
+
+let remove_aio t ~aio_id =
+  match Hashtbl.find_opt t.aios aio_id with
+  | None -> None
+  | Some (aio, pid) ->
+      Hashtbl.remove t.aios aio_id;
+      (match Hashtbl.find_opt t.aios_by_pid pid with
+      | Some tbl ->
+          Hashtbl.remove tbl aio_id;
+          if Hashtbl.length tbl = 0 then Hashtbl.remove t.aios_by_pid pid
+      | None -> ());
+      Some (aio, pid)
+
+let aios_of_pid t pid =
+  match Hashtbl.find_opt t.aios_by_pid pid with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun _ aio acc -> aio :: acc) tbl []
 
 let live_procs t =
   Hashtbl.fold

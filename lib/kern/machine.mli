@@ -15,6 +15,10 @@ type t = {
   aios : (int, Aio.t * int) Hashtbl.t;
       (** in-flight asynchronous I/O, by [Aio.aio_id]; the second component
           is the issuing process's global pid *)
+  aios_by_pid : (int, (int, Aio.t) Hashtbl.t) Hashtbl.t;
+      (** secondary index of [aios] keyed by owner pid, maintained by
+          [add_aio]/[remove_aio]; lets a consistency group's checkpoint
+          visit only its members' AIOs *)
   mutable vfs : Vfs.ops option;
   ncpus : int;
   device_whitelist : string list;
@@ -41,8 +45,21 @@ val proc_by_local_pid : ?scope:Process.t -> t -> int -> Process.t option
     session first, which is how signals route to the right sibling. *)
 
 val add_proc : t -> Process.t -> unit
+
 val remove_proc : t -> int -> unit
+(** Also stamps any process whose parent link pointed at the removed pid:
+    its serialized image changes (the parent resolves to nothing). *)
+
 val live_procs : t -> Process.t list
+
+val add_aio : t -> aio:Aio.t -> pid:int -> unit
+(** Register an in-flight AIO under its owner, maintaining both the global
+    table and the per-pid index. *)
+
+val remove_aio : t -> aio_id:int -> (Aio.t * int) option
+(** Unregister; returns the request and its owner pid if it was present. *)
+
+val aios_of_pid : t -> int -> Aio.t list
 
 val quiesce : t -> Process.t list -> unit
 (** Drive every thread of the given processes to the kernel boundary:

@@ -5,20 +5,30 @@ type t = {
   buf : Buffer.t;
   mutable rd_open : bool;
   mutable wr_open : bool;
+  mutable gen : int;
 }
 
 let next_id = ref 0
 
 let create () =
   incr next_id;
-  { pipe_id = !next_id; buf = Buffer.create 256; rd_open = true; wr_open = true }
+  {
+    pipe_id = !next_id;
+    buf = Buffer.create 256;
+    rd_open = true;
+    wr_open = true;
+    gen = 0;
+  }
 
 let id t = t.pipe_id
+let generation t = t.gen
+let touch t = t.gen <- t.gen + 1
 
 let write t data =
   let room = capacity - Buffer.length t.buf in
   let n = min room (String.length data) in
   Buffer.add_substring t.buf data 0 n;
+  if n > 0 then touch t;
   n
 
 let read t ~len =
@@ -27,6 +37,7 @@ let read t ~len =
   let rest = Buffer.sub t.buf n (Buffer.length t.buf - n) in
   Buffer.clear t.buf;
   Buffer.add_string t.buf rest;
+  if n > 0 then touch t;
   out
 
 let buffered t = Buffer.length t.buf
@@ -34,9 +45,24 @@ let peek_all t = Buffer.contents t.buf
 
 let refill t data =
   Buffer.clear t.buf;
-  Buffer.add_string t.buf data
+  Buffer.add_string t.buf data;
+  touch t
 
-let close_read t = t.rd_open <- false
-let close_write t = t.wr_open <- false
+let close_read t =
+  t.rd_open <- false;
+  touch t
+
+let close_write t =
+  t.wr_open <- false;
+  touch t
+
 let read_open t = t.rd_open
 let write_open t = t.wr_open
+
+(* Test hook: mutate buffered contents WITHOUT bumping the generation, to
+   model a kernel subsystem that forgot the stamp discipline.  Incremental
+   checkpoints will persist stale state for this pipe; the restore-vs-model
+   diff must catch it (negative control in the test suite). *)
+let unstamped_poke_for_tests t data =
+  Buffer.clear t.buf;
+  Buffer.add_string t.buf data

@@ -8,6 +8,15 @@ val capacity : int
 val create : unit -> t
 val id : t -> int
 
+val generation : t -> int
+(** Monotonic mutation stamp: bumped by every state change that would alter
+    the serialized image (writes, reads, end closes).  Incremental
+    checkpoints skip re-serializing a pipe whose stamp matches the last
+    persisted one. *)
+
+val touch : t -> unit
+(** Bump the generation stamp explicitly. *)
+
 val write : t -> string -> int
 (** Append up to the free space; returns the number of bytes accepted. *)
 
@@ -25,3 +34,7 @@ val close_read : t -> unit
 val close_write : t -> unit
 val read_open : t -> bool
 val write_open : t -> bool
+
+val unstamped_poke_for_tests : t -> string -> unit
+(** Replace the buffered bytes WITHOUT bumping the generation — a deliberate
+    violation of the stamp discipline, for negative-control tests only. *)

@@ -18,6 +18,7 @@ type t = {
   mutable pending_signals : int list;
   mutable ephemeral : bool;
   mutable cwd : string;
+  mutable gen : int;
 }
 
 let sigchld = 20 (* FreeBSD SIGCHLD *)
@@ -39,19 +40,47 @@ let create ~clock ~pid ~tid ~ppid ~name =
     pending_signals = [];
     ephemeral = false;
     cwd = "/";
+    gen = 0;
   }
+
+let touch t = t.gen <- t.gen + 1
+let generation t = t.gen
+
+(* The serialized process image folds in every thread's CPU/signal state
+   and the address-space layout, so the stamp the checkpointer compares is
+   the sum of those monotonic counters (a sum of monotonic counters is
+   monotonic, and moves whenever any component moves). *)
+let effective_generation t =
+  List.fold_left
+    (fun acc thr -> acc + Thread.generation thr)
+    (t.gen + Vm_space.layout_generation t.space)
+    t.threads
+
+let set_ephemeral t v =
+  if t.ephemeral <> v then touch t;
+  t.ephemeral <- v
+
+let set_cwd t path =
+  if t.cwd <> path then touch t;
+  t.cwd <- path
+
+let set_name t name =
+  if t.name <> name then touch t;
+  t.name <- name
 
 let alloc_fd t desc =
   let rec free n = if Hashtbl.mem t.fdtable n then free (n + 1) else n in
   let slot = free 0 in
   Hashtbl.replace t.fdtable slot desc;
+  touch t;
   slot
 
 let install_fd_at t slot desc =
   (match Hashtbl.find_opt t.fdtable slot with
   | Some old -> Fdesc.release old
   | None -> ());
-  Hashtbl.replace t.fdtable slot desc
+  Hashtbl.replace t.fdtable slot desc;
+  touch t
 
 let fd t slot = Hashtbl.find_opt t.fdtable slot
 
@@ -61,6 +90,7 @@ let close_fd t slot =
   | Some desc ->
       Fdesc.release desc;
       Hashtbl.remove t.fdtable slot;
+      touch t;
       true
 
 let fd_count t = Hashtbl.length t.fdtable
@@ -75,12 +105,15 @@ let main_thread t =
   | [] -> invalid_arg "Process.main_thread: no threads"
 
 let signal t signo =
-  if not (List.mem signo t.pending_signals) then
-    t.pending_signals <- t.pending_signals @ [ signo ]
+  if not (List.mem signo t.pending_signals) then begin
+    t.pending_signals <- t.pending_signals @ [ signo ];
+    touch t
+  end
 
 let take_signal t =
   match t.pending_signals with
   | [] -> None
   | signo :: rest ->
       t.pending_signals <- rest;
+      touch t;
       Some signo

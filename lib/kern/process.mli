@@ -30,10 +30,26 @@ type t = {
       (** part of a consistency group but not persisted (worker processes
           the application recreates; restore sends the parent SIGCHLD) *)
   mutable cwd : string;
+  mutable gen : int;
+      (** monotonic mutation stamp; bump via [touch] (or the setters) at
+          every mutation that changes the serialized image *)
 }
 
 val create :
   clock:Aurora_sim.Clock.t -> pid:int -> tid:int -> ppid:int -> name:string -> t
+
+val touch : t -> unit
+val generation : t -> int
+
+val effective_generation : t -> int
+(** Stamp over the full serialized process image: the process's own stamp
+    plus every thread's stamp plus the address-space layout stamp.
+    Incremental checkpoints compare this against the value recorded at the
+    last persisted image. *)
+
+val set_ephemeral : t -> bool -> unit
+val set_cwd : t -> string -> unit
+val set_name : t -> string -> unit
 
 val alloc_fd : t -> Fdesc.t -> int
 (** Install a description in the lowest free slot. *)

@@ -19,6 +19,18 @@ val unit_number : t -> int
 
 val termios : t -> termios
 
+val set_termios : t -> echo:bool -> canonical:bool -> baud:int -> unit
+(** Replace the terminal settings, bumping the generation stamp.  Prefer
+    this over mutating the [termios] record directly: direct mutation
+    leaves the stamp stale and incremental checkpoints would persist the
+    old settings. *)
+
+val generation : t -> int
+(** Monotonic mutation stamp over the serialized image (termios + both
+    byte queues). *)
+
+val touch : t -> unit
+
 val master_write : t -> string -> unit
 (** Bytes typed at the master appear on the slave's input. *)
 

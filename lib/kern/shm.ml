@@ -7,6 +7,7 @@ type t = {
   shm_kind : kind;
   pages : int;
   mutable vobj : Vm_object.t;
+  mutable gen : int;
 }
 
 let next_id = ref 0
@@ -18,10 +19,17 @@ let create shm_kind ~npages =
     shm_kind;
     pages = npages;
     vobj = Vm_object.create Vm_object.Anonymous;
+    gen = 0;
   }
 
 let id t = t.shm_id
 let kind t = t.shm_kind
 let npages t = t.pages
 let backing t = t.vobj
+let generation t = t.gen
+let touch t = t.gen <- t.gen + 1
+
+(* No generation bump: system shadowing swings the backmap at EVERY
+   checkpoint, but the serialized image names the stable memory-object
+   oid, not the transient shadow — stamping here would defeat skipping. *)
 let set_backing t o = t.vobj <- o

@@ -18,4 +18,13 @@ val npages : t -> int
 
 val backing : t -> Aurora_vm.Vm_object.t
 val set_backing : t -> Aurora_vm.Vm_object.t -> unit
-(** The backmap update performed by system shadowing. *)
+(** The backmap update performed by system shadowing.  Deliberately does
+    NOT bump the generation stamp: the serialized image references the
+    stable memory-object oid, and shadow rotation happens every
+    checkpoint. *)
+
+val generation : t -> int
+(** Monotonic mutation stamp (kind, size and backing identity are
+    immutable, so this only moves if a future mutation site bumps it). *)
+
+val touch : t -> unit

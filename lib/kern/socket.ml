@@ -20,6 +20,7 @@ type t = {
   mutable sock_peer : t option;
   recvq : msg Queue.t;
   sendq : msg Queue.t;
+  mutable gen : int;
 }
 
 let next_id = ref 0
@@ -38,21 +39,40 @@ let create dom prot =
     sock_peer = None;
     recvq = Queue.create ();
     sendq = Queue.create ();
+    gen = 0;
   }
 
 let id t = t.sock_id
 let domain t = t.dom
 let proto t = t.prot
-let bind t a = t.laddr <- Some a
-let connect t a = t.raddr <- Some a
+let generation t = t.gen
+let touch t = t.gen <- t.gen + 1
+
+let bind t a =
+  t.laddr <- Some a;
+  touch t
+
+let connect t a =
+  t.raddr <- Some a;
+  touch t
+
 let local_addr t = t.laddr
 let remote_addr t = t.raddr
 
-let set_option t k v = t.opts <- (k, v) :: List.remove_assoc k t.opts
+let set_option t k v =
+  t.opts <- (k, v) :: List.remove_assoc k t.opts;
+  touch t
+
 let options t = t.opts
 let tcp_state t = t.state
-let set_tcp_state t s = t.state <- s
-let listen t = t.state <- Tcp_listening
+
+let set_tcp_state t s =
+  t.state <- s;
+  touch t
+
+let listen t =
+  t.state <- Tcp_listening;
+  touch t
 let accept_enqueue t conn = t.accept_q <- t.accept_q @ [ conn ]
 
 let accept_dequeue t =
@@ -67,16 +87,26 @@ let drop_accept_queue t = t.accept_q <- []
 
 let pair a b =
   a.sock_peer <- Some b;
-  b.sock_peer <- Some a
+  b.sock_peer <- Some a;
+  touch a;
+  touch b
 
 let peer t = t.sock_peer
 
 let send t m =
   match t.sock_peer with
-  | Some p -> Queue.push m p.recvq
-  | None -> Queue.push m t.sendq
+  | Some p ->
+      Queue.push m p.recvq;
+      touch p
+  | None ->
+      Queue.push m t.sendq;
+      touch t
 
-let recv t = Queue.take_opt t.recvq
+let recv t =
+  let m = Queue.take_opt t.recvq in
+  (match m with Some _ -> touch t | None -> ());
+  m
+
 let recv_buffered t = List.of_seq (Queue.to_seq t.recvq)
 let send_buffered t = List.of_seq (Queue.to_seq t.sendq)
 
@@ -84,7 +114,8 @@ let refill t ~recvq ~sendq =
   Queue.clear t.recvq;
   List.iter (fun m -> Queue.push m t.recvq) recvq;
   Queue.clear t.sendq;
-  List.iter (fun m -> Queue.push m t.sendq) sendq
+  List.iter (fun m -> Queue.push m t.sendq) sendq;
+  touch t
 
 let buffered_bytes t =
   let sum q = Queue.fold (fun acc m -> acc + String.length m.data) 0 q in

@@ -30,6 +30,13 @@ val id : t -> int
 val domain : t -> domain
 val proto : t -> proto
 
+val generation : t -> int
+(** Monotonic mutation stamp over the serialized image (addresses, options,
+    TCP state, peer link, buffered messages).  [send] to a connected peer
+    stamps the {e peer} (whose receive queue changed), not the sender. *)
+
+val touch : t -> unit
+
 val bind : t -> addr -> unit
 val connect : t -> addr -> unit
 val local_addr : t -> addr option

@@ -54,6 +54,7 @@ let fork m p =
       pending_signals = [];
       ephemeral = false;
       cwd = p.Process.cwd;
+      gen = 0;
     }
   in
   (* fork shares descriptions: both fd tables point at the same objects,
@@ -115,13 +116,17 @@ let spawn_thread m p =
   syscall m;
   let thr = Thread.create ~tid:(Machine.alloc_tid m) in
   p.Process.threads <- p.Process.threads @ [ thr ];
+  Process.touch p;
   thr
 
 let setsid p =
   p.Process.sid <- p.Process.pid_local;
-  p.Process.pgid <- p.Process.pid_local
+  p.Process.pgid <- p.Process.pid_local;
+  Process.touch p
 
-let setpgid p ~pgid = p.Process.pgid <- pgid
+let setpgid p ~pgid =
+  p.Process.pgid <- pgid;
+  Process.touch p
 
 let kill ?by m ~pid ~signo =
   match Machine.proc_by_local_pid ?scope:by m pid with
@@ -153,7 +158,7 @@ let read m p ~fd ~len =
   match desc.Fdesc.kind with
   | Fdesc.Vnode_file f ->
       let data = Vnode.read f.vn ~clock:m.Machine.clock ~off:f.offset ~len in
-      f.offset <- f.offset + String.length data;
+      Fdesc.set_offset desc (f.offset + String.length data);
       data
   | Fdesc.Pipe_read pipe -> Pipe.read pipe ~len
   | Fdesc.Pty_master_fd pty -> Pty.master_read pty ~len
@@ -170,7 +175,7 @@ let write m p ~fd data =
   | Fdesc.Vnode_file f ->
       let off = if f.append then Vnode.size f.vn else f.offset in
       Vnode.write f.vn ~clock:m.Machine.clock ~off data;
-      f.offset <- off + String.length data;
+      Fdesc.set_offset desc (off + String.length data);
       String.length data
   | Fdesc.Pipe_write pipe -> Pipe.write pipe data
   | Fdesc.Pty_master_fd pty ->
@@ -188,8 +193,8 @@ let write m p ~fd data =
 let lseek p ~fd ~off =
   let desc = fd_exn p fd in
   match desc.Fdesc.kind with
-  | Fdesc.Vnode_file f ->
-      f.offset <- off;
+  | Fdesc.Vnode_file _ ->
+      Fdesc.set_offset desc off;
       off
   | Fdesc.Pipe_read _ | Fdesc.Pipe_write _ | Fdesc.Socket_fd _ | Fdesc.Kqueue_fd _
   | Fdesc.Pty_master_fd _ | Fdesc.Pty_slave_fd _ | Fdesc.Shm_fd _
@@ -456,7 +461,8 @@ let aio_write m p ~fd ~off data =
     Aio.create ~op:Aio.Aio_write ~slot:fd ~off ~len:(String.length data)
       ~done_at:(Clock.now m.Machine.clock + aio_completion_delay)
   in
-  Hashtbl.replace m.Machine.aios aio.Aio.aio_id (aio, p.Process.pid_global);
+  Machine.add_aio m ~aio ~pid:p.Process.pid_global;
+  Process.touch p;
   aio.Aio.aio_id
 
 let aio_read m p ~fd ~off ~len =
@@ -467,24 +473,26 @@ let aio_read m p ~fd ~off ~len =
       ~done_at:(Clock.now m.Machine.clock + aio_completion_delay)
   in
   aio.Aio.result <- Some (Vnode.read vn ~clock:m.Machine.clock ~off ~len);
-  Hashtbl.replace m.Machine.aios aio.Aio.aio_id (aio, p.Process.pid_global);
+  Machine.add_aio m ~aio ~pid:p.Process.pid_global;
+  Process.touch p;
   aio.Aio.aio_id
 
 let aio_complete m p ~id =
   syscall m;
   ignore p;
-  match Hashtbl.find_opt m.Machine.aios id with
+  match Machine.remove_aio m ~aio_id:id with
   | None -> err "EINVAL"
-  | Some (aio, _) ->
+  | Some (aio, owner_pid) ->
       Clock.advance_to m.Machine.clock aio.Aio.done_at;
-      Hashtbl.remove m.Machine.aios id;
+      (* The owner's serialized image lists its in-flight AIOs: completing
+         one changes it (the owner may differ from the caller). *)
+      (match Machine.proc m owner_pid with
+      | Some owner -> Process.touch owner
+      | None -> ());
       Option.value ~default:"" aio.Aio.result
 
 let aio_pending m p =
-  Hashtbl.fold
-    (fun _ (aio, pid) acc ->
-      if pid = p.Process.pid_global then aio :: acc else acc)
-    m.Machine.aios []
+  Machine.aios_of_pid m p.Process.pid_global
   |> List.sort (fun a b -> compare a.Aio.aio_id b.Aio.aio_id)
 
 (* Devices ------------------------------------------------------------------ *)

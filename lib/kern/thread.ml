@@ -24,6 +24,7 @@ type t = {
   mutable priority : int;
   mutable state : run_state;
   mutable syscall_restarts : int;
+  mutable gen : int;
 }
 
 let syscall_insn_len = 2 (* x86-64 `syscall` *)
@@ -44,7 +45,27 @@ let create ~tid =
     priority = 120;
     state = Running_user;
     syscall_restarts = 0;
+    gen = 0;
   }
+
+let generation t = t.gen
+let touch t = t.gen <- t.gen + 1
+
+let set_rip t v =
+  t.regs.rip <- v;
+  touch t
+
+let set_rsp t v =
+  t.regs.rsp <- v;
+  touch t
+
+let set_sigmask t v =
+  t.sigmask <- v;
+  touch t
+
+let post_signal t signo =
+  t.pending_signals <- signo :: t.pending_signals;
+  touch t
 
 let quiesce t ~clock =
   (match t.state with
@@ -54,7 +75,8 @@ let quiesce t ~clock =
          immediately when the thread resumes — invisible to userspace,
          unlike delivering SIGSTOP and returning EINTR. *)
       t.regs.rip <- t.regs.rip - syscall_insn_len;
-      t.syscall_restarts <- t.syscall_restarts + 1);
+      t.syscall_restarts <- t.syscall_restarts + 1;
+      touch t);
   Clock.advance clock Cost.cpu_state_copy;
   t.state <- At_boundary
 

@@ -31,9 +31,26 @@ type t = {
   mutable state : run_state;
   mutable syscall_restarts : int;
       (** times a sleeping syscall was transparently restarted *)
+  mutable gen : int;
+      (** monotonic mutation stamp; use the setters (or [touch]) rather
+          than mutating serialized fields in place *)
 }
 
 val create : tid:int -> t
+
+val generation : t -> int
+(** Monotonic mutation stamp over the serialized image (registers, signal
+    mask, pending signals, priority).  The run state is not serialized and
+    does not move it. *)
+
+val touch : t -> unit
+
+val set_rip : t -> int -> unit
+val set_rsp : t -> int -> unit
+val set_sigmask : t -> int -> unit
+
+val post_signal : t -> int -> unit
+(** Push a pending signal onto this thread, bumping the stamp. *)
 
 val fresh_regs : unit -> regs
 

@@ -9,6 +9,7 @@ type t = {
   mutable nlinks : int;
   mutable nopen : int;
   dirty : (int, unit) Hashtbl.t; (* page indices written since last flush *)
+  mutable gen : int;
 }
 
 let create ~inode =
@@ -19,18 +20,29 @@ let create ~inode =
     nlinks = 0;
     nopen = 0;
     dirty = Hashtbl.create 16;
+    gen = 0;
   }
 
 let inode t = t.ino
 let backing t = t.vobj
 let size t = t.bytes
-let set_size t n = t.bytes <- n
+let generation t = t.gen
+let touch t = t.gen <- t.gen + 1
+
+let set_size t n =
+  if t.bytes <> n then touch t;
+  t.bytes <- n
+
 let links t = t.nlinks
-let link t = t.nlinks <- t.nlinks + 1
+
+let link t =
+  t.nlinks <- t.nlinks + 1;
+  touch t
 
 let unlink t =
   assert (t.nlinks > 0);
-  t.nlinks <- t.nlinks - 1
+  t.nlinks <- t.nlinks - 1;
+  touch t
 
 let open_count t = t.nopen
 let opened t = t.nopen <- t.nopen + 1
@@ -67,9 +79,12 @@ let write t ~clock ~off data =
       Page.set (page_of t idx) (pos mod Page.logical_size) c;
       Hashtbl.replace t.dirty idx ())
     data;
-  t.bytes <- max t.bytes (off + String.length data)
+  t.bytes <- max t.bytes (off + String.length data);
+  if String.length data > 0 then touch t
 
-let mark_dirty t idx = Hashtbl.replace t.dirty idx ()
+let mark_dirty t idx =
+  Hashtbl.replace t.dirty idx ();
+  touch t
 let dirty_count t = Hashtbl.length t.dirty
 
 let take_dirty t =

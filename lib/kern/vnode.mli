@@ -24,6 +24,14 @@ val backing : t -> Aurora_vm.Vm_object.t
 val size : t -> int
 val set_size : t -> int -> unit
 
+val generation : t -> int
+(** Monotonic mutation stamp over data and metadata (size, links, page
+    contents).  The file system compares it against the stamp of the last
+    staged image so metadata-only changes (truncate, link count) restage
+    the vnode even when no page is dirty. *)
+
+val touch : t -> unit
+
 val links : t -> int
 val link : t -> unit
 val unlink : t -> unit

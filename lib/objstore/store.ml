@@ -77,6 +77,17 @@ let empty_flush_stats =
     fs_pages = 0;
   }
 
+(* Cached manifest row of one object's last committed version: everything a
+   checkpoint manifest needs, maintained incrementally at commit so staging
+   a manifest never re-walks the leaves of carried (unchanged) objects. *)
+type mrow = { r_kind : string; r_meta_crc : int; r_npages : int; r_fp : int }
+
+let zero_row = { r_kind = "memory"; r_meta_crc = 0; r_npages = 0; r_fp = 0 }
+
+(* One page's order-independent fingerprint contribution; the XOR fold over
+   these must stay bit-identical to Serial.pages_fingerprint. *)
+let fp_one idx crc = (crc + (idx * 0x9E3779B1)) land 0xFFFFFFFF
+
 type t = {
   dev : Striped.t;
   clk : Clock.t;
@@ -90,6 +101,11 @@ type t = {
       (* leaf block -> parsed entries.  Leaf blocks are COW (written once),
          so the cache is exact as long as freed blocks are invalidated
          before reuse (free_block) and a recovered instance starts cold. *)
+  rows : (int, mrow) Hashtbl.t;
+      (* oid -> manifest row of the newest committed epoch; updated at
+         commit_checkpoint (the single choke point every epoch passes
+         through, including migration installs), recomputed lazily from
+         the version's leaves when cold (post-recovery). *)
   mutable epochs : epoch_info list; (* oldest first *)
   mutable current_epoch : int;
   mutable staging : (int, staged) Hashtbl.t option;
@@ -315,6 +331,7 @@ let fresh dev clk =
     free_stack = [];
     freed = 0;
     leaf_cache = Hashtbl.create 1024;
+    rows = Hashtbl.create 1024;
     epochs = [];
     current_epoch = 0;
     staging = None;
@@ -490,11 +507,18 @@ let put_pages t ~oid pages =
    handful of vectored stripe-spanning writes; only the touched leaves are
    rebuilt (from the leaf cache when warm) and they too go out as one
    coalesced extent. *)
+(* Besides the merged leaves and completion time, returns the object's
+   manifest deltas: the XOR-fold fingerprint adjustment (replaced carried
+   entries folded out, fresh entries folded in) and the net page-count
+   change, so commit can update the manifest-row cache without re-walking
+   untouched leaves. *)
 let build_version t ~now ~prev st =
   let prev_leaves = match prev with Some v -> v.v_leaves | None -> IntMap.empty in
   let npages = Hashtbl.length st.s_pages in
-  if npages = 0 then (prev_leaves, now)
+  if npages = 0 then (prev_leaves, now, 0, 0)
   else begin
+    let fp_delta = ref 0 in
+    let n_delta = ref 0 in
     let completion = ref now in
     (* 1. Sort the fresh pages in place (no list churn on the hot path)
        and write them as contiguous extents. *)
@@ -543,15 +567,22 @@ let build_version t ~now ~prev st =
       in
       let carried = ref [] in
       List.iter
-        (fun ((idx, _, _, _) as entry) ->
-          if not (mem_run !i !j idx) then carried := entry :: !carried)
+        (fun ((idx, _, _, crc) as entry) ->
+          if not (mem_run !i !j idx) then carried := entry :: !carried
+          else begin
+            (* Replaced: fold the old entry's contribution back out. *)
+            fp_delta := !fp_delta lxor fp_one idx crc;
+            decr n_delta
+          end)
         old_entries;
       let fresh_entries = ref [] in
       for k = !j - 1 downto !i do
         let idx, payload = fresh.(k) in
+        let crc = Crc32.of_bytes payload in
+        fp_delta := !fp_delta lxor fp_one idx crc;
+        incr n_delta;
         fresh_entries :=
-          (idx, blocks.(k), Bytes.length payload, Crc32.of_bytes payload)
-          :: !fresh_entries
+          (idx, blocks.(k), Bytes.length payload, crc) :: !fresh_entries
       done;
       let entries =
         List.sort compare (List.rev_append !carried !fresh_entries)
@@ -573,8 +604,35 @@ let build_version t ~now ~prev st =
           leaves := IntMap.add leaf_idx blk !leaves)
     in
     if c > !completion then completion := c;
-    (!leaves, !completion)
+    (!leaves, !completion, !fp_delta, !n_delta)
   end
+
+(* Manifest row of a committed version, from the cache when warm.  The cold
+   path (first touch after recovery) walks the version's leaves once and
+   memoizes the result. *)
+let committed_row t oid v =
+  match Hashtbl.find_opt t.rows oid with
+  | Some r -> r
+  | None ->
+      let npages = ref 0 and fp = ref 0 in
+      IntMap.iter
+        (fun _ leaf_blk ->
+          List.iter
+            (fun (idx, _, _, crc) ->
+              incr npages;
+              fp := !fp lxor fp_one idx crc)
+            (cached_leaf t leaf_blk))
+        v.v_leaves;
+      let r =
+        {
+          r_kind = v.v_kind;
+          r_meta_crc = Crc32.of_string v.v_meta;
+          r_npages = !npages;
+          r_fp = !fp;
+        }
+      in
+      Hashtbl.replace t.rows oid r;
+      r
 
 let commit_checkpoint t =
   let s = staging_exn t in
@@ -603,8 +661,22 @@ let commit_checkpoint t =
           if st.s_meta <> "" then st.s_meta
           else match prev with Some v -> v.v_meta | None -> ""
         in
-        let leaves, c = build_version t ~now ~prev st in
+        (* Base row first (it may lazily walk the previous version), then
+           apply this commit's deltas so the cache tracks the new epoch. *)
+        let base =
+          match prev with Some v -> committed_row t oid v | None -> zero_row
+        in
+        let leaves, c, fp_delta, n_delta = build_version t ~now ~prev st in
         if c > !data_done then data_done := c;
+        Hashtbl.replace t.rows oid
+          {
+            r_kind = kind;
+            r_meta_crc =
+              (if st.s_meta <> "" then Crc32.of_string st.s_meta
+               else base.r_meta_crc);
+            r_npages = base.r_npages + n_delta;
+            r_fp = base.r_fp lxor fp_delta;
+          };
         (oid, { v_kind = kind; v_meta = meta; v_block = 0; v_leaves = leaves }))
       staged_list
   in
@@ -1071,6 +1143,84 @@ let staging_manifest_source t =
       (oid, kind, meta, pages) :: acc)
     oids []
   |> List.sort compare
+
+(* Delta-aware manifest: same composed state as [staging_manifest_source]
+   but summarized — (oid, kind, meta crc, page count, pages fingerprint).
+   Carried objects cost O(1) via the manifest-row cache; staged objects pay
+   only for the leaves their dirty pages touch.  This is what makes the
+   manifest affordable when an incremental checkpoint skips most of the
+   group: the full source walk is O(union of all objects' pages).
+   [staging_manifest_source] stays as the reference implementation the
+   tests check this against. *)
+let staging_manifest_entries t =
+  let s = staging_exn t in
+  let prev_table =
+    match last_epoch_info t with
+    | Some e -> e.e_table
+    | None -> Hashtbl.create 0
+  in
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun oid v ->
+      if not (Hashtbl.mem s oid) then begin
+        let r = committed_row t oid v in
+        acc := (oid, r.r_kind, r.r_meta_crc, r.r_npages, r.r_fp) :: !acc
+      end)
+    prev_table;
+  Hashtbl.iter
+    (fun oid st ->
+      let prev = Hashtbl.find_opt prev_table oid in
+      let base =
+        match prev with Some v -> committed_row t oid v | None -> zero_row
+      in
+      let kind = if st.s_kind <> "" then st.s_kind else base.r_kind in
+      let meta_crc =
+        if st.s_meta <> "" then Crc32.of_string st.s_meta else base.r_meta_crc
+      in
+      let fp = ref base.r_fp and npages = ref base.r_npages in
+      if Hashtbl.length st.s_pages > 0 then begin
+        (* Group the staged page indexes per leaf so each touched leaf of
+           the previous version is walked once to fold out the entries the
+           staged pages replace. *)
+        let by_leaf = Hashtbl.create 8 in
+        Hashtbl.iter
+          (fun idx _ ->
+            let l = idx / leaf_span in
+            let idxs =
+              match Hashtbl.find_opt by_leaf l with
+              | Some idxs -> idxs
+              | None ->
+                  let idxs = Hashtbl.create 16 in
+                  Hashtbl.replace by_leaf l idxs;
+                  idxs
+            in
+            Hashtbl.replace idxs idx ())
+          st.s_pages;
+        Hashtbl.iter
+          (fun leaf_idx idxs ->
+            match prev with
+            | None -> ()
+            | Some v -> (
+                match IntMap.find_opt leaf_idx v.v_leaves with
+                | None -> ()
+                | Some blk ->
+                    List.iter
+                      (fun (idx, _, _, crc) ->
+                        if Hashtbl.mem idxs idx then begin
+                          fp := !fp lxor fp_one idx crc;
+                          decr npages
+                        end)
+                      (cached_leaf t blk)))
+          by_leaf;
+        Hashtbl.iter
+          (fun idx payload ->
+            fp := !fp lxor fp_one idx (Crc32.of_bytes payload);
+            incr npages)
+          st.s_pages
+      end;
+      acc := (oid, kind, meta_crc, !npages, !fp) :: !acc)
+    s;
+  List.sort compare !acc
 
 (* Deliberate-corruption knobs, torture-harness counterparts of
    [set_torture_misorder]: they exist so the negative-control tests can

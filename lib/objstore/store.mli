@@ -152,6 +152,16 @@ val staging_manifest_source : t -> (int * string * string * (int * int) list) li
     leaves merged with staged payloads exactly as commit merges them.
     Invalid outside [begin_checkpoint] .. [commit_checkpoint]. *)
 
+val staging_manifest_entries : t -> (int * string * int * int * int) list
+(** [(oid, kind, meta CRC-32, page count, pages fingerprint)] for the same
+    composed state as {!staging_manifest_source}, but summarized and
+    computed incrementally: carried (unchanged) objects come from a
+    manifest-row cache maintained at commit in O(1) each, and staged
+    objects pay only for the leaves their dirty pages touch.  The
+    fingerprint is the order-independent XOR fold used by
+    [Serial.pages_fingerprint].  Sorted by oid; invalid outside
+    [begin_checkpoint] .. [commit_checkpoint]. *)
+
 val corrupt_meta_for_tests : t -> epoch:int -> oid:int -> unit
 (** TESTING ONLY: flip a byte of the object's committed metadata in the
     given epoch's table (other epochs sharing the version are unharmed) —

@@ -26,6 +26,7 @@ let thread_serialize = 3_200
 let cpu_state_copy = 900
 let vm_entry_serialize = 450
 let vnode_path_lookup = 11_000
+let ckpt_dirty_check = 100
 
 (* Orchestrator *)
 let syscall_overhead = 1_500

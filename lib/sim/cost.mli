@@ -92,6 +92,11 @@ val vnode_path_lookup : int
 (** namei + name-cache lookup; the cost Aurora avoids by referencing inode
     numbers (ablation: bench vnode-by-path). *)
 
+val ckpt_dirty_check : int
+(** Comparing one object's generation stamp against the record of its last
+    persisted image (a lock + one cache line).  Charged instead of the
+    serialize atoms when an incremental checkpoint skips a clean object. *)
+
 (** {1 Orchestrator} *)
 
 val syscall_overhead : int

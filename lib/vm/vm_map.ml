@@ -13,13 +13,28 @@ type entry = {
   mutable shared : bool;
   mutable excluded : bool;
   mutable evict_first : bool;
+  mutable e_gen : int;
 }
 
-type t = { mutable ents : entry list (* ascending by start_vpn *) }
+type t = {
+  mutable ents : entry list; (* ascending by start_vpn *)
+  mutable map_gen : int;
+}
 
-let create () = { ents = [] }
+let create () = { ents = []; map_gen = 0 }
 let entries t = t.ents
 let entry_count t = List.length t.ents
+let generation t = t.map_gen
+
+let touch_entry e = e.e_gen <- e.e_gen + 1
+
+let set_excluded e v =
+  if e.excluded <> v then touch_entry e;
+  e.excluded <- v
+
+let set_prot e p =
+  if e.prot <> p then touch_entry e;
+  e.prot <- p
 
 let overlaps a_start a_n b_start b_n =
   a_start < b_start + b_n && b_start < a_start + a_n
@@ -38,6 +53,7 @@ let map ?(shared = false) t ~vpn ~npages ~prot ~obj ~obj_pgoff =
       shared;
       excluded = false;
       evict_first = false;
+      e_gen = 0;
     }
   in
   let rec insert = function
@@ -46,11 +62,15 @@ let map ?(shared = false) t ~vpn ~npages ~prot ~obj ~obj_pgoff =
     | rest -> e :: rest
   in
   t.ents <- insert t.ents;
+  t.map_gen <- t.map_gen + 1;
   e
 
 let unmap t entry =
   Vm_object.unref entry.obj;
-  t.ents <- List.filter (fun e -> e != entry) t.ents
+  t.ents <- List.filter (fun e -> e != entry) t.ents;
+  (* Absorb the departing entry's stamp so the space-level sum of
+     [map_gen + Σ e_gen] stays monotonic across unmaps. *)
+  t.map_gen <- t.map_gen + 1 + entry.e_gen
 
 let find t vpn =
   List.find_opt (fun e -> vpn >= e.start_vpn && vpn < e.start_vpn + e.npages) t.ents

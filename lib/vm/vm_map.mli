@@ -23,11 +23,26 @@ type entry = {
   mutable evict_first : bool;
       (** madvise(MADV_DONTNEED-style) hint: prefer this region when the
           swap policy needs victims (paper section 6) *)
+  mutable e_gen : int;
+      (** per-entry mutation stamp; bump via [touch_entry] (or the setters)
+          whenever a serialized entry field changes in place *)
 }
 
 type t
 
 val create : unit -> t
+
+val generation : t -> int
+(** Map-level layout stamp: bumped by every [map]/[unmap].  Together with
+    the per-entry stamps this covers the serialized entry list. *)
+
+val touch_entry : entry -> unit
+
+val set_excluded : entry -> bool -> unit
+(** Flip the checkpoint-exclusion flag ([sls_mctl]), stamping on change. *)
+
+val set_prot : entry -> prot -> unit
+(** mprotect: change protection bits, stamping on change. *)
 
 val entries : t -> entry list
 (** In ascending address order. *)

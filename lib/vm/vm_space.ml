@@ -202,6 +202,16 @@ let touch_read t ~addr ~len =
     ignore (access t ~vpn ~write:false)
   done
 
+(* Layout stamp for incremental checkpoints: moves on any map/unmap and on
+   any in-place entry mutation (mprotect, sls_mctl exclusion, fork's object
+   swing).  Shadow interposition via [replace_object] deliberately does not
+   move it — the serialized image names the stable memory-object oid. *)
+let layout_generation t =
+  List.fold_left
+    (fun acc (e : Vm_map.entry) -> acc + e.Vm_map.e_gen)
+    (Vm_map.generation t.vmap)
+    (Vm_map.entries t.vmap)
+
 let shadowable (e : Vm_map.entry) =
   (not e.excluded) && e.prot.write
   &&
@@ -271,6 +281,9 @@ let fork t =
         Vm_object.ref_ backing;
         let child_shadow = Vm_object.shadow ~clock:t.clk backing in
         e.obj <- parent_shadow;
+        (* Unlike checkpoint shadow rotation, fork changes which memory
+           object this entry is recorded against: stamp it. *)
+        Vm_map.touch_entry e;
         ignore
           (Pmap.downgrade_range t.phys ~clock:t.clk ~vpn:e.start_vpn
              ~npages:e.npages);

@@ -71,6 +71,13 @@ val touch_read : t -> addr:int -> len:int -> unit
 
 (** {1 Checkpoint support} *)
 
+val layout_generation : t -> int
+(** Monotonic stamp over the serialized entry list: the map-level stamp
+    (map/unmap; unmap folds the dead entry's stamp in so the sum never
+    regresses) plus every live entry's stamp (mprotect, exclusion flips,
+    fork's object swing).  Checkpoint shadow interposition does not move
+    it. *)
+
 val unique_objects : t -> Vm_object.t list
 (** Distinct top objects of non-excluded writable anonymous entries — the
     set system shadowing must cover for this space. *)

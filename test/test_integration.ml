@@ -546,8 +546,8 @@ let test_multithreaded_process_roundtrip () =
   let p = Syscall.spawn m ~name:"threads" in
   for i = 1 to 7 do
     let thr = Syscall.spawn_thread m p in
-    thr.Aurora_kern.Thread.regs.Aurora_kern.Thread.rip <- 0x1000 * i;
-    thr.Aurora_kern.Thread.sigmask <- i
+    Aurora_kern.Thread.set_rip thr (0x1000 * i);
+    Aurora_kern.Thread.set_sigmask thr i
   done;
   (* One thread is asleep in a syscall at checkpoint time. *)
   (List.nth p.Process.threads 3).Aurora_kern.Thread.state <-
