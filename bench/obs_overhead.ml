@@ -1,0 +1,113 @@
+(* Observability overhead gate.
+
+   The tracer's contract is that a disabled tracer costs one branch per
+   instrumentation site.  Running the flush-scale commit workload with
+   and without the code compiled in isn't possible at runtime, so the
+   gate proves the claim in two measurable parts:
+
+   1. Disabled per-call cost: tight-loop the public entry points with
+      the tracer and registry off and measure the per-call nanoseconds.
+   2. Instrumentation density: run the flush-scale incremental-commit
+      sweep once with tracing on and count every event the run emits
+      (buffered + dropped).  The disabled-state overhead of the same run
+      is bounded by (calls x disabled per-call cost), which must stay
+      under 1% of the sweep's disabled wall-clock.
+
+   A direct A/B of the sweep with tracing on vs off also runs, with a
+   generous bound (enabled tracing buffers events and must stay within
+   3x; it is usually well under 1.2x).  Exits non-zero on violation, so
+   @bench-smoke fails if instrumentation creeps onto a hot path. *)
+
+module Clock = Aurora_sim.Clock
+module Striped = Aurora_block.Striped
+module Store = Aurora_objstore.Store
+module Trace = Aurora_obs.Trace
+module Metrics = Aurora_obs.Metrics
+
+let payload i = Bytes.make 64 (Char.chr (32 + (i mod 90)))
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* One flush-scale style incremental commit of [n] dirty pages; returns
+   the wall-clock of the commit itself. *)
+let commit_walltime n =
+  let clock = Clock.create () in
+  let dev = Striped.create () in
+  let store = Store.format ~dev ~clock in
+  let oid = Store.alloc_oid store in
+  ignore (Store.begin_checkpoint store);
+  Store.put_object store ~oid ~kind:"bench" ~meta:"obs-overhead";
+  Store.put_pages store ~oid (List.init n (fun i -> (i, payload i)));
+  ignore (Store.commit_checkpoint store);
+  Store.wait_durable store;
+  ignore (Store.begin_checkpoint store);
+  Store.put_pages store ~oid (List.init n (fun i -> (i, payload (i + 1))));
+  Gc.compact ();
+  let (), w = wall (fun () -> ignore (Store.commit_checkpoint store)) in
+  w
+
+let sweep sizes = List.fold_left (fun acc n -> acc +. commit_walltime n) 0.0 sizes
+
+let best_of k f =
+  let best = ref infinity in
+  for _ = 1 to k do
+    let w = f () in
+    if w < !best then best := w
+  done;
+  !best
+
+let per_call_ns iters f =
+  Gc.compact ();
+  let (), w = wall (fun () -> for _ = 1 to iters do f () done) in
+  w *. 1e9 /. float_of_int iters
+
+let () =
+  let smoke = Array.length Sys.argv > 1 && Sys.argv.(1) = "smoke" in
+  let sizes = if smoke then [ 1024; 4096 ] else [ 1024; 4096; 16384 ] in
+  let iters = if smoke then 2_000_000 else 5_000_000 in
+  Trace.disable ();
+  Metrics.set_enabled false;
+  (* 1. Disabled per-call costs. *)
+  let c_span =
+    per_call_ns iters (fun () -> Trace.with_span ~cat:"x" ~name:"y" (fun () -> ()))
+  in
+  let c_guard = per_call_ns iters (fun () -> ignore (Trace.is_on ())) in
+  let m = Metrics.counter "obs_overhead.probe" in
+  let c_incr = per_call_ns iters (fun () -> Metrics.incr m) in
+  let c_call = List.fold_left Float.max 0.0 [ c_span; c_guard; c_incr ] in
+  Printf.printf
+    "disabled per-call: with_span %.2f ns, is_on %.2f ns, Metrics.incr %.2f ns\n"
+    c_span c_guard c_incr;
+  (* 2. The sweep, off and on. *)
+  let w_off = best_of 3 (fun () -> sweep sizes) in
+  let count_clock = Clock.create () in
+  Trace.enable ~capacity:(1 lsl 20) ~clock:count_clock ();
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  let w_on = best_of 3 (fun () -> sweep sizes) in
+  let calls = (List.length (Trace.events ()) + Trace.dropped ()) / 3 in
+  Trace.disable ();
+  Metrics.set_enabled false;
+  (* Each trace event comes from one instrumentation site; bound the
+     site's disabled footprint by 8 guarded calls (span + metrics pairs
+     around it). *)
+  let est_ns = float_of_int (8 * calls) *. c_call in
+  let est_pct = est_ns /. (w_off *. 1e9) *. 100.0 in
+  let ratio = w_on /. w_off in
+  Printf.printf
+    "sweep (%s pages): off %.1f ms, on %.1f ms (%.2fx), %d trace calls per sweep\n"
+    (String.concat "+" (List.map string_of_int sizes))
+    (w_off *. 1e3) (w_on *. 1e3) ratio calls;
+  Printf.printf
+    "disabled-overhead bound: %d sites x 8 x %.2f ns = %.3f ms = %.3f%% of sweep\n"
+    calls c_call (est_ns /. 1e6) est_pct;
+  let ok_off = est_pct <= 1.0 in
+  (* Noise guard: tiny smoke sweeps jitter; require 3x or 100 ms slack. *)
+  let ok_on = w_on <= (3.0 *. w_off) +. 0.1 in
+  Printf.printf "gate: disabled <= 1%% %s; enabled bounded %s\n"
+    (if ok_off then "OK" else "FAILED")
+    (if ok_on then "OK" else "FAILED");
+  if not (ok_off && ok_on) then exit 1

@@ -1,0 +1,153 @@
+(* Checkpoint-pipeline observability report: run the standard 100 Hz
+   workload with tracing and metrics on, print per-phase latency
+   percentiles (virtual time), check the span accounting identity (an
+   epoch's children sum to the epoch), and dump the Chrome trace of the
+   run to OBS_trace.json plus the final epoch's text timeline. *)
+
+module Clock = Aurora_sim.Clock
+module Process = Aurora_kern.Process
+module Syscall = Aurora_kern.Syscall
+module Vm_space = Aurora_vm.Vm_space
+module Group = Aurora_core.Group
+module Sls = Aurora_core.Sls
+module Trace = Aurora_obs.Trace
+module Metrics = Aurora_obs.Metrics
+module Text_table = Aurora_util.Text_table
+module Units = Aurora_util.Units
+
+let run_workload ~epochs =
+  let sys = Sls.boot () in
+  let machine = sys.Sls.machine in
+  let clk = machine.Aurora_kern.Machine.clock in
+  let p1 = Syscall.spawn machine ~name:"app" in
+  let p2 = Syscall.spawn machine ~name:"worker" in
+  let _rd, wr = Syscall.pipe machine p1 in
+  let mem1 = Syscall.mmap_anon p1 ~npages:64 in
+  let mem2 = Syscall.mmap_anon p2 ~npages:32 in
+  let addr1 = Vm_space.addr_of_entry mem1 in
+  let addr2 = Vm_space.addr_of_entry mem2 in
+  let group = Sls.attach sys [ p1; p2 ] in
+  let period = Group.period_ns group in
+  Trace.enable ~capacity:(1 lsl 18) ~clock:clk ();
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  let t0 = Clock.now clk in
+  let last = ref None in
+  for i = 1 to epochs do
+    (* Application activity for this interval: pipe traffic plus a
+       sliding window of dirtied pages. *)
+    ignore (Syscall.write machine p1 ~fd:wr (String.make 200 'x'));
+    Vm_space.touch_write p1.Process.space
+      ~addr:(addr1 + (i mod 16 * 4096))
+      ~len:(8 * 4096);
+    Vm_space.touch_write p2.Process.space
+      ~addr:(addr2 + (i mod 8 * 4096))
+      ~len:(4 * 4096);
+    Clock.advance_to clk (t0 + (i * period));
+    last := Some (Group.checkpoint group)
+  done;
+  Metrics.set_enabled false;
+  (group, Option.get !last)
+
+(* Virtual duration of each completed span named [name], from the event
+   stream (Begin/End pairing, innermost-first). *)
+let span_durs name events =
+  let durs = ref [] in
+  let stack = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.Trace.ev_ph with
+      | Trace.Begin -> stack := (e.Trace.ev_name, e.Trace.ev_ts) :: !stack
+      | Trace.End -> (
+          match !stack with
+          | (n, t) :: rest ->
+              stack := rest;
+              if n = name then durs := (e.Trace.ev_ts - t) :: !durs
+          | [] -> ())
+      | _ -> ())
+    events;
+  List.rev !durs
+
+let phase_table () =
+  let table = Text_table.create ~header:[ "phase"; "n"; "p50"; "p99"; "max" ] in
+  let row name hist =
+    let n, p50, p99, mx = Metrics.summary hist in
+    Text_table.add_row table
+      [
+        name;
+        string_of_int n;
+        Units.ns_to_string (int_of_float p50);
+        Units.ns_to_string (int_of_float p99);
+        Units.ns_to_string (int_of_float mx);
+      ]
+  in
+  row "stop window" (Metrics.histogram "ckpt.stop_ns");
+  row "  quiesce" (Metrics.histogram "ckpt.quiesce_ns");
+  row "  serialize" (Metrics.histogram "ckpt.serialize_ns");
+  row "  shadow" (Metrics.histogram "ckpt.shadow_ns");
+  row "flush submit" (Metrics.histogram "ckpt.flush_ns");
+  row "durable lag" (Metrics.histogram "ckpt.durable_lag_ns");
+  row "dev queue wait" (Metrics.histogram "dev.queue_wait_ns");
+  row "dev service" (Metrics.histogram "dev.service_ns");
+  row "store flush window" (Metrics.histogram "store.flush_window_ns");
+  Text_table.print table
+
+let contains line sub =
+  let n = String.length line and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let last_epoch_text () =
+  let text = Trace.export_text () in
+  let lines = String.split_on_char '\n' text in
+  let start = ref (-1) in
+  List.iteri (fun i l -> if contains l "> ckpt:epoch" then start := i) lines;
+  if !start < 0 then text
+  else String.concat "\n" (List.filteri (fun i _ -> i >= !start) lines)
+
+let run ~epochs =
+  let _group, stats = run_workload ~epochs in
+  Printf.printf "obs-report: %d checkpoint epochs at 100 Hz (virtual time)\n\n"
+    epochs;
+  phase_table ();
+  print_newline ();
+  (* Accounting identity on the final epoch: the epoch span's virtual
+     duration equals the sum of its phase children, and stop_ns from
+     ckpt_stats matches the trace's stop-window phases. *)
+  let events = Trace.events () in
+  let last_of name =
+    match List.rev (span_durs name events) with d :: _ -> d | [] -> 0
+  in
+  let epoch_dur = last_of "epoch" in
+  let parts =
+    [ "quiesce"; "collapse"; "serialize"; "shadow"; "resume"; "flush" ]
+  in
+  let sum = List.fold_left (fun acc n -> acc + last_of n) 0 parts in
+  Printf.printf
+    "identity: epoch span %s = %s (quiesce+collapse+serialize+shadow+resume+flush) -> %s\n"
+    (Units.ns_to_string epoch_dur) (Units.ns_to_string sum)
+    (if epoch_dur = sum then "OK" else "MISMATCH");
+  Printf.printf
+    "identity: ckpt_stats stop_ns %s vs trace stop phases %s; flush_ns %s vs flush span %s\n"
+    (Units.ns_to_string stats.Group.stop_ns)
+    (Units.ns_to_string (sum - last_of "flush"))
+    (Units.ns_to_string stats.Group.flush_ns)
+    (Units.ns_to_string (last_of "flush"));
+  let ok = epoch_dur = sum && Trace.dropped () = 0 in
+  (* Chrome trace for chrome://tracing / Perfetto. *)
+  let oc = open_out "OBS_trace.json" in
+  output_string oc (Trace.export_json ());
+  close_out oc;
+  Printf.printf "\nwrote OBS_trace.json (%d events, %d dropped)\n"
+    (List.length events) (Trace.dropped ());
+  print_endline "\nfinal epoch timeline (virtual ns):";
+  print_string (last_epoch_text ());
+  Trace.disable ();
+  if not ok then begin
+    print_endline "obs-report: FAILED accounting identity";
+    exit 1
+  end
+
+let () =
+  let smoke = Array.length Sys.argv > 1 && Sys.argv.(1) = "smoke" in
+  run ~epochs:(if smoke then 6 else 40)

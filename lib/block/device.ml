@@ -1,8 +1,16 @@
 module Clock = Aurora_sim.Clock
 module Cost = Aurora_sim.Cost
 module Resource = Aurora_sim.Resource
+module Otrace = Aurora_obs.Trace
+module Ometrics = Aurora_obs.Metrics
 
 let sector_size = 4096
+
+let m_dev_submissions = Ometrics.counter "dev.submissions"
+let m_dev_bytes = Ometrics.counter "dev.bytes_written"
+let h_dev_qwait = Ometrics.histogram "dev.queue_wait_ns"
+let h_dev_service = Ometrics.histogram "dev.service_ns"
+
 
 type pending = { completion : int; off : int; data : bytes }
 
@@ -32,6 +40,33 @@ let create ~name =
 let name t = t.dev_name
 let set_fault t f = t.fault <- f
 let fault t = t.fault
+
+(* One explicit-timestamp trace event per write submission, split into
+   queue wait (time until the device queue frees) and service (transfer
+   + latency).  [qfree] is the queue's busy_until read before the
+   submission.  Off the instrumented path this is a single branch. *)
+let trace_submit t ~now ~qfree ~completion ~off ~len ~segments ~kind =
+  if Otrace.is_on () || Ometrics.is_enabled () then begin
+    (* The priority lane completes by its own arbitration, possibly before
+       the shared queue drains; clamp the wait so service never goes
+       negative. *)
+    let qwait = Stdlib.min (Stdlib.max 0 (qfree - now)) (completion - now) in
+    let service = completion - now - qwait in
+    Ometrics.incr m_dev_submissions;
+    Ometrics.incr ~by:len m_dev_bytes;
+    Ometrics.observe_ns h_dev_qwait qwait;
+    Ometrics.observe_ns h_dev_service service;
+    Otrace.complete ~ts:now ~dur:(completion - now) ~cat:"dev" kind
+      ~args:
+        [
+          ("dev", Otrace.Str t.dev_name);
+          ("off", Otrace.Int off);
+          ("len", Otrace.Int len);
+          ("segments", Otrace.Int segments);
+          ("qwait", Otrace.Int qwait);
+          ("service", Otrace.Int service);
+        ]
+  end
 
 (* Apply a byte-range write onto the sector map.  Sectors store only
    their materialized prefix (the suffix is implicitly zero), so a store
@@ -103,10 +138,12 @@ let submit_write ?charge t ~now ~off data ~latency =
   let charged = match charge with Some c -> c | None -> len in
   let outcome, faulted = consult_fault t ~now ~off ~len:charged ~segments:1 in
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth charged in
+  let qfree = Resource.busy_until t.queue in
   let completion = Resource.submit t.queue ~now ~duration:transfer + latency in
   land_write t ~outcome ~completion ~off data;
   t.written <- t.written + charged;
   t.ops <- t.ops + 1;
+  trace_submit t ~now ~qfree ~completion ~off ~len:charged ~segments:1 ~kind:"write";
   report_completion faulted ~completion;
   completion
 
@@ -124,6 +161,7 @@ let submit_extent t ~now ~off ~len segments =
     consult_fault t ~now ~off ~len ~segments:(List.length segments)
   in
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
+  let qfree = Resource.busy_until t.queue in
   let completion =
     Resource.submit t.queue ~now ~duration:transfer + Cost.nvme_write_latency
   in
@@ -141,6 +179,8 @@ let submit_extent t ~now ~off ~len segments =
   | Fault.Delay d -> land_segs (completion + d) segments);
   t.written <- t.written + len;
   t.ops <- t.ops + 1;
+  trace_submit t ~now ~qfree ~completion ~off ~len ~segments:(List.length segments)
+    ~kind:"extent";
   report_completion faulted ~completion;
   completion
 
@@ -154,10 +194,12 @@ let write_priority t ~now ~off data ~completion =
   let len = Bytes.length data in
   let outcome, faulted = consult_fault t ~now ~off ~len ~segments:1 in
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
+  let qfree = Resource.busy_until t.queue in
   ignore (Resource.submit t.queue ~now ~duration:transfer);
   land_write t ~outcome ~completion ~off data;
   t.written <- t.written + len;
   t.ops <- t.ops + 1;
+  trace_submit t ~now ~qfree ~completion ~off ~len ~segments:1 ~kind:"priority";
   report_completion faulted ~completion;
   completion
 
@@ -212,10 +254,20 @@ let charge_read_raw t ~now ~duration = Resource.submit t.queue ~now ~duration
 
 let read t ~clock ~off ~len =
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
+  let now = Clock.now clock in
+  let qfree = Resource.busy_until t.queue in
   let completion =
-    Resource.submit t.queue ~now:(Clock.now clock) ~duration:transfer
-    + Cost.nvme_read_latency
+    Resource.submit t.queue ~now ~duration:transfer + Cost.nvme_read_latency
   in
+  if Otrace.is_on () then
+    Otrace.complete ~ts:now ~dur:(completion - now) ~cat:"dev" "read"
+      ~args:
+        [
+          ("dev", Otrace.Str t.dev_name);
+          ("off", Otrace.Int off);
+          ("len", Otrace.Int len);
+          ("qwait", Otrace.Int (Stdlib.max 0 (qfree - now)));
+        ];
   Clock.advance_to clock completion;
   t.read_bytes <- t.read_bytes + len;
   match t.fault with

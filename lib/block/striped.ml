@@ -1,6 +1,7 @@
 module Clock = Aurora_sim.Clock
 module Cost = Aurora_sim.Cost
 module Resource = Aurora_sim.Resource
+module Otrace = Aurora_obs.Trace
 
 type t = { devs : Device.t array; stripe : int }
 
@@ -55,6 +56,14 @@ let write ?charge t ~now ~off data =
 let write_vec t ~now ~off ~len segments =
   if len <= 0 then now
   else begin
+    if Otrace.is_on () then
+      Otrace.instant ~cat:"blk" "write_vec"
+        ~args:
+          [
+            ("off", Otrace.Int off);
+            ("len", Otrace.Int len);
+            ("segments", Otrace.Int (Array.length segments));
+          ];
     let n = Array.length t.devs in
     (* The flush pipeline hands us segments already in ascending order;
        only sort (on a copy) when a caller didn't. *)

@@ -15,6 +15,20 @@ module Vm_space = Aurora_vm.Vm_space
 module Page = Aurora_vm.Page
 module Store = Aurora_objstore.Store
 module Fs = Aurora_fs.Fs
+module Otrace = Aurora_obs.Trace
+module Ometrics = Aurora_obs.Metrics
+
+let h_ckpt_stop = Ometrics.histogram "ckpt.stop_ns"
+let h_ckpt_quiesce = Ometrics.histogram "ckpt.quiesce_ns"
+let h_ckpt_serialize = Ometrics.histogram "ckpt.serialize_ns"
+let h_ckpt_shadow = Ometrics.histogram "ckpt.shadow_ns"
+let h_ckpt_flush = Ometrics.histogram "ckpt.flush_ns"
+let h_ckpt_durable_lag = Ometrics.histogram "ckpt.durable_lag_ns"
+let m_ckpt_epochs = Ometrics.counter "ckpt.epochs"
+let m_ckpt_objects = Ometrics.counter "ckpt.objects_serialized"
+let m_ckpt_skipped = Ometrics.counter "ckpt.objects_skipped"
+let m_ckpt_meta_bytes = Ometrics.counter "ckpt.meta_bytes"
+let m_ckpt_pages = Ometrics.counter "ckpt.pages_flushed"
 
 (* Extra per-kind serialization costs beyond [Cost.obj_serialize_base],
    calibrated to Table 4. *)
@@ -39,8 +53,10 @@ type memrec = {
 
 type ckpt_stats = {
   stop_ns : int;
+  quiesce_ns : int;
   os_serialize_ns : int;
   mem_mark_ns : int;
+  flush_ns : int;
   pages_flushed : int;
   epoch : int;
   durable_at : int;
@@ -330,6 +346,8 @@ let ckpt_obj t ~oid ~gen ~children ~serialize =
       if (not t.full_cycle) && Hashtbl.find_opt t.last_gen oid = Some gen then begin
         charge t Cost.ckpt_dirty_check;
         t.c_skipped <- t.c_skipped + 1;
+        if Otrace.is_on () then
+          Otrace.instant ~cat:"ckpt.obj" "skip" ~args:[ ("oid", Otrace.Int oid) ];
         children ()
       end
       else begin
@@ -339,7 +357,15 @@ let ckpt_obj t ~oid ~gen ~children ~serialize =
           Hashtbl.replace t.last_gen oid gen;
           t.c_meta_bytes <- t.c_meta_bytes + String.length meta
         end;
-        t.c_serialized <- t.c_serialized + 1
+        t.c_serialized <- t.c_serialized + 1;
+        if Otrace.is_on () then
+          Otrace.instant ~cat:"ckpt.obj" "serialize"
+            ~args:
+              [
+                ("oid", Otrace.Int oid);
+                ("kind", Otrace.Str kind);
+                ("bytes", Otrace.Int (String.length meta));
+              ]
       end)
 
 let checkpoint_pipe t pipe =
@@ -792,112 +818,137 @@ let checkpoint_common t ~flush ~full =
   Hashtbl.reset t.seen;
   let epoch = if flush then Store.begin_checkpoint t.st else Store.last_complete_epoch t.st in
   let stop_begin = Clock.now clk in
+  (* The epoch span covers the synchronous work of the cycle: the stop
+     window (phases 1-5) plus the flush submission (phase 6).  Every
+     clock advance below happens inside one of the phase sub-spans, so
+     the children's virtual durations sum exactly to the epoch's. *)
+  Otrace.with_span ~cat:"ckpt" ~name:"epoch"
+    ~args:[ ("epoch", Otrace.Int epoch); ("flush", Otrace.Int (Bool.to_int flush)) ]
+  @@ fun () ->
   (* 1. Quiesce. *)
-  Machine.quiesce t.mach procs;
-  charge t Cost.orchestrator_barrier;
+  let quiesce_begin = Clock.now clk in
+  Otrace.with_span ~cat:"ckpt" ~name:"quiesce" (fun () ->
+      Machine.quiesce t.mach procs;
+      charge t Cost.orchestrator_barrier);
+  let quiesce_ns = Clock.elapsed_since clk quiesce_begin in
   (* 2. Collapse the flushed shadows of the previous epoch. *)
-  Hashtbl.iter (fun _ r -> collapse_frozen t r) t.memrecs;
+  Otrace.with_span ~cat:"ckpt" ~name:"collapse" (fun () ->
+      Hashtbl.iter (fun _ r -> collapse_frozen t r) t.memrecs);
   (* 3. Serialize OS state (each POSIX object into its own store object). *)
   let os_begin = Clock.now clk in
-  (* Harvest the MMU dirty bits of file-backed mappings into the vnodes'
-     dirty sets: stores through memory persist exactly like write(2)s
-     (files and memory are one in the object store, section 5.2). *)
-  (match t.filesystem with
-  | Some filesystem ->
-      List.iter
-        (fun p ->
-          let space = p.Process.space in
-          List.iter
-            (fun (e : Vm_map.entry) ->
-              match Vm_object.kind e.Vm_map.obj with
-              | Vm_object.Vnode_backed inode -> (
-                  match Fs.vnode_by_inode filesystem inode with
-                  | Some vn ->
-                      Aurora_vm.Pmap.iter (Vm_space.pmap space) (fun vpn pte ->
-                          if
-                            pte.Aurora_vm.Pmap.dirty
-                            && vpn >= e.Vm_map.start_vpn
-                            && vpn < e.Vm_map.start_vpn + e.Vm_map.npages
-                          then begin
-                            Vnode.mark_dirty vn
-                              (vpn - e.Vm_map.start_vpn + e.Vm_map.obj_pgoff);
-                            pte.Aurora_vm.Pmap.dirty <- false
-                          end)
-                  | None -> ())
-              | Vm_object.Anonymous | Vm_object.Device_backed _ -> ())
-            (Vm_map.entries (Vm_space.map space)))
-        procs
-  | None -> ());
-  (match t.filesystem with
-  | Some filesystem when flush -> Fs.flush_to_store filesystem
-  | Some _ | None -> ());
-  let proc_oids = List.map (fun p -> checkpoint_proc t p) procs in
-  (* Shared-memory segments live in global namespaces, not fd tables: the
-     System V namespace is scanned every checkpoint (its Table 4 cost),
-     and named POSIX segments are persisted even when no descriptor is
-     currently open. *)
-  Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.sysv_shm;
-  Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.posix_shm;
-  if flush then begin
-    let ephemeral_parents =
-      List.filter_map
-        (fun p ->
-          if p.Process.ephemeral then
-            match Machine.proc t.mach p.Process.ppid with
-            | Some parent -> Some parent.Process.pid_local
-            | None -> None
-          else None)
-        (live_members t)
-      |> List.sort_uniq compare
-    in
-    put_obj t ~oid:t.grp_oid ~kind:Serial.kind_group
-      ~meta:
-        (Serial.group_to_string
-           {
-             Serial.i_proc_oids = proc_oids;
-             i_period = t.period;
-             i_ext_sync_on = t.ext_sync;
-             i_name_ckpts = t.named;
-             i_ephemeral_parents = ephemeral_parents;
-           })
-  end;
+  let (_ : int list) =
+    Otrace.with_span ~cat:"ckpt" ~name:"serialize" @@ fun () ->
+    (* Harvest the MMU dirty bits of file-backed mappings into the vnodes'
+       dirty sets: stores through memory persist exactly like write(2)s
+       (files and memory are one in the object store, section 5.2). *)
+    (match t.filesystem with
+    | Some filesystem ->
+        List.iter
+          (fun p ->
+            let space = p.Process.space in
+            List.iter
+              (fun (e : Vm_map.entry) ->
+                match Vm_object.kind e.Vm_map.obj with
+                | Vm_object.Vnode_backed inode -> (
+                    match Fs.vnode_by_inode filesystem inode with
+                    | Some vn ->
+                        Aurora_vm.Pmap.iter (Vm_space.pmap space) (fun vpn pte ->
+                            if
+                              pte.Aurora_vm.Pmap.dirty
+                              && vpn >= e.Vm_map.start_vpn
+                              && vpn < e.Vm_map.start_vpn + e.Vm_map.npages
+                            then begin
+                              Vnode.mark_dirty vn
+                                (vpn - e.Vm_map.start_vpn + e.Vm_map.obj_pgoff);
+                              pte.Aurora_vm.Pmap.dirty <- false
+                            end)
+                    | None -> ())
+                | Vm_object.Anonymous | Vm_object.Device_backed _ -> ())
+              (Vm_map.entries (Vm_space.map space)))
+          procs
+    | None -> ());
+    (match t.filesystem with
+    | Some filesystem when flush -> Fs.flush_to_store filesystem
+    | Some _ | None -> ());
+    let proc_oids = List.map (fun p -> checkpoint_proc t p) procs in
+    (* Shared-memory segments live in global namespaces, not fd tables: the
+       System V namespace is scanned every checkpoint (its Table 4 cost),
+       and named POSIX segments are persisted even when no descriptor is
+       currently open. *)
+    Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.sysv_shm;
+    Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.posix_shm;
+    if flush then begin
+      let ephemeral_parents =
+        List.filter_map
+          (fun p ->
+            if p.Process.ephemeral then
+              match Machine.proc t.mach p.Process.ppid with
+              | Some parent -> Some parent.Process.pid_local
+              | None -> None
+            else None)
+          (live_members t)
+        |> List.sort_uniq compare
+      in
+      put_obj t ~oid:t.grp_oid ~kind:Serial.kind_group
+        ~meta:
+          (Serial.group_to_string
+             {
+               Serial.i_proc_oids = proc_oids;
+               i_period = t.period;
+               i_ext_sync_on = t.ext_sync;
+               i_name_ckpts = t.named;
+               i_ephemeral_parents = ephemeral_parents;
+             })
+    end;
+    proc_oids
+  in
   let os_ns = Clock.elapsed_since clk os_begin in
   (* 4. System shadowing: freeze the dirty sets, one shadow per writable
      object across the whole group. *)
   let mark_begin = Clock.now clk in
-  let to_shadow = mark_targets t spaces in
-  List.iter (fun r -> interpose_shadow t spaces r) to_shadow;
-  (* Chains no mapping writes anymore (e.g. a shadow that became a fork
-     backing mid-epoch) still hold unflushed dirty pages: freeze their
-     immutable top in place so the flush below persists it.  Every active
-     object was just interposed (frozen set), so what remains with a bare
-     shadow top is exactly the inactive set. *)
-  Hashtbl.iter
-    (fun _ r -> if r.frozen = None && r.top != r.logical then r.frozen <- Some r.top)
-    t.memrecs;
-  charge t Cost.tlb_shootdown;
-  charge t Cost.async_flush_setup;
+  Otrace.with_span ~cat:"ckpt" ~name:"shadow" (fun () ->
+      let to_shadow = mark_targets t spaces in
+      List.iter (fun r -> interpose_shadow t spaces r) to_shadow;
+      (* Chains no mapping writes anymore (e.g. a shadow that became a fork
+         backing mid-epoch) still hold unflushed dirty pages: freeze their
+         immutable top in place so the flush below persists it.  Every active
+         object was just interposed (frozen set), so what remains with a bare
+         shadow top is exactly the inactive set. *)
+      Hashtbl.iter
+        (fun _ r ->
+          if r.frozen = None && r.top != r.logical then r.frozen <- Some r.top)
+        t.memrecs;
+      charge t Cost.tlb_shootdown;
+      charge t Cost.async_flush_setup);
   let mark_ns = Clock.elapsed_since clk mark_begin in
   (* 5. Resume: end of the stop window. *)
-  Machine.resume t.mach procs;
+  Otrace.with_span ~cat:"ckpt" ~name:"resume" (fun () ->
+      Machine.resume t.mach procs);
   let stop_ns = Clock.elapsed_since clk stop_begin in
   (* 6. Flush concurrently with execution. *)
+  let flush_begin = Clock.now clk in
   let pages_flushed =
     if flush then begin
+      Otrace.with_span ~cat:"ckpt" ~name:"flush" @@ fun () ->
       let frozen_pages =
-        Hashtbl.fold (fun _ r acc -> acc + flush_frozen t r) t.memrecs 0
+        Otrace.with_span ~cat:"ckpt" ~name:"flush.frozen" (fun () ->
+            Hashtbl.fold (fun _ r acc -> acc + flush_frozen t r) t.memrecs 0)
       in
       let static_pages =
-        Hashtbl.fold (fun _ r acc -> acc + flush_static t r) t.memrecs 0
+        Otrace.with_span ~cat:"ckpt" ~name:"flush.static" (fun () ->
+            Hashtbl.fold (fun _ r acc -> acc + flush_static t r) t.memrecs 0)
       in
-      stage_manifest t ~epoch;
+      Otrace.with_span ~cat:"ckpt" ~name:"manifest" (fun () ->
+          stage_manifest t ~epoch);
       charge t Cost.ckpt_record_write;
-      ignore (Store.commit_checkpoint t.st);
+      Otrace.with_span ~cat:"ckpt" ~name:"commit" (fun () ->
+          ignore (Store.commit_checkpoint t.st));
       t.last_epoch_committed <- epoch;
       frozen_pages + static_pages
     end
     else 0
   in
+  let flush_ns = Clock.elapsed_since clk flush_begin in
   (* In-flight asynchronous writes belong to this checkpoint: it is not
      complete until they are incorporated (section 5.3).  The per-pid AIO
      index makes this a walk over the members' own requests instead of a
@@ -916,15 +967,32 @@ let checkpoint_common t ~flush ~full =
   in
   t.persist <- true;
   t.last_ckpt_time <- Clock.now clk;
+  let durable_at =
+    if flush then max (Store.durable_at t.st) aio_write_done else Clock.now clk
+  in
+  if Ometrics.is_enabled () then begin
+    Ometrics.incr m_ckpt_epochs;
+    Ometrics.incr ~by:t.c_serialized m_ckpt_objects;
+    Ometrics.incr ~by:t.c_skipped m_ckpt_skipped;
+    Ometrics.incr ~by:t.c_meta_bytes m_ckpt_meta_bytes;
+    Ometrics.incr ~by:pages_flushed m_ckpt_pages;
+    Ometrics.observe_ns h_ckpt_stop stop_ns;
+    Ometrics.observe_ns h_ckpt_quiesce quiesce_ns;
+    Ometrics.observe_ns h_ckpt_serialize os_ns;
+    Ometrics.observe_ns h_ckpt_shadow mark_ns;
+    Ometrics.observe_ns h_ckpt_flush flush_ns;
+    Ometrics.observe_ns h_ckpt_durable_lag
+      (Stdlib.max 0 (durable_at - Clock.now clk))
+  end;
   {
     stop_ns;
+    quiesce_ns;
     os_serialize_ns = os_ns;
     mem_mark_ns = mark_ns;
+    flush_ns;
     pages_flushed;
     epoch;
-    durable_at =
-      (if flush then max (Store.durable_at t.st) aio_write_done
-       else Clock.now clk);
+    durable_at;
     flush = (if flush then Some (Store.flush_stats t.st) else None);
     objects_serialized = t.c_serialized;
     objects_skipped = t.c_skipped;
@@ -952,6 +1020,8 @@ let checkpoint_region t (entry : Vm_map.entry) =
   t.persist <- true;
   let epoch = Store.begin_checkpoint t.st in
   let stop_begin = Clock.now clk in
+  Otrace.with_span ~cat:"ckpt" ~name:"region" ~args:[ ("epoch", Otrace.Int epoch) ]
+  @@ fun () ->
   charge t Cost.syscall_overhead;
   let r = ensure_memrec t entry.Vm_map.obj in
   collapse_frozen t r;
@@ -967,8 +1037,10 @@ let checkpoint_region t (entry : Vm_map.entry) =
   let stop_ns = Clock.elapsed_since clk stop_begin in
   {
     stop_ns;
+    quiesce_ns = 0;
     os_serialize_ns = 0;
     mem_mark_ns = mark_ns;
+    flush_ns = stop_ns - mark_ns;
     pages_flushed = pages;
     epoch;
     durable_at = Store.durable_at t.st;

@@ -27,8 +27,12 @@ type t
 
 type ckpt_stats = {
   stop_ns : int;  (** application stop time *)
+  quiesce_ns : int;  (** thread quiesce + orchestrator barrier *)
   os_serialize_ns : int;
   mem_mark_ns : int;  (** shadowing + PTE downgrades + TLB *)
+  flush_ns : int;
+      (** virtual time of the synchronous flush-submission phase (staging,
+          manifest, commit); the asynchronous tail runs to [durable_at] *)
   pages_flushed : int;
   epoch : int;
   durable_at : int;  (** virtual time the checkpoint is fully durable *)

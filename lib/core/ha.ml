@@ -2,6 +2,12 @@ module Clock = Aurora_sim.Clock
 module Machine = Aurora_kern.Machine
 module Store = Aurora_objstore.Store
 module Link = Aurora_net.Link
+module Otrace = Aurora_obs.Trace
+module Ometrics = Aurora_obs.Metrics
+
+let m_ha_attempts = Ometrics.counter "ha.attempts"
+let m_ha_retransmits = Ometrics.counter "ha.retransmits"
+let h_ha_ship_ns = Ometrics.histogram "ha.ship_ns"
 
 type stats = {
   ha_shipments : int;
@@ -84,6 +90,16 @@ let receive t (d : Link.delivery) =
               (false, msg)
         end
       in
+      if Otrace.is_on () then
+        (* Standby-side event: stamped from the standby's clock, not the
+           tracer's. *)
+        Otrace.instant ~ts:(Clock.now sclk) ~cat:"ha" "receive"
+          ~args:
+            [
+              ("epoch", Otrace.Int sh.Migrate.sh_epoch);
+              ("ok", Otrace.Int (Bool.to_int ok));
+              ("reason", Otrace.Str reason);
+            ];
       let frame =
         Migrate.seal_ack ~seq:sh.Migrate.sh_seq ~epoch:sh.Migrate.sh_epoch ~ok
           ~reason
@@ -142,9 +158,15 @@ let replicate_result t =
               else begin
                 let now = Clock.now pclk in
                 t.stats <- { t.stats with ha_attempts = t.stats.ha_attempts + 1 };
-                if k > 1 then
+                Ometrics.incr m_ha_attempts;
+                if k > 1 then begin
                   t.stats <-
                     { t.stats with ha_retransmits = t.stats.ha_retransmits + 1 };
+                  Ometrics.incr m_ha_retransmits;
+                  if Otrace.is_on () then
+                    Otrace.instant ~cat:"ha" "retransmit"
+                      ~args:[ ("seq", Otrace.Int seq); ("k", Otrace.Int k) ]
+                end;
                 let deliveries =
                   Link.transmit t.link ~retransmit:(k > 1) ~now ~payload:frame ()
                 in
@@ -171,10 +193,21 @@ let replicate_result t =
                 with
                 | [] ->
                     Clock.advance_to pclk deadline;
+                    if Otrace.is_on () then
+                      Otrace.instant ~cat:"ha" "timeout"
+                        ~args:[ ("seq", Otrace.Int seq); ("k", Otrace.Int k) ];
                     attempt (k + 1)
                 | (arrival, first) :: _ ->
                     t.pending_acks <- later;
                     Clock.advance_to pclk arrival;
+                    if Otrace.is_on () then
+                      Otrace.instant ~cat:"ha" "ack"
+                        ~args:
+                          [
+                            ("seq", Otrace.Int seq);
+                            ("epoch", Otrace.Int epoch);
+                            ("ok", Otrace.Int (Bool.to_int first.Migrate.ack_ok));
+                          ];
                     if first.Migrate.ack_ok then begin
                       t.last_shipped <- epoch;
                       t.total_bytes <- t.total_bytes + bytes;
@@ -194,7 +227,21 @@ let replicate_result t =
                            first.Migrate.ack_reason)
               end
             in
-            attempt 1)
+            let ship_begin = Clock.now pclk in
+            let r =
+              Otrace.with_span ~cat:"ha" ~name:"replicate"
+                ~args:
+                  [
+                    ("epoch", Otrace.Int epoch);
+                    ("seq", Otrace.Int seq);
+                    ("bytes", Otrace.Int bytes);
+                  ]
+                (fun () -> attempt 1)
+            in
+            (match r with
+            | Ok _ -> Ometrics.observe_ns h_ha_ship_ns (Clock.now pclk - ship_begin)
+            | Error _ -> ());
+            r)
   end
 
 let replicate t = match replicate_result t with Ok bytes -> bytes | Error _ -> 0

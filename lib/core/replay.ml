@@ -44,6 +44,14 @@ module Recorder = struct
     }
 
   let log t e =
+    if Aurora_obs.Trace.is_on () then
+      Aurora_obs.Trace.instant ~cat:"replay" "record"
+        ~args:
+          [
+            ( "kind",
+              Aurora_obs.Trace.Str
+                (match e with Recv_msg _ -> "recv_msg" | Clock_read _ -> "clock_read") );
+          ];
     Api.sls_journal t.group t.journal (entry_to_string e);
     t.since_checkpoint <- t.since_checkpoint + 1
 
@@ -61,6 +69,9 @@ module Recorder = struct
     v
 
   let on_checkpoint t =
+    if Aurora_obs.Trace.is_on () then
+      Aurora_obs.Trace.instant ~cat:"replay" "truncate"
+        ~args:[ ("entries", Aurora_obs.Trace.Int t.since_checkpoint) ];
     Api.sls_journal_truncate t.group t.journal;
     t.since_checkpoint <- 0
 

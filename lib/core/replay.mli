@@ -16,6 +16,12 @@ type entry =
   | Recv_msg of int * string  (** (fd, payload) *)
   | Clock_read of int
 
+val entry_to_string : entry -> string
+(** Wire encoding of one log entry (tag byte + payload). *)
+
+val entry_of_string : string -> entry
+(** Inverse of {!entry_to_string}; raises [Wire.Corrupt] on a bad tag. *)
+
 module Recorder : sig
   type t
 

@@ -15,6 +15,7 @@ module Vm_space = Aurora_vm.Vm_space
 module Page = Aurora_vm.Page
 module Store = Aurora_objstore.Store
 module Fs = Aurora_fs.Fs
+module Otrace = Aurora_obs.Trace
 
 (* Per-kind restore costs beyond [Cost.obj_restore_base] (Table 4). *)
 let pipe_restore_extra = 600
@@ -335,6 +336,13 @@ let restore ~machine ~store ?epoch ?(lazy_pages = false) ?group_oid () =
   in
   let clk = machine.Machine.clock in
   let start_time = Clock.now clk in
+  Otrace.with_span ~cat:"restore" ~name:"restore"
+    ~args:
+      [
+        ("epoch", Otrace.Int epoch);
+        ("lazy_pages", Otrace.Int (Bool.to_int lazy_pages));
+      ]
+  @@ fun () ->
   let objects = Store.objects_at store ~epoch in
   let kinds = Hashtbl.create (List.length objects) in
   List.iter (fun (oid, kind) -> Hashtbl.replace kinds oid kind) objects;
@@ -528,6 +536,9 @@ let pp_restore_error = function
    payloads must hash to the recorded CRCs, and the metadata must still
    parse.  All reads are charged normally but nothing is mutated. *)
 let verify_epoch ~store ~epoch =
+  Otrace.with_span ~cat:"restore" ~name:"verify"
+    ~args:[ ("epoch", Otrace.Int epoch) ]
+  @@ fun () ->
   try
     let objects = Store.objects_at store ~epoch in
     match List.filter (fun (_, k) -> k = Serial.kind_manifest) objects with
@@ -628,6 +639,10 @@ let restore_verified ~machine ~store ?(lazy_pages = false) ?group_oid
         | epoch :: rest -> (
             match verify_epoch ~store ~epoch with
             | Error reason ->
+                if Otrace.is_on () then
+                  Otrace.instant ~cat:"restore" "fallback"
+                    ~args:
+                      [ ("epoch", Otrace.Int epoch); ("reason", Otrace.Str reason) ];
                 go ({ at_epoch = epoch; at_reason = reason } :: tried) rest
             | Ok manifest -> (
                 match restore ~machine ~store ~epoch ~lazy_pages ?group_oid () with

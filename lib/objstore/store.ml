@@ -4,6 +4,13 @@ module Crc32 = Aurora_util.Crc32
 module Resource = Aurora_sim.Resource
 module Striped = Aurora_block.Striped
 module IntMap = Map.Make (Int)
+module Otrace = Aurora_obs.Trace
+module Ometrics = Aurora_obs.Metrics
+
+let m_store_commits = Ometrics.counter "store.commits"
+let m_store_pages = Ometrics.counter "store.pages_staged"
+let m_store_extents = Ometrics.counter "store.extents"
+let h_store_flush_window = Ometrics.histogram "store.flush_window_ns"
 
 exception Corrupt_store of string
 
@@ -475,6 +482,8 @@ let begin_checkpoint t =
   t.stat_alloc_calls <- 0;
   t.stat_pages <- 0;
   t.stat_dev_base <- Striped.write_ops t.dev;
+  Otrace.instant ~cat:"store" "begin_checkpoint"
+    ~args:[ ("epoch", Otrace.Int t.current_epoch) ];
   t.current_epoch
 
 let staging_exn t =
@@ -650,6 +659,9 @@ let commit_checkpoint t =
     Hashtbl.fold (fun oid st acc -> (oid, st) :: acc) s [] |> List.sort compare
   in
   let pending =
+    Otrace.with_span ~cat:"store" ~name:"commit.data"
+      ~args:[ ("epoch", Otrace.Int epoch); ("staged", Otrace.Int (List.length staged_list)) ]
+    @@ fun () ->
     List.map
       (fun (oid, st) ->
         let prev = Hashtbl.find_opt prev_table oid in
@@ -710,7 +722,8 @@ let commit_checkpoint t =
         end
         else batch_records ((oid, v, payload, nb) :: acc) (nblocks + nb) rest
   in
-  batch_records [] 0 pending;
+  Otrace.with_span ~cat:"store" ~name:"commit.records" (fun () ->
+      batch_records [] 0 pending);
   (* Checkpoint record after all object data (write ordering). *)
   let table_list =
     Hashtbl.fold (fun oid v acc -> (oid, v.v_block) :: acc) new_table []
@@ -720,12 +733,18 @@ let commit_checkpoint t =
     match last_epoch_info t with Some e -> e.e_record_block | None -> 0
   in
   let record = serialize_record ~epoch ~prev_block table_list in
-  let rblock, rc, _rblocks = write_record t ~now:!data_done record in
+  let rblock, rc, _rblocks =
+    Otrace.with_span ~cat:"store" ~name:"commit.record" (fun () ->
+        write_record t ~now:!data_done record)
+  in
   (* Superblock strictly after the record.  The torture knob submits it at
      commit start instead — metadata racing ahead of data — so the
      crash-point enumerator can demonstrate it catches ordering bugs. *)
   let sb_submit = if t.torture_misorder then now else rc in
-  let sc = write_superblock t ~now:sb_submit ~last_epoch:epoch ~record_block:rblock in
+  let sc =
+    Otrace.with_span ~cat:"store" ~name:"commit.superblock" (fun () ->
+        write_superblock t ~now:sb_submit ~last_epoch:epoch ~record_block:rblock)
+  in
   t.epochs <-
     t.epochs @ [ { e_epoch = epoch; e_record_block = rblock; e_table = new_table } ];
   t.staging <- None;
@@ -742,6 +761,22 @@ let commit_checkpoint t =
       fs_alloc_calls = t.stat_alloc_calls;
       fs_pages = t.stat_pages;
     };
+  if Otrace.is_on () || Ometrics.is_enabled () then begin
+    Ometrics.incr m_store_commits;
+    Ometrics.incr ~by:t.stat_pages m_store_pages;
+    Ometrics.incr ~by:t.stat_extents m_store_extents;
+    Ometrics.observe_ns h_store_flush_window (sc - now);
+    (* The asynchronous durability tail: submissions went out at [now],
+       the epoch is on stable storage at [sc]. *)
+    Otrace.complete ~ts:now ~dur:(sc - now) ~cat:"store" "flush_window"
+      ~args:
+        [
+          ("epoch", Otrace.Int epoch);
+          ("pages", Otrace.Int t.stat_pages);
+          ("extents", Otrace.Int t.stat_extents);
+          ("dev_writes", Otrace.Int t.last_flush.fs_dev_writes);
+        ]
+  end;
   sc
 
 let flush_stats t = t.last_flush
@@ -1026,6 +1061,9 @@ let prune_history t ~keep =
   let n = List.length t.epochs in
   if n <= keep then 0
   else begin
+    Otrace.with_span ~cat:"store" ~name:"prune"
+      ~args:[ ("keep", Otrace.Int keep); ("epochs", Otrace.Int n) ]
+    @@ fun () ->
     let drop = n - keep in
     let dropped, kept =
       let rec split i acc = function

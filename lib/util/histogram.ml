@@ -60,6 +60,25 @@ let percentile t p =
     t.samples.(idx)
   end
 
+let percentile_interp t p =
+  if t.len = 0 then 0.0
+  else begin
+    ensure_sorted t;
+    let p = Stdlib.max 0.0 (Stdlib.min 100.0 p) in
+    if t.len = 1 then t.samples.(0)
+    else begin
+      (* Linear interpolation between closest order statistics
+         (inclusive method): rank p maps onto [0, len-1] exactly, so
+         p0 is the minimum and p100 the maximum with no clamping
+         artifacts on tiny sample sets. *)
+      let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = Stdlib.min (t.len - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      t.samples.(lo) +. (frac *. (t.samples.(hi) -. t.samples.(lo)))
+    end
+  end
+
 let merge dst src =
   for i = 0 to src.len - 1 do
     add dst src.samples.(i)
