@@ -58,6 +58,9 @@ type ckpt_stats = {
   mem_mark_ns : int;
   flush_ns : int;
   pages_flushed : int;
+  pages_serialized : int;
+  pages_deduped : int;
+  bytes_written : int;
   epoch : int;
   durable_at : int;
   flush : Store.flush_stats option;
@@ -991,6 +994,13 @@ let checkpoint_common t ~flush ~full =
     mem_mark_ns = mark_ns;
     flush_ns;
     pages_flushed;
+    pages_serialized =
+      (if flush then
+         let f = Store.flush_stats t.st in
+         f.fs_pages - f.fs_pages_deduped
+       else 0);
+    pages_deduped = (if flush then (Store.flush_stats t.st).fs_pages_deduped else 0);
+    bytes_written = (if flush then (Store.flush_stats t.st).fs_bytes_written else 0);
     epoch;
     durable_at;
     flush = (if flush then Some (Store.flush_stats t.st) else None);
@@ -1042,6 +1052,11 @@ let checkpoint_region t (entry : Vm_map.entry) =
     mem_mark_ns = mark_ns;
     flush_ns = stop_ns - mark_ns;
     pages_flushed = pages;
+    pages_serialized =
+      (let f = Store.flush_stats t.st in
+       f.fs_pages - f.fs_pages_deduped);
+    pages_deduped = (Store.flush_stats t.st).fs_pages_deduped;
+    bytes_written = (Store.flush_stats t.st).fs_bytes_written;
     epoch;
     durable_at = Store.durable_at t.st;
     flush = Some (Store.flush_stats t.st);

@@ -34,6 +34,15 @@ type ckpt_stats = {
       (** virtual time of the synchronous flush-submission phase (staging,
           manifest, commit); the asynchronous tail runs to [durable_at] *)
   pages_flushed : int;
+  pages_serialized : int;
+      (** distinct dirty pages whose payloads the store actually wrote
+          this epoch (staged minus dedup hits); 0 for memory-only cycles *)
+  pages_deduped : int;
+      (** staged pages resolved against the store's content-addressed
+          index — recorded as references, never re-flushed *)
+  bytes_written : int;
+      (** device bytes the epoch's flush wrote end to end: packed data
+          extents, radix leaves, records and superblock *)
   epoch : int;
   durable_at : int;  (** virtual time the checkpoint is fully durable *)
   flush : Aurora_objstore.Store.flush_stats option;

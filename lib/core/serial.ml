@@ -546,7 +546,8 @@ let group_of_string s =
 
 (* Manifests ------------------------------------------------------------------------- *)
 
-let manifest_magic = "AURMANF1"
+(* v2: pages fingerprint widened to the 62-bit Hash64 fold. *)
+let manifest_magic = "AURMANF2"
 
 let manifest_to_string (m : manifest_image) =
   let w = Wire.writer () in
@@ -559,7 +560,7 @@ let manifest_to_string (m : manifest_image) =
       Wire.str w e.i_me_kind;
       Wire.u32 w e.i_me_meta_crc;
       Wire.u32 w e.i_me_pages;
-      Wire.u32 w e.i_me_pages_crc)
+      Wire.u64 w e.i_me_pages_crc)
     m.i_m_entries;
   finish w
 
@@ -576,16 +577,20 @@ let manifest_of_string s =
         let i_me_kind = Wire.rstr r in
         let i_me_meta_crc = Wire.ru32 r in
         let i_me_pages = Wire.ru32 r in
-        let i_me_pages_crc = Wire.ru32 r in
+        let i_me_pages_crc = Wire.ru64 r in
         { i_me_oid; i_me_kind; i_me_meta_crc; i_me_pages; i_me_pages_crc })
   in
   { i_m_epoch; i_m_count; i_m_entries }
 
 (* Order-independent combination of per-page checksums: manifests compare
-   whole page maps without fixing an iteration order. *)
+   whole page maps without fixing an iteration order.  Each (index, CRC)
+   pair is mixed through Hash64 before the XOR fold — a plain XOR of the
+   raw values is zeroed by duplicate pages and blind to permutations with
+   colliding sums.  Must stay bit-identical to the store's leaf-side fold
+   (Store.staging_manifest_entries). *)
 let pages_fingerprint crcs =
   List.fold_left
-    (fun acc (idx, crc) -> acc lxor ((crc + (idx * 0x9E3779B1)) land 0xFFFFFFFF))
+    (fun acc (idx, crc) -> acc lxor Aurora_util.Hash64.pair idx crc)
     0 crcs
 
 let manifest_entry_of_source (oid, kind, meta, crcs) =
@@ -608,7 +613,7 @@ let manifest_summary entries =
       Wire.str w e.i_me_kind;
       Wire.u32 w e.i_me_meta_crc;
       Wire.u32 w e.i_me_pages;
-      Wire.u32 w e.i_me_pages_crc;
+      Wire.u64 w e.i_me_pages_crc;
       acc lxor Crc32.of_bytes (Wire.contents w))
     0 entries
 

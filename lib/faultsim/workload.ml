@@ -161,4 +161,34 @@ let standard =
     Checkpoint
       [ (4, "memory", "wide2", pages 20 40 97 'X'); (5, "vnode", "tail", pages 1000 25 3 'Y') ];
     Checkpoint [ (1, "memory", "final", pages 3 12 31 'z') ];
+    (* Second phase: with payloads packed into coalesced extents a
+       checkpoint submits a handful of device writes, so boundary coverage
+       needs operations, not pages.  These cycles mix exact repeats of
+       earlier content (dedup hits: leaf references, no data write) with
+       fresh content, plus a second journal, so the enumerator crashes
+       inside dedup-heavy and dedup-free flushes alike. *)
+    Journal_create (32 * 1024);
+    Checkpoint
+      [
+        (* Byte-identical to epoch 1's object 1 pages: all dedup hits. *)
+        (6, "memory", "twin", pages 0 40 7 'a');
+        (7, "vnode", "fresh-7", pages 50 30 19 '0');
+      ];
+    Journal_append (2, "second-journal-one");
+    Journal_append (1, "interleaved");
+    Checkpoint
+      [ (7, "vnode", "fresh-7b", pages 80 25 29 '5'); (6, "memory", "", pages 7 18 41 'k') ];
+    Journal_append (2, "second-journal-two");
+    Prune 3;
+    Checkpoint
+      [
+        (8, "memory", "mixed", pages 0 30 7 'a');
+        (* Repeats of object 5's tail plus new indices. *)
+        (5, "vnode", "tail2", pages 1000 25 3 'Y');
+      ];
+    Journal_truncate 2;
+    Journal_append (2, "post-truncate-two");
+    Checkpoint [ (8, "memory", "mixed2", pages 60 22 13 'C') ];
+    Journal_append (1, "record-five");
+    Checkpoint [ (2, "vnode", "file-2c", pages 240 20 17 'M'); (9, "memory", "ninth", pages 2000 28 5 'e') ];
   ]

@@ -1,6 +1,8 @@
 module Clock = Aurora_sim.Clock
 module Cost = Aurora_sim.Cost
 module Crc32 = Aurora_util.Crc32
+module Hash64 = Aurora_util.Hash64
+module Rle = Aurora_util.Rle
 module Resource = Aurora_sim.Resource
 module Striped = Aurora_block.Striped
 module IntMap = Map.Make (Int)
@@ -9,14 +11,15 @@ module Ometrics = Aurora_obs.Metrics
 
 let m_store_commits = Ometrics.counter "store.commits"
 let m_store_pages = Ometrics.counter "store.pages_staged"
+let m_store_deduped = Ometrics.counter "store.pages_deduped"
 let m_store_extents = Ometrics.counter "store.extents"
 let h_store_flush_window = Ometrics.histogram "store.flush_window_ns"
 
 exception Corrupt_store of string
 
 let block_size = 4096
-(* 200 entries x 20 bytes + header fits one 4 KiB block. *)
-let leaf_span = 200
+(* 100 entries x 37 bytes + header fits one 4 KiB block. *)
+let leaf_span = 100
 let magic = "AURSTORE"
 let superblock_block = 0
 
@@ -69,6 +72,11 @@ type flush_stats = {
   fs_leaf_misses : int;
   fs_alloc_calls : int;
   fs_pages : int;
+  fs_pages_deduped : int;
+  fs_bytes_written : int;
+  fs_compress_ns : int;
+  fs_comp_in : int;
+  fs_comp_out : int;
 }
 
 let empty_flush_stats =
@@ -82,6 +90,11 @@ let empty_flush_stats =
     fs_leaf_misses = 0;
     fs_alloc_calls = 0;
     fs_pages = 0;
+    fs_pages_deduped = 0;
+    fs_bytes_written = 0;
+    fs_compress_ns = 0;
+    fs_comp_in = 0;
+    fs_comp_out = 0;
   }
 
 (* Cached manifest row of one object's last committed version: everything a
@@ -92,8 +105,50 @@ type mrow = { r_kind : string; r_meta_crc : int; r_npages : int; r_fp : int }
 let zero_row = { r_kind = "memory"; r_meta_crc = 0; r_npages = 0; r_fp = 0 }
 
 (* One page's order-independent fingerprint contribution; the XOR fold over
-   these must stay bit-identical to Serial.pages_fingerprint. *)
-let fp_one idx crc = (crc + (idx * 0x9E3779B1)) land 0xFFFFFFFF
+   these must stay bit-identical to Serial.pages_fingerprint.  Hash64.pair
+   mixes the index before the fold, so duplicate page contents at
+   different indices no longer cancel (the old CRC/XOR fold's latent
+   false-skip hazard). *)
+let fp_one idx crc = Hash64.pair idx crc
+
+(* One stored page: where its bytes live ([p_blk] + byte offset [p_off],
+   [p_clen] stored bytes, possibly RLE-coded), and the identity of the
+   original payload ([p_olen], CRC-32, content hash).  The checksum and
+   hash are always over the ORIGINAL payload, so manifests, restore
+   verification and the incremental-vs-full oracle are unaffected by how
+   the bytes happen to be stored. *)
+type pent = {
+  p_idx : int;
+  p_blk : int;
+  p_off : int;
+  p_clen : int;
+  p_olen : int;
+  p_comp : bool;
+  p_crc : int;
+  p_hash : int;
+}
+
+(* Blocks covered by a stored page (it may straddle block boundaries
+   inside its packed extent). *)
+let pent_blocks p f =
+  for b = p.p_blk to p.p_blk + ((p.p_off + max 1 p.p_clen - 1) / block_size) do
+    f b
+  done
+
+(* One content-index entry: a stored page location keyed by content hash.
+   [c_refs] counts the leaf entries (across all retained epochs, each
+   leaf counted once) that reference the location; the index is derived
+   state, rebuilt from the durable leaves at recovery and after pruning,
+   so it is crash-consistent by construction. *)
+type centry = {
+  c_blk : int;
+  c_off : int;
+  c_clen : int;
+  c_olen : int;
+  c_comp : bool;
+  c_crc : int;
+  mutable c_refs : int;
+}
 
 type t = {
   dev : Striped.t;
@@ -104,10 +159,17 @@ type t = {
   free_set : (int, unit) Hashtbl.t; (* reusable single blocks, O(1) dedup *)
   mutable free_stack : int list; (* LIFO over [free_set]; may hold stale ids *)
   mutable freed : int;
-  leaf_cache : (int, (int * int * int * int) list) Hashtbl.t;
+  leaf_cache : (int, pent list) Hashtbl.t;
       (* leaf block -> parsed entries.  Leaf blocks are COW (written once),
          so the cache is exact as long as freed blocks are invalidated
          before reuse (free_block) and a recovered instance starts cold. *)
+  content : (int, centry) Hashtbl.t;
+      (* content hash -> stored location: the content-addressed page
+         index.  A flush-path page whose (hash, olen, crc) triple already
+         appears here is recorded as a leaf reference to the existing
+         location and never re-written. *)
+  mutable dedup_on : bool;
+  mutable compress_on : bool;
   rows : (int, mrow) Hashtbl.t;
       (* oid -> manifest row of the newest committed epoch; updated at
          commit_checkpoint (the single choke point every epoch passes
@@ -130,7 +192,12 @@ type t = {
   mutable stat_leaf_misses : int;
   mutable stat_alloc_calls : int;
   mutable stat_pages : int;
+  mutable stat_pages_deduped : int;
+  mutable stat_compress_ns : int;
+  mutable stat_comp_in : int;
+  mutable stat_comp_out : int;
   mutable stat_dev_base : int;
+  mutable stat_bytes_base : int;
   mutable last_flush : flush_stats;
   (* Transient-read-error policy: a charged read that raises
      Fault.Io_error is retried up to [read_retries] times, backing off
@@ -260,20 +327,26 @@ let parse_version data =
 (* Leaf blocks: a leaf covers page indices [k*leaf_span, (k+1)*leaf_span) and
    stores (index, data block) pairs for the resident ones. *)
 
-(* Leaf entries are (page index, data block, payload length, payload
-   CRC-32): payloads are variable-sized (compact for anonymous memory,
-   full for file pages); the checksum, computed once when the page is
-   flushed, is what checkpoint manifests and restore verification compare
-   against without re-reading data blocks. *)
+(* A leaf entry records a stored page's packed location, coding flag and
+   the original payload's length, CRC-32 and content hash: payloads are
+   variable-sized (compact for anonymous memory, full for file pages);
+   the checksum, computed once when the page is flushed, is what
+   checkpoint manifests and restore verification compare against without
+   re-reading data blocks, and the hash is what lets recovery rebuild
+   the content-addressed index without any data reads. *)
 let serialize_leaf entries =
   let w = Wire.writer () in
   Wire.u8 w 0xA3;
   Wire.list w
-    (fun (idx, blk, len, crc) ->
-      Wire.u32 w idx;
-      Wire.u64 w blk;
-      Wire.u32 w len;
-      Wire.u32 w crc)
+    (fun p ->
+      Wire.u32 w p.p_idx;
+      Wire.u64 w p.p_blk;
+      Wire.u32 w p.p_off;
+      Wire.u32 w p.p_clen;
+      Wire.u32 w p.p_olen;
+      Wire.u8 w (Bool.to_int p.p_comp);
+      Wire.u32 w p.p_crc;
+      Wire.u64 w p.p_hash)
     entries;
   Wire.contents w
 
@@ -281,11 +354,15 @@ let parse_leaf data =
   let r = Wire.reader data in
   if Wire.ru8 r <> 0xA3 then raise (Corrupt_store "bad leaf magic");
   Wire.rlist r (fun r ->
-      let idx = Wire.ru32 r in
-      let blk = Wire.ru64 r in
-      let len = Wire.ru32 r in
-      let crc = Wire.ru32 r in
-      (idx, blk, len, crc))
+      let p_idx = Wire.ru32 r in
+      let p_blk = Wire.ru64 r in
+      let p_off = Wire.ru32 r in
+      let p_clen = Wire.ru32 r in
+      let p_olen = Wire.ru32 r in
+      let p_comp = Wire.ru8 r <> 0 in
+      let p_crc = Wire.ru32 r in
+      let p_hash = Wire.ru64 r in
+      { p_idx; p_blk; p_off; p_clen; p_olen; p_comp; p_crc; p_hash })
 
 let read_block_nocharge t blk = Striped.read_nocharge t.dev ~off:(off_of_block blk) ~len:block_size
 
@@ -338,6 +415,9 @@ let fresh dev clk =
     free_stack = [];
     freed = 0;
     leaf_cache = Hashtbl.create 1024;
+    content = Hashtbl.create 4096;
+    dedup_on = true;
+    compress_on = true;
     rows = Hashtbl.create 1024;
     epochs = [];
     current_epoch = 0;
@@ -354,7 +434,12 @@ let fresh dev clk =
     stat_leaf_misses = 0;
     stat_alloc_calls = 0;
     stat_pages = 0;
+    stat_pages_deduped = 0;
+    stat_compress_ns = 0;
+    stat_comp_in = 0;
+    stat_comp_out = 0;
     stat_dev_base = 0;
+    stat_bytes_base = 0;
     last_flush = empty_flush_stats;
     read_retries = 4;
     read_backoff = 20_000;
@@ -481,7 +566,12 @@ let begin_checkpoint t =
   t.stat_leaf_misses <- 0;
   t.stat_alloc_calls <- 0;
   t.stat_pages <- 0;
+  t.stat_pages_deduped <- 0;
+  t.stat_compress_ns <- 0;
+  t.stat_comp_in <- 0;
+  t.stat_comp_out <- 0;
   t.stat_dev_base <- Striped.write_ops t.dev;
+  t.stat_bytes_base <- Striped.bytes_written t.dev;
   Otrace.instant ~cat:"store" "begin_checkpoint"
     ~args:[ ("epoch", Otrace.Int t.current_epoch) ];
   t.current_epoch
@@ -511,26 +601,80 @@ let put_pages t ~oid pages =
   let st = staged_for t oid in
   List.iter (fun (idx, payload) -> Hashtbl.replace st.s_pages idx payload) pages
 
-(* Merge staged dirty pages into the previous version's leaves: fresh data
-   blocks are allocated as sorted contiguous extents and submitted as a
-   handful of vectored stripe-spanning writes; only the touched leaves are
-   rebuilt (from the leaf cache when warm) and they too go out as one
-   coalesced extent. *)
-(* Besides the merged leaves and completion time, returns the object's
-   manifest deltas: the XOR-fold fingerprint adjustment (replaced carried
-   entries folded out, fresh entries folded in) and the net page-count
-   change, so commit can update the manifest-row cache without re-walking
-   untouched leaves. *)
+(* Plan of one staged page after the flush path's CPU pass. *)
+type page_plan =
+  | P_ref of centry (* content already durable: leaf reference only *)
+  | P_alias of int (* identical to plan slot [k] of this same batch *)
+  | P_write of { stored : bytes; comp : bool }
+
+let class_bandwidth = function
+  | Rle.Zero -> Cost.compress_zero_bandwidth
+  | Rle.Text -> Cost.compress_text_bandwidth
+  | Rle.Binary -> Cost.compress_binary_bandwidth
+  | Rle.Random -> Cost.compress_random_bandwidth
+
+(* Write [stored.(k)] payloads packed back-to-back at byte granularity
+   into frontier extents sealed at the max extent size; a payload never
+   straddles two separately allocated extents, so every stored page is
+   device-contiguous.  Returns per-payload (block, byte offset) and the
+   latest completion. *)
+let write_packed t ~now stored =
+  let n = Array.length stored in
+  let locs = Array.make n (0, 0) in
+  let completion = ref now in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i and bytes = ref 0 in
+    while
+      !j < n
+      && (!bytes = 0 || !bytes + Bytes.length stored.(!j) <= Cost.nvme_max_extent_bytes)
+    do
+      bytes := !bytes + Bytes.length stored.(!j);
+      incr j
+    done;
+    let nblocks = blocks_of_len !bytes in
+    let base = alloc_extent t nblocks in
+    let buf = Bytes.create !bytes in
+    let off = ref 0 in
+    for k = !i to !j - 1 do
+      let p = stored.(k) in
+      Bytes.blit p 0 buf !off (Bytes.length p);
+      locs.(k) <- (base + (!off / block_size), !off mod block_size);
+      off := !off + Bytes.length p
+    done;
+    let c = Striped.write t.dev ~now ~off:(off_of_block base) buf in
+    if c > !completion then completion := c;
+    t.stat_extents <- t.stat_extents + 1;
+    t.stat_extent_blocks <- t.stat_extent_blocks + nblocks;
+    t.stat_coalesced_bytes <- t.stat_coalesced_bytes + !bytes;
+    i := !j
+  done;
+  (locs, !completion)
+
+(* Merge staged dirty pages into the previous version's leaves.  The CPU
+   pass hashes every payload, probes the content-addressed index (a hit
+   — same hash, original length and CRC — becomes a leaf reference to
+   the already-stored bytes and is never re-flushed) and RLE-codes the
+   misses; the surviving payloads are packed into byte-granular frontier
+   extents and submitted only once that CPU work is done, so the flush
+   window models compress-then-write.  Only the touched leaves are
+   rebuilt (from the leaf cache when warm) and go out as one coalesced
+   extent. *)
+(* Besides the merged leaves, data completion time and the CPU-pass end
+   time (threaded into the next object's submissions: one flush thread),
+   returns the object's manifest deltas: the XOR-fold fingerprint
+   adjustment (replaced carried entries folded out, fresh entries folded
+   in) and the net page-count change, so commit can update the
+   manifest-row cache without re-walking untouched leaves. *)
 let build_version t ~now ~prev st =
   let prev_leaves = match prev with Some v -> v.v_leaves | None -> IntMap.empty in
   let npages = Hashtbl.length st.s_pages in
-  if npages = 0 then (prev_leaves, now, 0, 0)
+  if npages = 0 then (prev_leaves, now, now, 0, 0)
   else begin
     let fp_delta = ref 0 in
     let n_delta = ref 0 in
     let completion = ref now in
-    (* 1. Sort the fresh pages in place (no list churn on the hot path)
-       and write them as contiguous extents. *)
+    (* 1. Sort the fresh pages in place (no list churn on the hot path). *)
     let fresh = Array.make npages (0, Bytes.empty) in
     let fill = ref 0 in
     Hashtbl.iter
@@ -540,11 +684,116 @@ let build_version t ~now ~prev st =
       st.s_pages;
     Array.sort (fun (a, _) (b, _) -> compare (a : int) b) fresh;
     t.stat_pages <- t.stat_pages + npages;
-    let blocks = Array.make npages 0 in
-    let items = Array.map (fun (_, payload) -> (payload, 1)) fresh in
-    let c = write_extents_chunked t ~now items (fun k blk -> blocks.(k) <- blk) in
-    if c > !completion then completion := c;
-    (* 2. Rebuild the touched leaves.  [fresh] is sorted by page index, so
+    (* 2. CPU pass: hash, dedup-probe, compress. *)
+    let cpu = ref now in
+    let idents = Array.make npages (0, 0, 0) in
+    let plans = Array.make npages (P_alias 0) in
+    let batch = Hashtbl.create 16 in
+    Array.iteri
+      (fun k (_, payload) ->
+        let olen = Bytes.length payload in
+        let crc = Crc32.of_bytes payload in
+        let hash = Hash64.of_bytes payload in
+        idents.(k) <- (hash, olen, crc);
+        if t.dedup_on then
+          cpu := !cpu + Cost.transfer_time ~bandwidth:Cost.page_hash_bandwidth olen;
+        let dedup_hit =
+          if not t.dedup_on then None
+          else
+            match Hashtbl.find_opt t.content hash with
+            | Some ce when ce.c_olen = olen && ce.c_crc = crc -> Some ce
+            | Some _ | None -> None
+        in
+        match dedup_hit with
+        | Some ce ->
+            t.stat_pages_deduped <- t.stat_pages_deduped + 1;
+            plans.(k) <- P_ref ce
+        | None -> (
+            match
+              if t.dedup_on then Hashtbl.find_opt batch (hash, olen, crc)
+              else None
+            with
+            | Some k0 ->
+                t.stat_pages_deduped <- t.stat_pages_deduped + 1;
+                plans.(k) <- P_alias k0
+            | None ->
+                if t.dedup_on then Hashtbl.replace batch (hash, olen, crc) k;
+                let stored, comp =
+                  if not t.compress_on then (payload, false)
+                  else begin
+                    cpu :=
+                      !cpu
+                      + Cost.transfer_time
+                          ~bandwidth:(class_bandwidth (Rle.classify payload))
+                          olen;
+                    match Rle.compress payload with
+                    | Some c -> (c, true)
+                    | None -> (payload, false)
+                  end
+                in
+                t.stat_comp_in <- t.stat_comp_in + olen;
+                t.stat_comp_out <- t.stat_comp_out + Bytes.length stored;
+                plans.(k) <- P_write { stored; comp }))
+      fresh;
+    t.stat_compress_ns <- t.stat_compress_ns + (!cpu - now);
+    (* 3. Submit the surviving payloads once the CPU pass is done.  With
+       compression off the legacy block-per-page layout (and its
+       full-block device charge) is kept, as the pre-dedup baseline. *)
+    let write_slots = ref [] in
+    Array.iteri
+      (fun k plan -> match plan with P_write _ -> write_slots := k :: !write_slots | _ -> ())
+      plans;
+    let write_slots = Array.of_list (List.rev !write_slots) in
+    let stored_of k =
+      match plans.(k) with
+      | P_write { stored; _ } -> stored
+      | P_ref _ | P_alias _ -> assert false
+    in
+    let locs = Array.make (Array.length write_slots) (0, 0) in
+    if Array.length write_slots > 0 then begin
+      if t.compress_on then begin
+        let c, ls =
+          let stored = Array.map stored_of write_slots in
+          let ls, c = write_packed t ~now:!cpu stored in
+          (c, ls)
+        in
+        Array.blit ls 0 locs 0 (Array.length ls);
+        if c > !completion then completion := c
+      end
+      else begin
+        let items = Array.map (fun k -> (stored_of k, 1)) write_slots in
+        let c =
+          write_extents_chunked t ~now:!cpu items (fun i blk -> locs.(i) <- (blk, 0))
+        in
+        if c > !completion then completion := c
+      end
+    end;
+    (* Resolve every plan slot to its stored location and register fresh
+       locations in the content index. *)
+    let slot_of = Hashtbl.create 16 in
+    Array.iteri (fun i k -> Hashtbl.replace slot_of k i) write_slots;
+    let loc_of k =
+      match plans.(k) with
+      | P_ref ce -> (ce.c_blk, ce.c_off, ce.c_clen, ce.c_comp)
+      | P_alias k0 ->
+          let blk, off = locs.(Hashtbl.find slot_of k0) in
+          let stored = stored_of k0 in
+          let comp = match plans.(k0) with P_write { comp; _ } -> comp | _ -> assert false in
+          (blk, off, Bytes.length stored, comp)
+      | P_write { stored; comp } ->
+          let blk, off = locs.(Hashtbl.find slot_of k) in
+          (blk, off, Bytes.length stored, comp)
+    in
+    if t.dedup_on then
+      Array.iter
+        (fun k ->
+          let hash, olen, crc = idents.(k) in
+          let blk, off, clen, comp = loc_of k in
+          Hashtbl.replace t.content hash
+            { c_blk = blk; c_off = off; c_clen = clen; c_olen = olen; c_comp = comp;
+              c_crc = crc; c_refs = 0 })
+        write_slots;
+    (* 4. Rebuild the touched leaves.  [fresh] is sorted by page index, so
        each leaf's dirty pages are one contiguous run of the array, and
        dirty-membership for carried-entry filtering is a binary search in
        that run. *)
@@ -576,22 +825,25 @@ let build_version t ~now ~prev st =
       in
       let carried = ref [] in
       List.iter
-        (fun ((idx, _, _, crc) as entry) ->
-          if not (mem_run !i !j idx) then carried := entry :: !carried
+        (fun p ->
+          if not (mem_run !i !j p.p_idx) then carried := p :: !carried
           else begin
             (* Replaced: fold the old entry's contribution back out. *)
-            fp_delta := !fp_delta lxor fp_one idx crc;
+            fp_delta := !fp_delta lxor fp_one p.p_idx p.p_crc;
             decr n_delta
           end)
         old_entries;
       let fresh_entries = ref [] in
       for k = !j - 1 downto !i do
-        let idx, payload = fresh.(k) in
-        let crc = Crc32.of_bytes payload in
+        let idx, _ = fresh.(k) in
+        let hash, olen, crc = idents.(k) in
+        let blk, off, clen, comp = loc_of k in
         fp_delta := !fp_delta lxor fp_one idx crc;
         incr n_delta;
         fresh_entries :=
-          (idx, blocks.(k), Bytes.length payload, crc) :: !fresh_entries
+          { p_idx = idx; p_blk = blk; p_off = off; p_clen = clen; p_olen = olen;
+            p_comp = comp; p_crc = crc; p_hash = hash }
+          :: !fresh_entries
       done;
       let entries =
         List.sort compare (List.rev_append !carried !fresh_entries)
@@ -600,20 +852,32 @@ let build_version t ~now ~prev st =
       i := !j
     done;
     let rebuilt = Array.of_list (List.rev !rebuilt) in
-    (* 3. Coalesced extents for the rewritten leaves (write-through into
-       the cache). *)
+    (* 5. Coalesced extents for the rewritten leaves (write-through into
+       the cache).  Every entry of a new leaf — fresh and carried alike —
+       counts one more reference on its content-index location: the
+       index's refcounts mirror "entries across distinct live leaf
+       blocks", which is exactly what recovery and pruning rebuild from
+       the durable leaves. *)
     let leaf_items =
       Array.map (fun (_, entries) -> (serialize_leaf entries, 1)) rebuilt
     in
     let leaves = ref prev_leaves in
     let c =
-      write_extents_chunked t ~now leaf_items (fun k blk ->
+      write_extents_chunked t ~now:!cpu leaf_items (fun k blk ->
           let leaf_idx, entries = rebuilt.(k) in
           cache_leaf t blk entries;
+          if t.dedup_on then
+            List.iter
+              (fun p ->
+                match Hashtbl.find_opt t.content p.p_hash with
+                | Some ce when ce.c_blk = p.p_blk && ce.c_off = p.p_off ->
+                    ce.c_refs <- ce.c_refs + 1
+                | Some _ | None -> ())
+              entries;
           leaves := IntMap.add leaf_idx blk !leaves)
     in
     if c > !completion then completion := c;
-    (!leaves, !completion, !fp_delta, !n_delta)
+    (!leaves, !completion, !cpu, !fp_delta, !n_delta)
   end
 
 (* Manifest row of a committed version, from the cache when warm.  The cold
@@ -627,9 +891,9 @@ let committed_row t oid v =
       IntMap.iter
         (fun _ leaf_blk ->
           List.iter
-            (fun (idx, _, _, crc) ->
+            (fun p ->
               incr npages;
-              fp := !fp lxor fp_one idx crc)
+              fp := !fp lxor fp_one p.p_idx p.p_crc)
             (cached_leaf t leaf_blk))
         v.v_leaves;
       let r =
@@ -654,6 +918,9 @@ let commit_checkpoint t =
   in
   let new_table : (int, version) Hashtbl.t = Hashtbl.copy prev_table in
   let data_done = ref now in
+  (* One flush thread does the hashing and compression: each object's
+     submissions go out when the CPU pass reaches it. *)
+  let cpu_now = ref now in
   (* Data and leaf extents for every staged object, in oid order. *)
   let staged_list =
     Hashtbl.fold (fun oid st acc -> (oid, st) :: acc) s [] |> List.sort compare
@@ -678,7 +945,10 @@ let commit_checkpoint t =
         let base =
           match prev with Some v -> committed_row t oid v | None -> zero_row
         in
-        let leaves, c, fp_delta, n_delta = build_version t ~now ~prev st in
+        let leaves, c, cpu_end, fp_delta, n_delta =
+          build_version t ~now:!cpu_now ~prev st
+        in
+        cpu_now := cpu_end;
         if c > !data_done then data_done := c;
         Hashtbl.replace t.rows oid
           {
@@ -760,12 +1030,33 @@ let commit_checkpoint t =
       fs_leaf_misses = t.stat_leaf_misses;
       fs_alloc_calls = t.stat_alloc_calls;
       fs_pages = t.stat_pages;
+      fs_pages_deduped = t.stat_pages_deduped;
+      fs_bytes_written = Striped.bytes_written t.dev - t.stat_bytes_base;
+      fs_compress_ns = t.stat_compress_ns;
+      fs_comp_in = t.stat_comp_in;
+      fs_comp_out = t.stat_comp_out;
     };
   if Otrace.is_on () || Ometrics.is_enabled () then begin
     Ometrics.incr m_store_commits;
     Ometrics.incr ~by:t.stat_pages m_store_pages;
+    Ometrics.incr ~by:t.stat_pages_deduped m_store_deduped;
     Ometrics.incr ~by:t.stat_extents m_store_extents;
     Ometrics.observe_ns h_store_flush_window (sc - now);
+    Otrace.instant ~cat:"store" "dedup"
+      ~args:
+        [
+          ("epoch", Otrace.Int epoch);
+          ("staged", Otrace.Int t.stat_pages);
+          ("deduped", Otrace.Int t.stat_pages_deduped);
+        ];
+    Otrace.instant ~cat:"store" "compress"
+      ~args:
+        [
+          ("epoch", Otrace.Int epoch);
+          ("bytes_in", Otrace.Int t.stat_comp_in);
+          ("bytes_out", Otrace.Int t.stat_comp_out);
+          ("cpu_ns", Otrace.Int t.stat_compress_ns);
+        ];
     (* The asynchronous durability tail: submissions went out at [now],
        the epoch is on stable storage at [sc]. *)
     Otrace.complete ~ts:now ~dur:(sc - now) ~cat:"store" "flush_window"
@@ -773,8 +1064,10 @@ let commit_checkpoint t =
         [
           ("epoch", Otrace.Int epoch);
           ("pages", Otrace.Int t.stat_pages);
+          ("deduped", Otrace.Int t.stat_pages_deduped);
           ("extents", Otrace.Int t.stat_extents);
           ("dev_writes", Otrace.Int t.last_flush.fs_dev_writes);
+          ("bytes", Otrace.Int t.last_flush.fs_bytes_written);
         ]
   end;
   sc
@@ -795,6 +1088,89 @@ let last_complete_epoch t =
   match last_epoch_info t with Some e -> e.e_epoch | None -> 0
 
 let checkpoint_epochs t = List.map (fun e -> e.e_epoch) t.epochs
+
+(* Content-addressed index maintenance ------------------------------------- *)
+
+(* Walk every distinct leaf block live in the retained epochs.  Version
+   tables share version records across epochs (commit copies the table),
+   so the same leaf block appears under several epochs; each is visited
+   once. *)
+let iter_live_leaves t f =
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun e ->
+      Hashtbl.iter
+        (fun _ v ->
+          IntMap.iter
+            (fun _ leaf_blk ->
+              if not (Hashtbl.mem seen leaf_blk) then begin
+                Hashtbl.replace seen leaf_blk ();
+                f (cached_leaf t leaf_blk)
+              end)
+            v.v_leaves)
+        e.e_table)
+    t.epochs
+
+(* Rebuild the content index purely from the durable leaves: entries
+   carry the hash, so no data blocks are read.  Because this is the only
+   source of truth after a crash (recover) and after a prune reshapes the
+   reachable set, the index's refcounts are crash-atomic by construction:
+   there is no moment where a leaf is durable but its index entry could
+   be lost, or vice versa. *)
+let rebuild_content_index t =
+  Hashtbl.reset t.content;
+  if t.dedup_on then
+    iter_live_leaves t (fun entries ->
+        List.iter
+          (fun p ->
+            match Hashtbl.find_opt t.content p.p_hash with
+            | Some ce ->
+                if ce.c_blk = p.p_blk && ce.c_off = p.p_off then
+                  ce.c_refs <- ce.c_refs + 1
+            | None ->
+                Hashtbl.replace t.content p.p_hash
+                  {
+                    c_blk = p.p_blk;
+                    c_off = p.p_off;
+                    c_clen = p.p_clen;
+                    c_olen = p.p_olen;
+                    c_comp = p.p_comp;
+                    c_crc = p.p_crc;
+                    c_refs = 1;
+                  })
+          entries)
+
+let set_content_dedup t flag =
+  if flag <> t.dedup_on then begin
+    t.dedup_on <- flag;
+    rebuild_content_index t
+  end
+
+let set_compression t flag = t.compress_on <- flag
+let content_index_size t = Hashtbl.length t.content
+
+(* Check the incrementally maintained index against the durable leaves:
+   every entry must point at a location some live leaf entry stores the
+   same content at, with a refcount equal to the number of live leaf
+   entries (distinct leaf blocks counted once) referencing exactly that
+   location.  The crash-atomicity property tests recover a store and
+   call this. *)
+let content_index_consistent t =
+  (not t.dedup_on)
+  ||
+  let counts = Hashtbl.create 1024 in
+  iter_live_leaves t (fun entries ->
+      List.iter
+        (fun p ->
+          let key = (p.p_hash, p.p_blk, p.p_off) in
+          Hashtbl.replace counts key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+        entries);
+  Hashtbl.fold
+    (fun hash ce ok ->
+      ok
+      && Hashtbl.find_opt counts (hash, ce.c_blk, ce.c_off) = Some ce.c_refs)
+    t.content true
 
 (* Recovery ---------------------------------------------------------------------- *)
 
@@ -854,6 +1230,9 @@ let recover ~dev ~clock =
             v.v_leaves)
         e.e_table)
     t.epochs;
+  (* The content index is derived state: rebuild it from the leaves just
+     parsed, so dedup after a crash only ever references durable pages. *)
+  rebuild_content_index t;
   (* Journal heads are recovered lazily by scanning; see journal_records. *)
   t
 
@@ -890,36 +1269,64 @@ let leaf_entries_charged t blk =
       cache_leaf t blk entries;
       entries
 
+(* Recover a page's original payload from its stored (possibly RLE-coded)
+   bytes; a stream that does not decode cleanly is store corruption, not
+   a programming error — restore verification catches it as such. *)
+let decode_payload p stored =
+  if not p.p_comp then stored
+  else
+    try Rle.decompress ~olen:p.p_olen stored
+    with Invalid_argument _ ->
+      raise (Corrupt_store (Printf.sprintf "page %d: corrupt coded payload" p.p_idx))
+
 let read_page t ~epoch ~oid ~idx =
   let v = version_exn t ~epoch ~oid in
   match IntMap.find_opt (idx / leaf_span) v.v_leaves with
   | None -> None
   | Some leaf_blk -> (
       match
-        List.find_opt (fun (i, _, _, _) -> i = idx) (leaf_entries_charged t leaf_blk)
+        List.find_opt (fun p -> p.p_idx = idx) (leaf_entries_charged t leaf_blk)
       with
       | None -> None
-      | Some (_, data_blk, len, _) ->
-          (* The data block logically holds 4 KiB; the stored payload is
-             its leading bytes (see Page). *)
-          let data =
+      | Some p ->
+          let stored =
             retried_read t (fun () ->
-                Striped.read t.dev ~clock:t.clk ~off:(off_of_block data_blk) ~len)
+                Striped.read t.dev ~clock:t.clk
+                  ~off:(off_of_block p.p_blk + p.p_off)
+                  ~len:p.p_clen)
           in
-          Some data)
+          if p.p_comp then
+            Clock.advance t.clk
+              (Cost.transfer_time ~bandwidth:Cost.decompress_bandwidth p.p_olen);
+          Some (decode_payload p stored))
 
 (* Bulk page reads are issued at depth (restore, migration): charge one
-   leaf I/O plus a streamed read of the pages' logical bytes instead of a
-   full device round trip per page. *)
+   leaf I/O plus a streamed read of the pages' stored bytes instead of a
+   full device round trip per page; decompression time is charged once
+   per leaf over the coded pages' original bytes. *)
 let read_pages t ~epoch ~oid =
   let v = version_exn t ~epoch ~oid in
   IntMap.fold
     (fun _ leaf_blk acc ->
       let entries = leaf_entries_charged t leaf_blk in
-      Striped.charge_read t.dev ~clock:t.clk ~bytes:(List.length entries * block_size);
+      let stored_bytes =
+        List.fold_left (fun a p -> a + p.p_clen) 0 entries
+      in
+      Striped.charge_read t.dev ~clock:t.clk ~bytes:stored_bytes;
+      let coded_olen =
+        List.fold_left (fun a p -> if p.p_comp then a + p.p_olen else a) 0 entries
+      in
+      if coded_olen > 0 then
+        Clock.advance t.clk
+          (Cost.transfer_time ~bandwidth:Cost.decompress_bandwidth coded_olen);
       List.fold_left
-        (fun acc (idx, data_blk, len, _) ->
-          (idx, Striped.read_nocharge t.dev ~off:(off_of_block data_blk) ~len) :: acc)
+        (fun acc p ->
+          let stored =
+            Striped.read_nocharge t.dev
+              ~off:(off_of_block p.p_blk + p.p_off)
+              ~len:p.p_clen
+          in
+          (p.p_idx, decode_payload p stored) :: acc)
         acc entries)
     v.v_leaves []
   |> List.sort compare
@@ -928,7 +1335,7 @@ let page_indices t ~epoch ~oid =
   let v = version_exn t ~epoch ~oid in
   IntMap.fold
     (fun _ leaf_blk acc ->
-      List.fold_left (fun acc (idx, _, _, _) -> idx :: acc) acc (cached_leaf t leaf_blk))
+      List.fold_left (fun acc p -> p.p_idx :: acc) acc (cached_leaf t leaf_blk))
     v.v_leaves []
   |> List.sort compare
 
@@ -1051,7 +1458,7 @@ let reachable_blocks t e =
         (fun _ leaf_blk ->
           Hashtbl.replace out leaf_blk ();
           List.iter
-            (fun (_, data_blk, _, _) -> Hashtbl.replace out data_blk ())
+            (fun p -> pent_blocks p (fun b -> Hashtbl.replace out b ()))
             (cached_leaf t leaf_blk))
         v.v_leaves)
     e.e_table;
@@ -1102,6 +1509,11 @@ let prune_history t ~keep =
     (match kept with
     | e :: _ -> t.oldest_retained <- e.e_epoch
     | [] -> ());
+    (* Drop pruned locations from the content index before anything can
+       dedup against them; rebuilding from the kept leaves also restores
+       exact refcounts without ever decrementing through a window where a
+       crash could leave the count wrong. *)
+    rebuild_content_index t;
     (* Persist the new chain bound so recovery never follows a prev
        pointer into reused blocks. *)
     let c =
@@ -1124,7 +1536,7 @@ let page_crcs t ~epoch ~oid =
   IntMap.fold
     (fun _ leaf_blk acc ->
       List.fold_left
-        (fun acc (idx, _, _, crc) -> (idx, crc) :: acc)
+        (fun acc p -> (p.p_idx, p.p_crc) :: acc)
         acc (cached_leaf t leaf_blk))
     v.v_leaves []
   |> List.sort compare
@@ -1165,7 +1577,7 @@ let staging_manifest_source t =
           IntMap.iter
             (fun _ leaf_blk ->
               List.iter
-                (fun (idx, _, _, crc) -> Hashtbl.replace crcs idx crc)
+                (fun p -> Hashtbl.replace crcs p.p_idx p.p_crc)
                 (cached_leaf t leaf_blk))
             v.v_leaves);
       (match st with
@@ -1243,9 +1655,9 @@ let staging_manifest_entries t =
                 | None -> ()
                 | Some blk ->
                     List.iter
-                      (fun (idx, _, _, crc) ->
-                        if Hashtbl.mem idxs idx then begin
-                          fp := !fp lxor fp_one idx crc;
+                      (fun p ->
+                        if Hashtbl.mem idxs p.p_idx then begin
+                          fp := !fp lxor fp_one p.p_idx p.p_crc;
                           decr npages
                         end)
                       (cached_leaf t blk)))
@@ -1293,9 +1705,13 @@ let corrupt_page_for_tests t ~epoch ~oid =
   in
   match entry with
   | None -> invalid_arg "Store.corrupt_page_for_tests: object has no pages"
-  | Some (_, data_blk, len, _) ->
-      let garbage = Bytes.init (max len 1) (fun i -> Char.chr ((i * 7 + 0xEE) land 0xFF)) in
+  | Some p ->
+      let garbage =
+        Bytes.init (max p.p_clen 1) (fun i -> Char.chr ((i * 7 + 0xEE) land 0xFF))
+      in
       let c =
-        Striped.write t.dev ~now:(Clock.now t.clk) ~off:(off_of_block data_blk) garbage
+        Striped.write t.dev ~now:(Clock.now t.clk)
+          ~off:(off_of_block p.p_blk + p.p_off)
+          garbage
       in
       Clock.advance_to t.clk c

@@ -87,10 +87,49 @@ type flush_stats = {
   fs_leaf_misses : int;  (** leaf-cache misses (device read + parse) *)
   fs_alloc_calls : int;  (** allocator invocations (extents count once) *)
   fs_pages : int;  (** distinct dirty pages flushed *)
+  fs_pages_deduped : int;
+      (** staged pages resolved against the content index (no data write) *)
+  fs_bytes_written : int;
+      (** device bytes the whole commit wrote: data, leaves, records,
+          superblock *)
+  fs_compress_ns : int;  (** modeled CPU time hashing + compressing *)
+  fs_comp_in : int;  (** payload bytes entering the compressor *)
+  fs_comp_out : int;  (** stored bytes after compression (incl. stores
+          kept raw because coding did not shrink them) *)
 }
 
 val flush_stats : t -> flush_stats
 (** Statistics of the most recently committed epoch's flush pipeline. *)
+
+(** {1 Page-granular dedup and compression}
+
+    The flush path keys every staged payload by its {!Aurora_util.Hash64}
+    content hash: a page whose (hash, length, CRC) triple already names a
+    live stored location is recorded in the radix leaf as a reference to
+    that location and never re-flushed.  The index is {e derived} state —
+    rebuilt wholesale from the durable leaves at {!recover} and after
+    {!prune_history} — so its refcounts are crash-atomic by construction.
+    Payloads that do flush are RLE-coded when that shrinks them, packed
+    back-to-back into extents, and charged compression CPU time by
+    compressibility class ({!Aurora_util.Rle.cls}). *)
+
+val set_content_dedup : t -> bool -> unit
+(** Default on.  Turning dedup on rebuilds the index from the retained
+    epochs; turning it off clears it (benchmark A/B baseline). *)
+
+val set_compression : t -> bool -> unit
+(** Default on.  Off restores the block-per-page layout with full-block
+    write charges (benchmark A/B baseline). *)
+
+val content_index_size : t -> int
+(** Distinct content hashes the index currently tracks. *)
+
+val content_index_consistent : t -> bool
+(** Check the incrementally maintained refcounts against a fresh walk of
+    the durable leaves: every index entry must be backed by live leaf
+    entries at exactly its recorded location, counted once per distinct
+    leaf block.  Property tests call this after crash/recover cycles and
+    mid-epoch prunes.  Always true when dedup is off. *)
 
 (** {1 Fault tolerance} *)
 

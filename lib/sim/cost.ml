@@ -53,6 +53,19 @@ let criu_io_bandwidth = 1_500 * 1024 * 1024
 let fork_cow_per_page = 60
 let rdb_serialize_bandwidth = 1_750 * 1024 * 1024
 
+(* Page-granular checkpointing: content hashing and compression.
+   Hashing is xxHash-class single-core throughput on the paper's Xeon
+   Silver; compression bandwidths are LZ4-class, split by how hard the
+   match finder has to work per input byte: constant pages stream at
+   near-memcpy speed, text compresses at a few hundred MiB/s, binary is
+   slower, and incompressible data costs only the early-bailout scan. *)
+let page_hash_bandwidth = 12 * 1024 * 1024 * 1024
+let compress_zero_bandwidth = 6 * 1024 * 1024 * 1024
+let compress_text_bandwidth = 680 * 1024 * 1024
+let compress_binary_bandwidth = 410 * 1024 * 1024
+let compress_random_bandwidth = 1_900 * 1024 * 1024
+let decompress_bandwidth = 2_400 * 1024 * 1024
+
 (* Network *)
 let net_one_way_latency = 65_000
 let net_bandwidth = 1_150 * 1024 * 1024

@@ -148,6 +148,31 @@ val nvme_max_extent_bytes : int
     against the stripe's streaming bandwidth; larger extents are split so
     no single submission monopolizes the device queues. *)
 
+(** {1 Page-granular checkpointing: hashing and compression}
+
+    Charged by the object store's flush path, per page payload, keyed on
+    {!Aurora_util.Rle.cls}.  Hashing is xxHash-class single-core
+    throughput; compression bandwidths are LZ4-class, split by how hard
+    the match finder works per input byte. *)
+
+val page_hash_bandwidth : int
+(** Content-hash throughput over the original payload, bytes/s. *)
+
+val compress_zero_bandwidth : int
+(** Constant pages: one run, near-memcpy streaming. *)
+
+val compress_text_bandwidth : int
+(** Highly repetitive payloads (>=2x reduction). *)
+
+val compress_binary_bandwidth : int
+(** Mildly compressible payloads (>=10% reduction). *)
+
+val compress_random_bandwidth : int
+(** Incompressible payloads: the early-bailout scan only. *)
+
+val decompress_bandwidth : int
+(** Decompression on the read/restore path, bytes/s of original data. *)
+
 (** {1 CRIU and RDB baselines (Table 1 / Table 7 anchors)} *)
 
 val criu_per_object_inference : int

@@ -7,8 +7,15 @@ type t = { ptes : (int, pte) Hashtbl.t }
 let create () = { ptes = Hashtbl.create 256 }
 let find t vpn = Hashtbl.find_opt t.ptes vpn
 
-let install t vpn page ~writable =
-  Hashtbl.replace t.ptes vpn { page; writable; dirty = false }
+let install ?(dirty = false) t vpn page ~writable =
+  Hashtbl.replace t.ptes vpn { page; writable; dirty }
+
+let dirty_vpns t =
+  Hashtbl.fold (fun v pte acc -> if pte.dirty then v :: acc else acc) t.ptes []
+  |> List.sort compare
+
+let clear_dirty t =
+  Hashtbl.iter (fun _ pte -> pte.dirty <- false) t.ptes
 
 let remove t vpn = Hashtbl.remove t.ptes vpn
 

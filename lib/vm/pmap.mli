@@ -15,8 +15,20 @@ type t
 val create : unit -> t
 
 val find : t -> int -> pte option
-val install : t -> int -> Page.t -> writable:bool -> unit
+val install : ?dirty:bool -> t -> int -> Page.t -> writable:bool -> unit
+(** Install a translation.  [dirty] (default false) pre-sets the
+    modified bit: a write fault dirties the page in the same trap that
+    installs the PTE, so the fault handler must stamp it here or the
+    write would be invisible to the next dirty-bit harvest. *)
+
 val remove : t -> int -> unit
+
+val dirty_vpns : t -> int list
+(** VPNs whose PTE has the dirty bit set, ascending. *)
+
+val clear_dirty : t -> unit
+(** Clear every dirty bit (checkpoint harvest end). *)
+
 val remove_range : t -> vpn:int -> npages:int -> unit
 
 val downgrade_range : t -> clock:Aurora_sim.Clock.t -> vpn:int -> npages:int -> int

@@ -83,7 +83,7 @@ let rec handle_fault t (e : Vm_map.entry) vpn ~write =
       (* Resident in the top object: plain soft fault. *)
       t.st.soft_faults <- t.st.soft_faults + 1;
       Clock.advance t.clk Cost.soft_fault;
-      Pmap.install t.phys vpn page ~writable:(write && e.prot.write);
+      Pmap.install t.phys vpn page ~writable:(write && e.prot.write) ~dirty:write;
       page
   | Some (page, _ancestor) ->
       if write then begin
@@ -92,7 +92,7 @@ let rec handle_fault t (e : Vm_map.entry) vpn ~write =
         Clock.advance t.clk Cost.cow_fault;
         let private_page = Page.copy page in
         Vm_object.insert_page e.obj idx private_page;
-        Pmap.install t.phys vpn private_page ~writable:true;
+        Pmap.install t.phys vpn private_page ~writable:true ~dirty:true;
         private_page
       end
       else begin
@@ -135,7 +135,8 @@ let rec handle_fault t (e : Vm_map.entry) vpn ~write =
           Clock.advance t.clk Cost.soft_fault;
           let page = Page.alloc () in
           Vm_object.insert_page e.obj idx page;
-          Pmap.install t.phys vpn page ~writable:(write && e.prot.write);
+          Pmap.install t.phys vpn page ~writable:(write && e.prot.write)
+            ~dirty:write;
           page)
 
 let access t ~vpn ~write =
@@ -161,12 +162,8 @@ let access t ~vpn ~write =
           Pmap.remove t.phys vpn;
           handle_fault t e vpn ~write)
   | None ->
-      let page = handle_fault t e vpn ~write in
-      (if write then
-         match Pmap.find t.phys vpn with
-         | Some pte -> pte.dirty <- true
-         | None -> ());
-      page
+      (* handle_fault stamps the dirty bit on write-fault installs. *)
+      handle_fault t e vpn ~write
 
 let split_addr addr = (addr / Page.logical_size, addr mod Page.logical_size)
 

@@ -515,7 +515,121 @@ let qcheck_tests =
              snapshot rb oid_b = after_b
              && List.length (Store.checkpoint_epochs rb) = keep
            in
-           ok_a && ok_b));
+           (* Both recoveries rebuild the content-addressed index from the
+              durable leaves: its refcounts must match a fresh walk. *)
+           ok_a && ok_b
+           && Store.content_index_consistent ra
+           && Store.content_index_consistent rb));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"mid-epoch prune: dedup-referenced pages survive the sweep"
+         ~count:20
+         QCheck.(
+           triple
+             (list_of_size (Gen.int_range 3 5)
+                (list_of_size (Gen.int_range 1 25)
+                   (pair (int_range 0 400) printable_char)))
+             (list_of_size (Gen.int_range 1 25) (pair (int_range 0 400) printable_char))
+             (int_range 1 2))
+         (fun (epochs_spec, staged, keep) ->
+           (* A checkpoint is staged, a prune runs mid-epoch, then the
+              commit dedups its pages — several byte-identical to payloads
+              the dropped epochs wrote.  Matches may only land on
+              locations the kept epochs still reach, so every page must
+              read back correctly before and after a crash, and the
+              content index must agree with the durable leaves. *)
+           let clock = Clock.create () in
+           let dev = Striped.create () in
+           let store = Store.format ~dev ~clock in
+           let oid = Store.alloc_oid store in
+           List.iter
+             (fun pages ->
+               ignore (Store.begin_checkpoint store);
+               Store.put_object store ~oid ~kind:"memory" ~meta:"m";
+               Store.put_pages store ~oid
+                 (List.map (fun (idx, c) -> (idx, payload c)) pages);
+               ignore (Store.commit_checkpoint store))
+             epochs_spec;
+           Store.wait_durable store;
+           let e = Store.begin_checkpoint store in
+           Store.put_object store ~oid ~kind:"memory" ~meta:"mid";
+           (* Re-stage early epochs' exact payloads (dedup bait pointing
+              into soon-pruned history) plus this epoch's fresh pages. *)
+           let bait =
+             List.concat (match epochs_spec with p :: _ -> [ p ] | [] -> [])
+           in
+           let pages = bait @ staged in
+           Store.put_pages store ~oid
+             (List.map (fun (idx, c) -> (idx, payload c)) pages);
+           ignore (Store.prune_history store ~keep);
+           ignore (Store.commit_checkpoint store);
+           Store.wait_durable store;
+           (* Latest content per index: staged list wins over bait. *)
+           let model = Hashtbl.create 64 in
+           List.iter (fun (idx, c) -> Hashtbl.replace model idx c) pages;
+           let check st =
+             Hashtbl.fold
+               (fun idx c ok ->
+                 ok
+                 && Store.read_page st ~epoch:e ~oid ~idx = Some (payload c))
+               model true
+             && Store.content_index_consistent st
+           in
+           let ok_live = check store in
+           Striped.crash dev ~now:(Clock.now clock);
+           let r = Store.recover ~dev ~clock:(Clock.create ()) in
+           ok_live && check r));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"dedup+delta epochs restore byte-identically to a forced-full epoch"
+         ~count:30
+         QCheck.(
+           list_of_size (Gen.int_range 2 5)
+             (list_of_size (Gen.int_range 1 30)
+                (pair (int_range 0 350) printable_char)))
+         (fun epochs_spec ->
+           (* Store A accumulates the state as delta epochs with dedup and
+              compression on (the repeated single-char payloads dedup
+              heavily); store B writes the composed final state in one
+              epoch with both off — the whole-page baseline layout.  The
+              two must be byte-identical page for page, before and after A
+              crashes and recovers. *)
+           let clock_a = Clock.create () in
+           let dev_a = Striped.create () in
+           let a = Store.format ~dev:dev_a ~clock:clock_a in
+           let oid = Store.alloc_oid a in
+           List.iter
+             (fun pages ->
+               ignore (Store.begin_checkpoint a);
+               Store.put_object a ~oid ~kind:"memory" ~meta:"delta";
+               Store.put_pages a ~oid
+                 (List.map (fun (idx, c) -> (idx, payload c)) pages);
+               ignore (Store.commit_checkpoint a))
+             epochs_spec;
+           Store.wait_durable a;
+           let model = Hashtbl.create 64 in
+           List.iter
+             (List.iter (fun (idx, c) -> Hashtbl.replace model idx c))
+             epochs_spec;
+           let full = Hashtbl.fold (fun idx c acc -> (idx, payload c) :: acc) model [] in
+           let _clock_b, _dev_b, b = fresh () in
+           Store.set_content_dedup b false;
+           Store.set_compression b false;
+           let oid_b = Store.alloc_oid b in
+           let eb = Store.begin_checkpoint b in
+           Store.put_object b ~oid:oid_b ~kind:"memory" ~meta:"full";
+           Store.put_pages b ~oid:oid_b full;
+           ignore (Store.commit_checkpoint b);
+           Store.wait_durable b;
+           let ea = Store.last_complete_epoch a in
+           let pages_of st ~epoch ~oid = Store.read_pages st ~epoch ~oid in
+           let want = pages_of b ~epoch:eb ~oid:oid_b in
+           let ok_live = pages_of a ~epoch:ea ~oid = want in
+           Striped.crash dev_a ~now:(Clock.now clock_a);
+           let ra = Store.recover ~dev:dev_a ~clock:(Clock.create ()) in
+           ok_live
+           && pages_of ra ~epoch:ea ~oid = want
+           && Store.content_index_consistent ra));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"store round-trips random page sets over epochs" ~count:40
          QCheck.(

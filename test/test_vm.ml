@@ -359,6 +359,90 @@ let qcheck_tests =
                model true
            in
            check parent pmodel && check child cmodel));
+    (* The dirty-bit harvest feeding incremental checkpoints is only as
+       good as the PTE transitions that stamp it: every path that installs
+       a writable translation on a write fault must set the bit (a soft
+       fault, a COW copy, a zero fill, a refault after fork/shadow
+       downgrade), reads must not, and a mutation that bypasses the fault
+       path entirely — the unstamped poke — must stay invisible, which is
+       exactly why the serializer treats it as the negative control. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"pmap dirty bits: fork/COW/shm/rotation leave the exact dirty set"
+         ~count:100
+         QCheck.(
+           list_of_size (Gen.int_range 1 40)
+             (pair (int_range 0 6) (int_range 0 7)))
+         (fun ops ->
+           let clock = Clock.create () in
+           let s = Vm_space.create ~clock in
+           let e = Vm_space.map_anonymous s ~npages:8 ~prot:Vm_map.prot_rw in
+           let base = Vm_space.addr_of_entry e in
+           let model = Hashtbl.create 8 in
+           let ok = ref true in
+           let dirty_now () = Pmap.dirty_vpns (Vm_space.pmap s) in
+           let model_sorted () =
+             Hashtbl.fold (fun v () acc -> v :: acc) model [] |> List.sort compare
+           in
+           List.iter
+             (fun (op, pg) ->
+               let vpn = e.Vm_map.start_vpn + pg in
+               match op with
+               | 0 ->
+                   (* Write: whichever fault path resolves it (soft, COW,
+                      zero-fill, downgrade refault) must stamp the bit. *)
+                   Vm_space.write_byte s ~addr:(base + (pg * 4096)) 'w';
+                   Hashtbl.replace model vpn ()
+               | 1 ->
+                   (* Read: never dirties, even when it installs a PTE. *)
+                   ignore (Vm_space.read_byte s ~addr:(base + (pg * 4096)))
+               | 2 ->
+                   (* Harvest: the hardware-set bits are exactly the model. *)
+                   if dirty_now () <> model_sorted () then ok := false;
+                   Pmap.clear_dirty (Vm_space.pmap s);
+                   Hashtbl.reset model
+               | 3 ->
+                   (* Fork downgrades the parent's PTEs but keeps their
+                      dirty bits: the pre-fork dirty set must survive. *)
+                   ignore (Vm_space.fork s);
+                   if dirty_now () <> model_sorted () then ok := false
+               | 4 ->
+                   (* Checkpoint shadow rotation: downgrade + TLB flush
+                      drop the region's translations, and their dirty bits
+                      with them (the harvest runs before rotation in a
+                      real checkpoint cycle). *)
+                   let obj = e.Vm_map.obj in
+                   let sh = Vm_object.shadow ~clock obj in
+                   ignore (Vm_space.replace_object s ~old_obj:obj ~new_obj:sh);
+                   for v = e.Vm_map.start_vpn to e.Vm_map.start_vpn + 7 do
+                     Hashtbl.remove model v
+                   done
+               | 5 ->
+                   (* shm map/write/unmap: the shared window dirties while
+                      mapped and takes its bits away when unmapped. *)
+                   let obj = Vm_object.create Vm_object.Anonymous in
+                   let she =
+                     Vm_space.map_object ~shared:true s ~obj ~obj_pgoff:0
+                       ~npages:1 ~prot:Vm_map.prot_rw
+                   in
+                   let svpn = she.Vm_map.start_vpn in
+                   Vm_space.write_byte s ~addr:(svpn * 4096) 's';
+                   if not (List.mem svpn (dirty_now ())) then ok := false;
+                   Vm_space.unmap s she;
+                   if List.mem svpn (dirty_now ()) then ok := false
+               | _ ->
+                   (* Unstamped poke: mutate the resolved page behind the
+                      pmap's back.  The dirty bit must NOT appear — this
+                      is the mutation class incremental harvests cannot
+                      see, so it must never look like they could. *)
+                   ignore (Vm_space.read_byte s ~addr:(base + (pg * 4096)));
+                   (match Pmap.find (Vm_space.pmap s) vpn with
+                   | Some pte -> Page.set pte.Pmap.page 5 '!'
+                   | None -> ok := false);
+                   if (not (Hashtbl.mem model vpn)) && List.mem vpn (dirty_now ())
+                   then ok := false)
+             ops;
+           !ok));
   ]
 
 let () =
