@@ -24,6 +24,24 @@ let run_enumeration label ops =
     r.Torture.r_failures;
   if r.Torture.r_failures <> [] then enumeration_ok := false
 
+(* Two small per-tenant workloads, deterministic so the boundary/crash-point
+   counts below are stable run to run.  Kept shorter than [standard]: the
+   pair enumeration replays the combined workload once per crash point. *)
+let pair_workloads ~seed =
+  let gen s = Workload.gen_ops (Rng.create s) ~n:8 ~max_oid:4 ~max_pages:10 in
+  (gen seed, gen (seed lxor 0x5f5f))
+
+let run_pair_enumeration label (ops_a, ops_b) =
+  let r = Torture.enumerate_pair ops_a ops_b in
+  Printf.printf
+    "enumerate %-18s %4d boundaries, %5d crash points, %d failures\n%!" label
+    r.Torture.r_boundaries r.Torture.r_crash_points
+    (List.length r.Torture.r_failures);
+  List.iter
+    (fun f -> Printf.printf "  FAIL %s\n%!" (Torture.pp_failure f))
+    r.Torture.r_failures;
+  if r.Torture.r_failures <> [] then enumeration_ok := false
+
 let run_sweep label ~seed ~runs profile =
   let s = Torture.sweep ~seed ~runs profile in
   Printf.printf
@@ -33,6 +51,7 @@ let run_sweep label ~seed ~runs profile =
 
 let fast () =
   run_enumeration "standard" Workload.standard;
+  run_pair_enumeration "two-group" (pair_workloads ~seed:20260809);
   run_sweep "read-errors" ~seed:42 ~runs:4 (Injector.read_errors_profile 0.05);
   run_sweep "write-loss" ~seed:42 ~runs:4 (Injector.write_loss_profile 0.1)
 

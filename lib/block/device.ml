@@ -23,6 +23,7 @@ type t = {
   mutable read_bytes : int;
   mutable ops : int;
   mutable fault : Fault.t option;
+  mutable arb : (Arbiter.t * Arbiter.tenant) option;
 }
 
 let create ~name =
@@ -35,37 +36,52 @@ let create ~name =
     read_bytes = 0;
     ops = 0;
     fault = None;
+    arb = None;
   }
 
 let name t = t.dev_name
 let set_fault t f = t.fault <- f
 let fault t = t.fault
+let set_arbiter t a = t.arb <- a
+
+(* With a fleet arbiter installed, every write additionally occupies the
+   shared flush lane for its bytes at the array's aggregate bandwidth;
+   the grant's completion lower-bounds this write's completion, and the
+   lane wait is billed to the submitting tenant — not to whichever group
+   happens to trace the next submission. *)
+let arbitrate t ~now ~bytes ~completion =
+  match t.arb with
+  | None -> completion
+  | Some (arb, tn) -> Stdlib.max completion (Arbiter.submit arb tn ~now ~bytes)
 
 (* One explicit-timestamp trace event per write submission, split into
-   queue wait (time until the device queue frees) and service (transfer
-   + latency).  [qfree] is the queue's busy_until read before the
-   submission.  Off the instrumented path this is a single branch. *)
-let trace_submit t ~now ~qfree ~completion ~off ~len ~segments ~kind =
+   queue wait and service.  [qwait] is this submission's own queueing
+   delay ([Resource.submit_timed]'s start - now), so an interleaved
+   group's backlog is never billed to another group's span.  Off the
+   instrumented path this is a single branch. *)
+let trace_submit t ~now ~qwait ~completion ~off ~len ~segments ~kind =
   if Otrace.is_on () || Ometrics.is_enabled () then begin
-    (* The priority lane completes by its own arbitration, possibly before
-       the shared queue drains; clamp the wait so service never goes
-       negative. *)
-    let qwait = Stdlib.min (Stdlib.max 0 (qfree - now)) (completion - now) in
     let service = completion - now - qwait in
     Ometrics.incr m_dev_submissions;
     Ometrics.incr ~by:len m_dev_bytes;
     Ometrics.observe_ns h_dev_qwait qwait;
     Ometrics.observe_ns h_dev_service service;
-    Otrace.complete ~ts:now ~dur:(completion - now) ~cat:"dev" kind
-      ~args:
-        [
-          ("dev", Otrace.Str t.dev_name);
-          ("off", Otrace.Int off);
-          ("len", Otrace.Int len);
-          ("segments", Otrace.Int segments);
-          ("qwait", Otrace.Int qwait);
-          ("service", Otrace.Int service);
-        ]
+    let args =
+      [
+        ("dev", Otrace.Str t.dev_name);
+        ("off", Otrace.Int off);
+        ("len", Otrace.Int len);
+        ("segments", Otrace.Int segments);
+        ("qwait", Otrace.Int qwait);
+        ("service", Otrace.Int service);
+      ]
+    in
+    let args =
+      match t.arb with
+      | None -> args
+      | Some (_, tn) -> args @ [ ("tenant", Otrace.Str (Arbiter.tenant_name tn)) ]
+    in
+    Otrace.complete ~ts:now ~dur:(completion - now) ~cat:"dev" kind ~args
   end
 
 (* Apply a byte-range write onto the sector map.  Sectors store only
@@ -138,12 +154,13 @@ let submit_write ?charge t ~now ~off data ~latency =
   let charged = match charge with Some c -> c | None -> len in
   let outcome, faulted = consult_fault t ~now ~off ~len:charged ~segments:1 in
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth charged in
-  let qfree = Resource.busy_until t.queue in
-  let completion = Resource.submit t.queue ~now ~duration:transfer + latency in
+  let start, qcomp = Resource.submit_timed t.queue ~now ~duration:transfer in
+  let completion = arbitrate t ~now ~bytes:charged ~completion:(qcomp + latency) in
   land_write t ~outcome ~completion ~off data;
   t.written <- t.written + charged;
   t.ops <- t.ops + 1;
-  trace_submit t ~now ~qfree ~completion ~off ~len:charged ~segments:1 ~kind:"write";
+  trace_submit t ~now ~qwait:(start - now) ~completion ~off ~len:charged ~segments:1
+    ~kind:"write";
   report_completion faulted ~completion;
   completion
 
@@ -161,9 +178,9 @@ let submit_extent t ~now ~off ~len segments =
     consult_fault t ~now ~off ~len ~segments:(List.length segments)
   in
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
-  let qfree = Resource.busy_until t.queue in
+  let start, qcomp = Resource.submit_timed t.queue ~now ~duration:transfer in
   let completion =
-    Resource.submit t.queue ~now ~duration:transfer + Cost.nvme_write_latency
+    arbitrate t ~now ~bytes:len ~completion:(qcomp + Cost.nvme_write_latency)
   in
   let land_segs completion segments =
     List.iter
@@ -179,8 +196,8 @@ let submit_extent t ~now ~off ~len segments =
   | Fault.Delay d -> land_segs (completion + d) segments);
   t.written <- t.written + len;
   t.ops <- t.ops + 1;
-  trace_submit t ~now ~qfree ~completion ~off ~len ~segments:(List.length segments)
-    ~kind:"extent";
+  trace_submit t ~now ~qwait:(start - now) ~completion ~off ~len
+    ~segments:(List.length segments) ~kind:"extent";
   report_completion faulted ~completion;
   completion
 
@@ -194,12 +211,16 @@ let write_priority t ~now ~off data ~completion =
   let len = Bytes.length data in
   let outcome, faulted = consult_fault t ~now ~off ~len ~segments:1 in
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
-  let qfree = Resource.busy_until t.queue in
   ignore (Resource.submit t.queue ~now ~duration:transfer);
   land_write t ~outcome ~completion ~off data;
   t.written <- t.written + len;
   t.ops <- t.ops + 1;
-  trace_submit t ~now ~qfree ~completion ~off ~len ~segments:1 ~kind:"priority";
+  (* The priority lane completes at its own arbitration, not when the
+     shared queue drains: its whole [now, completion) window is service.
+     Deriving a wait from the shared queue's busy_until here billed
+     another consumer's backlog to this submission's span — under
+     interleaved groups, another tenant's. *)
+  trace_submit t ~now ~qwait:0 ~completion ~off ~len ~segments:1 ~kind:"priority";
   report_completion faulted ~completion;
   completion
 
@@ -255,10 +276,8 @@ let charge_read_raw t ~now ~duration = Resource.submit t.queue ~now ~duration
 let read t ~clock ~off ~len =
   let transfer = Cost.transfer_time ~bandwidth:Cost.nvme_device_bandwidth len in
   let now = Clock.now clock in
-  let qfree = Resource.busy_until t.queue in
-  let completion =
-    Resource.submit t.queue ~now ~duration:transfer + Cost.nvme_read_latency
-  in
+  let start, qcomp = Resource.submit_timed t.queue ~now ~duration:transfer in
+  let completion = qcomp + Cost.nvme_read_latency in
   if Otrace.is_on () then
     Otrace.complete ~ts:now ~dur:(completion - now) ~cat:"dev" "read"
       ~args:
@@ -266,7 +285,7 @@ let read t ~clock ~off ~len =
           ("dev", Otrace.Str t.dev_name);
           ("off", Otrace.Int off);
           ("len", Otrace.Int len);
-          ("qwait", Otrace.Int (Stdlib.max 0 (qfree - now)));
+          ("qwait", Otrace.Int (start - now));
         ];
   Clock.advance_to clock completion;
   t.read_bytes <- t.read_bytes + len;

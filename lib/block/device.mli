@@ -24,6 +24,16 @@ val set_fault : t -> Fault.t option -> unit
 
 val fault : t -> Fault.t option
 
+(** {1 Fleet arbitration} *)
+
+val set_arbiter : t -> (Arbiter.t * Arbiter.tenant) option -> unit
+(** Route this device's writes through a shared flush-bandwidth arbiter,
+    billed to the given tenant.  Every write then also occupies the
+    arbiter's lane for its bytes, and its completion is the later of the
+    device-queue completion and the lane grant.  Reads and the priority
+    lane (synchronous journal appends) bypass arbitration.  With no
+    arbiter installed the device behaves exactly as before. *)
+
 (** {1 Data path} *)
 
 val write : ?charge:int -> t -> now:int -> off:int -> bytes -> int

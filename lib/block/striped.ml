@@ -194,6 +194,11 @@ let crash t ~now = Array.iter (fun d -> Device.crash d ~now) t.devs
 let set_fault t f = Array.iter (fun d -> Device.set_fault d f) t.devs
 let fault t = Device.fault t.devs.(0)
 
+(* One (arbiter, tenant) pair shared by every member device: each
+   fragment's bytes occupy the shared lane, so an extent spanning the
+   array charges the lane exactly once per byte. *)
+let set_arbiter t a = Array.iter (fun d -> Device.set_arbiter d a) t.devs
+
 let image_magic = "AURIMAGE"
 
 let save_file t ~clock path =

@@ -45,6 +45,12 @@ val set_fault : t -> Fault.t option -> unit
 
 val fault : t -> Fault.t option
 
+val set_arbiter : t -> (Arbiter.t * Arbiter.tenant) option -> unit
+(** Install one shared flush-bandwidth arbiter lane on every member
+    device ({!Device.set_arbiter}); fragment writes each charge the lane
+    for their own bytes, so a striped extent consumes lane bandwidth
+    exactly once. *)
+
 val charge_read : t -> clock:Aurora_sim.Clock.t -> bytes:int -> unit
 (** Charge a bulk streamed read of [bytes], spread across the member
     devices (deep-queue sequential read); advances the clock to its

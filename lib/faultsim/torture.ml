@@ -248,6 +248,211 @@ let enumerate ?(misorder = false) ops =
     r_failures = List.rev !failures;
   }
 
+(* Two-group interleaved enumeration ----------------------------------------- *)
+
+type side = A | B
+
+let side_name = function A -> "A" | B -> "B"
+
+let interleave a b =
+  let rec zip acc xs ys =
+    match (xs, ys) with
+    | [], [] -> List.rev acc
+    | x :: xs', [] -> zip ((A, x) :: acc) xs' []
+    | [], y :: ys' -> zip ((B, y) :: acc) [] ys'
+    | x :: xs', y :: ys' -> zip ((B, y) :: (A, x) :: acc) xs' ys'
+  in
+  zip [] a b
+
+type pair_recording = {
+  pc_eps : string array array; (* side -> render after first k combined ops *)
+  pc_jrn : string array array;
+  pc_gua : int array array; (* per-side durability guarantees, combined index *)
+  pc_timeline : (int, int) Hashtbl.t;
+  pc_submissions : int;
+}
+
+let sidx = function A -> 0 | B -> 1
+
+(* Record the interleaved workload once: two stores on two striped arrays
+   sharing one clock and ONE counting fault handler, so a submission index
+   names a global boundary across both tenants' devices. *)
+let record_pair ops =
+  let ops_a = Array.of_list ops in
+  let n = Array.length ops_a in
+  let clock = Clock.create () in
+  let dev_a = Striped.create () and dev_b = Striped.create () in
+  let store_a = Store.format ~dev:dev_a ~clock in
+  let store_b = Store.format ~dev:dev_b ~clock in
+  let fault, timeline = Injector.counting () in
+  Striped.set_fault dev_a (Some fault);
+  Striped.set_fault dev_b (Some fault);
+  let runners = [| Workload.runner store_a; Workload.runner store_b |] in
+  let stores = [| store_a; store_b |] in
+  let models = [| Model.create (); Model.create () |] in
+  let eps = Array.init 2 (fun _ -> Array.make (n + 1) "") in
+  let jrn = Array.init 2 (fun _ -> Array.make (n + 1) "") in
+  let gua = Array.init 2 (fun _ -> Array.make (n + 1) 0) in
+  for s = 0 to 1 do
+    let e0, j0 = Model.render_parts models.(s) in
+    eps.(s).(0) <- e0;
+    jrn.(s).(0) <- j0
+  done;
+  Array.iteri
+    (fun i (side, op) ->
+      let s = sidx side in
+      Workload.run_op runners.(s) op;
+      Model.apply models.(s) op;
+      for s' = 0 to 1 do
+        if s' = s then begin
+          let e, j = Model.render_parts models.(s') in
+          eps.(s').(i + 1) <- e;
+          jrn.(s').(i + 1) <- j;
+          let g_op =
+            match op with
+            | Workload.Checkpoint _ -> Store.durable_at stores.(s')
+            | Workload.Advance _ -> gua.(s').(i)
+            | _ -> Clock.now clock
+          in
+          gua.(s').(i + 1) <- max gua.(s').(i) g_op
+        end
+        else begin
+          (* The other tenant's state is untouched by this op. *)
+          eps.(s').(i + 1) <- eps.(s').(i);
+          jrn.(s').(i + 1) <- jrn.(s').(i);
+          gua.(s').(i + 1) <- gua.(s').(i)
+        end
+      done)
+    ops_a;
+  Striped.set_fault dev_a None;
+  Striped.set_fault dev_b None;
+  {
+    pc_eps = eps;
+    pc_jrn = jrn;
+    pc_gua = gua;
+    pc_timeline = timeline;
+    pc_submissions = Fault.submissions fault;
+  }
+
+let replay_pair_to_crash ops ~stop =
+  let clock = Clock.create () in
+  let dev_a = Striped.create () and dev_b = Striped.create () in
+  let store_a = Store.format ~dev:dev_a ~clock in
+  let store_b = Store.format ~dev:dev_b ~clock in
+  let fault = Injector.crash_at ~index:stop in
+  Striped.set_fault dev_a (Some fault);
+  Striped.set_fault dev_b (Some fault);
+  let runners = [| Workload.runner store_a; Workload.runner store_b |] in
+  let ops_done = ref 0 in
+  let crash_now =
+    try
+      List.iter
+        (fun (side, op) ->
+          Workload.run_op runners.(sidx side) op;
+          incr ops_done)
+        ops;
+      None
+    with Fault.Crash_point { now; _ } -> Some now
+  in
+  Striped.set_fault dev_a None;
+  Striped.set_fault dev_b None;
+  ([| dev_a; dev_b |], crash_now, !ops_done)
+
+(* One pair crash scenario: the host crash cuts BOTH tenants' devices at
+   the same durability horizon; each tenant must then recover to one of
+   its own model snapshots inside its own durability window.  A crash
+   planted mid-flush of tenant A exercises exactly the cross-tenant
+   hazard: B's recovery runs against a device whose last writes were cut
+   by A's activity pattern, and must still land on a consistent epoch. *)
+let check_pair_point rc ops ~nops ~boundary ~mode ~stop ~time =
+  let devs, crash_now, ops_done = replay_pair_to_crash ops ~stop in
+  let crash_time =
+    match time with
+    | `At_raise -> ( match crash_now with Some t -> t | None -> 0)
+    | `Fixed t -> t
+  in
+  Array.iter (fun dev -> Striped.crash dev ~now:crash_time) devs;
+  let ub = match crash_now with Some _ -> min nops (ops_done + 1) | None -> nops in
+  let glimit = match crash_now with Some _ -> ops_done | None -> nops in
+  let check_side side =
+    let s = sidx side in
+    let lb =
+      let rec go best k =
+        if k > glimit then best
+        else if rc.pc_gua.(s).(k) <= crash_time then go k (k + 1)
+        else best
+      in
+      go 0 0
+    in
+    match recover_observed devs.(s) ~crash_time with
+    | eobs, jobs ->
+        let find arr target =
+          let rec go k =
+            if k > ub then None
+            else if arr.(k) = target then Some k
+            else go (k + 1)
+          in
+          go lb
+        in
+        let me = find rc.pc_eps.(s) eobs and mj = find rc.pc_jrn.(s) jobs in
+        if me <> None && mj <> None then None
+        else
+          let part name = function
+            | Some k -> Printf.sprintf "%s = snapshot %d" name k
+            | None -> Printf.sprintf "%s matches none" name
+          in
+          Some
+            {
+              f_boundary = boundary;
+              f_mode = mode;
+              f_crash_time = crash_time;
+              f_detail =
+                Printf.sprintf "tenant %s: no snapshot in [%d,%d] fits (%s; %s)"
+                  (side_name side) lb ub (part "epochs" me) (part "journals" mj);
+            }
+    | exception exn ->
+        Some
+          {
+            f_boundary = boundary;
+            f_mode = mode;
+            f_crash_time = crash_time;
+            f_detail =
+              Printf.sprintf "tenant %s: recovery raised %s" (side_name side)
+                (Printexc.to_string exn);
+          }
+  in
+  match (check_side A, check_side B) with
+  | None, None -> []
+  | fa, fb -> List.filter_map (fun x -> x) [ fa; fb ]
+
+let enumerate_pair ops_a ops_b =
+  let ops = interleave ops_a ops_b in
+  let rc = record_pair ops in
+  let nops = List.length ops in
+  let failures = ref [] in
+  let points = ref 0 in
+  let run ~boundary ~mode ~stop ~time =
+    incr points;
+    match check_pair_point rc ops ~nops ~boundary ~mode ~stop ~time with
+    | [] -> ()
+    | fs -> failures := List.rev_append fs !failures
+  in
+  for k = 1 to rc.pc_submissions do
+    let completion =
+      match Hashtbl.find_opt rc.pc_timeline k with
+      | Some c -> c
+      | None -> invalid_arg "Torture.enumerate_pair: missing timeline entry"
+    in
+    run ~boundary:k ~mode:"pre-submit" ~stop:k ~time:`At_raise;
+    run ~boundary:k ~mode:"pre-complete" ~stop:(k + 1) ~time:(`Fixed (completion - 1));
+    run ~boundary:k ~mode:"post-complete" ~stop:(k + 1) ~time:(`Fixed completion)
+  done;
+  {
+    r_boundaries = rc.pc_submissions;
+    r_crash_points = !points;
+    r_failures = List.rev !failures;
+  }
+
 (* Randomized fault sweeps ---------------------------------------------------- *)
 
 type sweep_report = {

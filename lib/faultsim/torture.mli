@@ -46,6 +46,29 @@ val enumerate : ?misorder:bool -> Workload.op list -> report
     enumeration is then expected to return failures; that expectation is
     itself a test that the harness can catch ordering bugs. *)
 
+(** {2 Two-group interleaved enumeration}
+
+    The multi-tenant variant: two stores on two striped arrays share one
+    virtual clock and ONE counting fault handler, so a submission index
+    names a global device-submission boundary across both tenants.  The
+    two workloads are interleaved round-robin and each boundary is crashed
+    under the same three durability horizons; the host crash cuts both
+    devices at the same time, and each tenant's recovery must
+    independently land on one of its own model snapshots inside its own
+    durability window.  A crash planted mid-flush of tenant A must never
+    leave tenant B unrecoverable — any such corruption shows up as a
+    [tenant B] failure. *)
+
+type side = A | B
+
+val interleave : Workload.op list -> Workload.op list -> (side * Workload.op) list
+(** Round-robin merge (A first); the tail of the longer list runs out
+    solo. *)
+
+val enumerate_pair : Workload.op list -> Workload.op list -> report
+(** Enumerate every crash point of the interleaved two-tenant workload.
+    Failures carry the affected tenant in [f_detail]. *)
+
 (** {2 Randomized sweeps} *)
 
 type sweep_report = {

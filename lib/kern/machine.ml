@@ -19,9 +19,9 @@ type t = {
   device_whitelist : string list;
 }
 
-let create ?(ncpus = 24) () =
+let create ?clock ?(ncpus = 24) () =
   {
-    clock = Clock.create ();
+    clock = (match clock with Some c -> c | None -> Clock.create ());
     procs = Hashtbl.create 64;
     next_pid = 0;
     next_tid = 0;

@@ -24,7 +24,10 @@ type t = {
   device_whitelist : string list;
 }
 
-val create : ?ncpus:int -> unit -> t
+val create : ?clock:Aurora_sim.Clock.t -> ?ncpus:int -> unit -> t
+(** [?clock] shares an existing virtual clock instead of creating a fresh
+    one — the multi-tenant fleet runs one machine per tenant on a single
+    fleet clock so their checkpoint phases interleave on one timeline. *)
 
 val mount : t -> Vfs.ops -> unit
 val vfs_exn : t -> Vfs.ops

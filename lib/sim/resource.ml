@@ -5,11 +5,13 @@ let name t = t.name
 let next_free t = t.free_at
 let busy_until t = t.free_at
 
-let submit t ~now ~duration =
+let submit_timed t ~now ~duration =
   assert (duration >= 0);
   let start = max now t.free_at in
   let completion = start + duration in
   t.free_at <- completion;
-  completion
+  (start, completion)
+
+let submit t ~now ~duration = snd (submit_timed t ~now ~duration)
 
 let reset t = t.free_at <- 0

@@ -25,5 +25,13 @@ val submit : t -> now:int -> duration:int -> int
     time [now] and returns its completion time:
     [max now (next_free t) + duration]. *)
 
+val submit_timed : t -> now:int -> duration:int -> int * int
+(** Like {!submit} but returns [(start, completion)] where
+    [start = max now (next_free t)] is when this submission's service
+    begins.  [start - now] is therefore the queueing delay of {e this}
+    submission — the value per-consumer accounting must use.  Deriving it
+    from {!busy_until} after the fact conflates it with work other
+    consumers queued in the meantime. *)
+
 val reset : t -> unit
 (** Forget all queued work (used between benchmark runs). *)

@@ -99,6 +99,32 @@ let test_resource_busy_until () =
   Alcotest.(check int) "busy" 15 (Resource.busy_until r);
   Alcotest.(check string) "name" "d" (Resource.name r)
 
+(* Regression: per-submission queue wait must come from the submission's
+   own (start, completion) pair, not from reading [busy_until] around the
+   call.  With two consumers sharing the queue, busy_until-derived wait
+   bills consumer A's backlog to consumer B — exactly the cross-tenant
+   misattribution the fleet spans exposed. *)
+let test_resource_submit_timed () =
+  let r = Resource.create ~name:"d" in
+  (* Idle queue: starts immediately, zero wait. *)
+  let s1, c1 = Resource.submit_timed r ~now:100 ~duration:50 in
+  Alcotest.(check int) "idle start" 100 s1;
+  Alcotest.(check int) "idle completion" 150 c1;
+  Alcotest.(check int) "idle wait" 0 (s1 - 100);
+  (* Tenant A queues a large burst... *)
+  let s2, c2 = Resource.submit_timed r ~now:110 ~duration:1000 in
+  Alcotest.(check int) "A waits behind first job" 40 (s2 - 110);
+  Alcotest.(check int) "A completion" 1150 c2;
+  (* ...and tenant B's own wait is the full backlog at ITS submit time,
+     not whatever busy_until happened to read before A submitted. *)
+  let s3, c3 = Resource.submit_timed r ~now:120 ~duration:10 in
+  Alcotest.(check int) "B start" 1150 s3;
+  Alcotest.(check int) "B wait is own delay" 1030 (s3 - 120);
+  Alcotest.(check int) "B completion" 1160 c3;
+  (* submit is submit_timed's completion. *)
+  let c4 = Resource.submit r ~now:0 ~duration:5 in
+  Alcotest.(check int) "submit = snd submit_timed" 1165 c4
+
 let test_cost_transfer () =
   (* 1 GiB at 1 GiB/s = 1 second. *)
   let gib = 1024 * 1024 * 1024 in
@@ -170,6 +196,7 @@ let () =
           Alcotest.test_case "queueing" `Quick test_resource_queueing;
           Alcotest.test_case "reset" `Quick test_resource_reset;
           Alcotest.test_case "busy until" `Quick test_resource_busy_until;
+          Alcotest.test_case "submit timed attribution" `Quick test_resource_submit_timed;
         ] );
       ( "cost",
         [
