@@ -1,0 +1,173 @@
+(* Quorum replication bench and gate driver.
+
+   `ha_quorum fast` (the @ha-quorum alias, wired into runtest) runs a
+   short quorum-torture sweep at N in {3,5}, one pipelined-vs-
+   stop-and-wait comparison and one live migration; `ha_quorum deep
+   [seed]` (@ha-quorum-deep) sweeps more seeds, rates and rounds;
+   `ha_quorum smoke` (part of @bench-smoke) additionally emits
+   BENCH_ha_quorum.json and applies the acceptance gates:
+
+     - quorum convergence on 100% of runs (survivors elect an epoch no
+       older than the quorum commit point, reference state matches, no
+       externally-synchronized message escapes the discarded window);
+     - pipelined replication-plane throughput >= 3x stop-and-wait at
+       N = 3 over a lossy link;
+     - live-migration downtime <= 2 checkpoint periods with a
+       byte-identical target.
+
+   Exit status is nonzero on any gate or run failure; every failure
+   prints its seed so it reproduces by rerunning with the same
+   arguments. *)
+
+module Ha_torture = Aurora_faultsim.Ha_torture
+
+let ok = ref true
+
+let run_quorum_sweep ~seed ~runs_per_cell ~rates ~ns ~rounds =
+  let s = Ha_torture.quorum_sweep ~seed ~runs_per_cell ~rates ~ns ~rounds in
+  Printf.printf
+    "quorum seed=%-8d runs=%-3d ok=%-3d evict=%d rejoin=%d retx=%d \
+     released=%d dropped=%d\n\
+     %!"
+    seed s.Ha_torture.q_runs s.Ha_torture.q_ok s.Ha_torture.q_evictions
+    s.Ha_torture.q_rejoins s.Ha_torture.q_retransmits s.Ha_torture.q_released
+    s.Ha_torture.q_dropped;
+  List.iter
+    (fun r -> Printf.printf "  FAIL %s\n%!" (Ha_torture.pp_quorum r))
+    s.Ha_torture.q_failures;
+  if s.Ha_torture.q_ok <> s.Ha_torture.q_runs then ok := false;
+  s
+
+let run_pipeline ~seed ~rounds ~rate ~n =
+  let p = Ha_torture.pipeline_vs_stop_and_wait ~seed ~rounds ~rate ~n in
+  Printf.printf
+    "pipeline n=%d rate=%.2f rounds=%d: plane %.3f ms pipelined vs %.3f ms \
+     stop-and-wait (%.1fx), totals %.3f / %.3f ms%s%s\n\
+     %!"
+    p.Ha_torture.pl_n p.Ha_torture.pl_rate p.Ha_torture.pl_rounds
+    (float_of_int p.Ha_torture.pl_pipe_plane_ns /. 1e6)
+    (float_of_int p.Ha_torture.pl_sw_plane_ns /. 1e6)
+    p.Ha_torture.pl_speedup
+    (float_of_int p.Ha_torture.pl_pipe_total_ns /. 1e6)
+    (float_of_int p.Ha_torture.pl_sw_total_ns /. 1e6)
+    (if p.Ha_torture.pl_pipe_ok then "" else " [pipeline INCOMPLETE]")
+    (if p.Ha_torture.pl_sw_ok then "" else " [stop-and-wait INCOMPLETE]");
+  if not p.Ha_torture.pl_pipe_ok then ok := false;
+  p
+
+let run_migration ~seed ~rate =
+  let m = Ha_torture.migration_run ~seed ~rate in
+  let r = m.Ha_torture.mc_report in
+  Printf.printf
+    "migration seed=%d rate=%.2f: %d pre-copy rounds (%d B), final %d B, \
+     downtime %.3f ms = %.2f periods, identical=%b: %s\n\
+     %!"
+    seed rate r.Aurora_core.Replica_set.mig_rounds
+    r.Aurora_core.Replica_set.mig_precopy_bytes
+    r.Aurora_core.Replica_set.mig_final_bytes
+    (float_of_int r.Aurora_core.Replica_set.mig_downtime_ns /. 1e6)
+    m.Ha_torture.mc_downtime_periods r.Aurora_core.Replica_set.mig_identical
+    m.Ha_torture.mc_outcome;
+  if not m.Ha_torture.mc_ok then ok := false;
+  m
+
+let fast () =
+  ignore
+    (run_quorum_sweep ~seed:42 ~runs_per_cell:2 ~rates:[ 0.0; 0.05 ]
+       ~ns:[ 3; 5 ] ~rounds:6);
+  ignore (run_pipeline ~seed:42 ~rounds:20 ~rate:0.05 ~n:3);
+  ignore (run_migration ~seed:42 ~rate:0.0)
+
+let deep seed =
+  List.iter
+    (fun s ->
+      ignore
+        (run_quorum_sweep ~seed:s ~runs_per_cell:4
+           ~rates:[ 0.0; 0.02; 0.05; 0.08; 0.12 ]
+           ~ns:[ 3; 5 ] ~rounds:10))
+    [ seed; seed + 1; seed + 2 ];
+  List.iter
+    (fun rate -> ignore (run_pipeline ~seed ~rounds:30 ~rate ~n:3))
+    [ 0.0; 0.05; 0.10 ];
+  ignore (run_pipeline ~seed ~rounds:30 ~rate:0.05 ~n:5);
+  List.iter
+    (fun s ->
+      ignore (run_migration ~seed:s ~rate:0.0);
+      ignore (run_migration ~seed:s ~rate:0.02))
+    [ seed; seed + 1 ]
+
+(* Smoke: the @bench-smoke artifact and its gates. *)
+
+let json_out (q : Ha_torture.quorum_sweep_report)
+    (p : Ha_torture.pipeline_report) (m : Ha_torture.migration_check) =
+  let r = m.Ha_torture.mc_report in
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "{\n";
+  Printf.bprintf buf
+    "  \"quorum\": {\"runs\": %d, \"ok\": %d, \"evictions\": %d, \
+     \"rejoins\": %d, \"retransmits\": %d, \"released\": %d, \"dropped\": \
+     %d},\n"
+    q.Ha_torture.q_runs q.Ha_torture.q_ok q.Ha_torture.q_evictions
+    q.Ha_torture.q_rejoins q.Ha_torture.q_retransmits q.Ha_torture.q_released
+    q.Ha_torture.q_dropped;
+  Printf.bprintf buf
+    "  \"pipeline\": {\"n\": %d, \"rate\": %.3f, \"rounds\": %d, \
+     \"sw_plane_ns\": %d, \"pipe_plane_ns\": %d, \"sw_total_ns\": %d, \
+     \"pipe_total_ns\": %d, \"speedup\": %.2f},\n"
+    p.Ha_torture.pl_n p.Ha_torture.pl_rate p.Ha_torture.pl_rounds
+    p.Ha_torture.pl_sw_plane_ns p.Ha_torture.pl_pipe_plane_ns
+    p.Ha_torture.pl_sw_total_ns p.Ha_torture.pl_pipe_total_ns
+    p.Ha_torture.pl_speedup;
+  Printf.bprintf buf
+    "  \"migration\": {\"rounds\": %d, \"precopy_bytes\": %d, \
+     \"final_bytes\": %d, \"downtime_ns\": %d, \"period_ns\": %d, \
+     \"downtime_periods\": %.3f, \"identical\": %b}\n"
+    r.Aurora_core.Replica_set.mig_rounds
+    r.Aurora_core.Replica_set.mig_precopy_bytes
+    r.Aurora_core.Replica_set.mig_final_bytes
+    r.Aurora_core.Replica_set.mig_downtime_ns m.Ha_torture.mc_period_ns
+    m.Ha_torture.mc_downtime_periods r.Aurora_core.Replica_set.mig_identical;
+  Printf.bprintf buf "}\n";
+  let out = open_out "BENCH_ha_quorum.json" in
+  output_string out (Buffer.contents buf);
+  close_out out;
+  print_endline "wrote BENCH_ha_quorum.json"
+
+let smoke () =
+  let q =
+    run_quorum_sweep ~seed:42 ~runs_per_cell:2 ~rates:[ 0.0; 0.05 ]
+      ~ns:[ 3; 5 ] ~rounds:6
+  in
+  let p = run_pipeline ~seed:42 ~rounds:20 ~rate:0.05 ~n:3 in
+  let m = run_migration ~seed:42 ~rate:0.0 in
+  json_out q p m;
+  if q.Ha_torture.q_ok <> q.Ha_torture.q_runs then begin
+    Printf.printf "GATE FAIL: quorum convergence %d/%d < 100%%\n%!"
+      q.Ha_torture.q_ok q.Ha_torture.q_runs;
+    ok := false
+  end;
+  if p.Ha_torture.pl_speedup < 3.0 then begin
+    Printf.printf
+      "GATE FAIL: pipelined plane speedup %.2fx < 3x stop-and-wait\n%!"
+      p.Ha_torture.pl_speedup;
+    ok := false
+  end;
+  if not m.Ha_torture.mc_ok then begin
+    Printf.printf "GATE FAIL: migration (%s)\n%!" m.Ha_torture.mc_outcome;
+    ok := false
+  end
+
+let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "fast" :: _ | [ _ ] -> fast ()
+  | _ :: "smoke" :: _ -> smoke ()
+  | _ :: "deep" :: rest ->
+      let seed = match rest with s :: _ -> int_of_string s | [] -> 20260809 in
+      deep seed
+  | _ ->
+      prerr_endline "usage: ha_quorum [fast | smoke | deep [seed]]";
+      exit 2);
+  if not !ok then begin
+    prerr_endline "ha_quorum: quorum torture found failures";
+    exit 1
+  end

@@ -39,7 +39,9 @@ let () =
     | None -> ());
     ignore (Group.checkpoint ~wait_durable:true group);
     Replay.Recorder.on_checkpoint recorder;
-    let bytes = Ha.replicate ha in
+    let bytes =
+      match Ha.replicate_result ha with Ok b -> b | Error e -> failwith e
+    in
     Printf.printf "round %d: checkpointed and shipped %s to the standby\n" round
       (Units.bytes_to_string bytes)
   done;

@@ -15,6 +15,7 @@ type stats = {
   ha_retransmits : int;
   ha_dup_acks : int;
   ha_verify_rejects : int;
+  ha_backoff_ns : int;
 }
 
 let zero_stats =
@@ -24,6 +25,7 @@ let zero_stats =
     ha_retransmits = 0;
     ha_dup_acks = 0;
     ha_verify_rejects = 0;
+    ha_backoff_ns = 0;
   }
 
 type t = {
@@ -192,6 +194,14 @@ let replicate_result t =
                   List.sort (fun (a, _) (b, _) -> compare a b) usable
                 with
                 | [] ->
+                    (* The whole wait window passed without a usable ack:
+                       that time is backoff, attributable in benchmarks. *)
+                    t.stats <-
+                      {
+                        t.stats with
+                        ha_backoff_ns =
+                          t.stats.ha_backoff_ns + (deadline - Clock.now pclk);
+                      };
                     Clock.advance_to pclk deadline;
                     if Otrace.is_on () then
                       Otrace.instant ~cat:"ha" "timeout"
@@ -244,7 +254,6 @@ let replicate_result t =
             r)
   end
 
-let replicate t = match replicate_result t with Ok bytes -> bytes | Error _ -> 0
 let shipped_epoch t = t.last_shipped
 let lag_epochs t = Group.last_epoch t.primary - t.last_shipped
 let bytes_replicated t = t.total_bytes

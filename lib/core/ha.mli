@@ -30,17 +30,16 @@ val create :
     from the discarded window.  [max_retries] (default 8) bounds
     retransmissions per epoch. *)
 
-val replicate : t -> int
+val replicate_result : t -> (int, string) result
 (** Ship everything the standby has not seen (the first call ships the
     full checkpoint, later calls page-granular deltas); installs it in
     the standby store and charges the transfer to the standby's clock.
-    Returns the bytes shipped (0 when the standby is current {e or} the
-    shipment could not be acknowledged — see {!replicate_result}). *)
-
-val replicate_result : t -> (int, string) result
-(** Like {!replicate} but surfaces why a shipment failed: retries
-    exhausted (possibly across a partition) or the standby rejecting a
-    composed epoch that contradicts the manifest digest. *)
+    [Ok bytes] is the size shipped ([Ok 0] iff the standby was already
+    current); [Error] surfaces why a shipment failed — retries exhausted
+    (possibly across a partition) or the standby rejecting a composed
+    epoch that contradicts the manifest digest.  The old [replicate]
+    wrapper returned 0 for both "current" and "failed"; callers go
+    through this result type instead. *)
 
 val shipped_epoch : t -> int
 (** The primary epoch the standby could fail over to right now; advances
@@ -59,6 +58,9 @@ type stats = {
   ha_retransmits : int;
   ha_dup_acks : int;  (** duplicate deliveries re-acked without install *)
   ha_verify_rejects : int;  (** composed epochs the standby refused *)
+  ha_backoff_ns : int;
+      (** total virtual time spent waiting out ack deadlines that expired
+          with no usable ack — the retry cost attributable in benchmarks *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,915 @@
+module Clock = Aurora_sim.Clock
+module Machine = Aurora_kern.Machine
+module Store = Aurora_objstore.Store
+module Link = Aurora_net.Link
+module Rng = Aurora_util.Rng
+module Otrace = Aurora_obs.Trace
+module Ometrics = Aurora_obs.Metrics
+
+let m_rs_ships = Ometrics.counter "rset.ships"
+let m_rs_retransmits = Ometrics.counter "rset.retransmits"
+let m_rs_timeouts = Ometrics.counter "rset.timeouts"
+let m_rs_evictions = Ometrics.counter "rset.evictions"
+let h_rs_ack_ns = Ometrics.histogram "rset.ack_ns"
+
+type health = Healthy | Degraded | Evicted | Rejoining
+
+let health_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Evicted -> "evicted"
+  | Rejoining -> "rejoining"
+
+(* One sequenced frame of the shared epoch log: the delta from the
+   previous logged epoch (full stream for the first).  Frames are the
+   same bytes for every standby because every standby follows the same
+   chain; only catch-up shipments are built per standby. *)
+type log_entry = {
+  le_idx : int;
+  le_epoch : int;
+  le_frame : string;
+  le_bytes : int; (* stream (body) size, for lag accounting *)
+}
+
+type inflight = {
+  if_epoch : int;
+  if_frame : string;
+  if_bytes : int;
+  if_sent_at : int;
+  mutable if_attempts : int;
+  mutable if_deadline : int;
+}
+
+type standby = {
+  sb_idx : int;
+  sb_store : Store.t;
+  sb_link : Link.t;
+  sb_rng : Rng.t; (* retransmit jitter, seeded per standby *)
+  g_lag : Ometrics.gauge;
+  g_lag_bytes : Ometrics.gauge;
+  mutable sb_health : health;
+  mutable sb_dead : bool;
+  (* sender side *)
+  mutable sb_next : int; (* log index of the next epoch to put in flight *)
+  mutable sb_inflight : inflight list; (* oldest epoch first *)
+  mutable sb_acked : int; (* newest primary epoch verified-acked *)
+  mutable sb_acked_bytes : int;
+  mutable sb_consec_timeouts : int;
+  mutable sb_pending_acks : (int * Migrate.ack) list; (* arrival, ack *)
+  mutable sb_catchup : inflight option; (* the Rejoining shipment *)
+  mutable sb_catchup_target : int;
+  (* receiver side (the standby proper) *)
+  mutable sb_rcv_epoch : int; (* newest primary epoch installed *)
+  mutable sb_gap : (int * Migrate.shipment) list; (* epoch -> buffered frame *)
+  mutable sb_installed : (int * int) list; (* standby epoch -> primary epoch *)
+  (* counters *)
+  mutable sb_retransmits : int;
+  mutable sb_timeouts : int;
+  mutable sb_dup_acks : int;
+  mutable sb_verify_rejects : int;
+}
+
+type stats = {
+  rs_epochs_logged : int;
+  rs_acked_total : int;
+  rs_attempts : int;
+  rs_retransmits : int;
+  rs_timeouts : int;
+  rs_dup_acks : int;
+  rs_verify_rejects : int;
+  rs_evictions : int;
+  rs_rejoins : int;
+  rs_released_msgs : int;
+}
+
+type t = {
+  primary : Group.t;
+  outbox : Extsync.t option;
+  window : int;
+  max_retries : int;
+  degrade_after : int;
+  evict_after : int;
+  standbys : standby array;
+  mutable log : log_entry list; (* newest first *)
+  mutable log_len : int;
+  mutable last_logged : int; (* newest primary epoch in the log *)
+  mutable quorum_released : int; (* outbox released up to this epoch *)
+  mutable st_attempts : int;
+  mutable st_acked_total : int;
+  mutable st_evictions : int;
+  mutable st_rejoins : int;
+  mutable st_released : int;
+}
+
+let create ?(window = 4) ?(max_retries = 8) ?(degrade_after = 2)
+    ?(evict_after = 6) ?(seed = 1) ?outbox ~primary ~standbys () =
+  if standbys = [] then invalid_arg "Replica_set.create: no standbys";
+  if window < 1 then invalid_arg "Replica_set.create: window < 1";
+  let mk i (store, link) =
+    {
+      sb_idx = i;
+      sb_store = store;
+      sb_link = link;
+      sb_rng = Rng.create ((seed * 1_000_003) + (i * 7919) + 17);
+      g_lag = Ometrics.gauge (Printf.sprintf "rset.standby%d.lag_epochs" i);
+      g_lag_bytes =
+        Ometrics.gauge (Printf.sprintf "rset.standby%d.lag_bytes" i);
+      sb_health = Healthy;
+      sb_dead = false;
+      sb_next = 0;
+      sb_inflight = [];
+      sb_acked = 0;
+      sb_acked_bytes = 0;
+      sb_consec_timeouts = 0;
+      sb_pending_acks = [];
+      sb_catchup = None;
+      sb_catchup_target = 0;
+      sb_rcv_epoch = 0;
+      sb_gap = [];
+      sb_installed = [];
+      sb_retransmits = 0;
+      sb_timeouts = 0;
+      sb_dup_acks = 0;
+      sb_verify_rejects = 0;
+    }
+  in
+  {
+    primary;
+    outbox;
+    window;
+    max_retries;
+    degrade_after;
+    evict_after;
+    standbys = Array.of_list (List.mapi mk standbys);
+    log = [];
+    log_len = 0;
+    last_logged = 0;
+    quorum_released = 0;
+    st_attempts = 0;
+    st_acked_total = 0;
+    st_evictions = 0;
+    st_rejoins = 0;
+    st_released = 0;
+  }
+
+let standby_count t = Array.length t.standbys
+let quorum t = (Array.length t.standbys / 2) + 1
+let last_logged_epoch t = t.last_logged
+let pclock t = Store.clock (Group.store t.primary)
+
+(* The q-th largest cumulative ack over all standbys.  Acks from standbys
+   that later died still count: the ack certified the epoch was durably
+   installed there at the time, which is what made the epoch
+   quorum-committed; killing a minority afterwards cannot un-commit it
+   (a majority acked, so some survivor still holds it). *)
+let quorum_epoch t =
+  let acked =
+    Array.to_list (Array.map (fun sb -> sb.sb_acked) t.standbys)
+    |> List.sort (fun a b -> compare b a)
+  in
+  List.nth acked (quorum t - 1)
+
+(* Frame construction ---------------------------------------------------- *)
+
+let manifest_of_epoch ~store ~epoch =
+  match
+    List.find_opt
+      (fun (_, kind) -> kind = Serial.kind_manifest)
+      (Store.objects_at store ~epoch)
+  with
+  | None -> Error (Printf.sprintf "epoch %d carries no manifest" epoch)
+  | Some (moid, _) -> (
+      match Serial.manifest_of_string (Store.read_meta store ~epoch ~oid:moid) with
+      | exception Serial.Malformed msg ->
+          Error ("manifest unreadable: " ^ msg)
+      | m -> Ok (moid, m))
+
+let build_frame ~store ~base ~epoch =
+  let stream =
+    if base = 0 then Migrate.serialize ~store ~epoch
+    else Migrate.serialize_incremental ~store ~base ~epoch
+  in
+  match manifest_of_epoch ~store ~epoch with
+  | Error e -> Error e
+  | Ok (moid, m) ->
+      let frame =
+        (* The epoch doubles as the ARQ sequence number: the log is a
+           totally ordered chain, so no separate counter is needed and
+           every standby's selective acks name epochs directly. *)
+        Migrate.seal_shipment ~seq:epoch ~base ~epoch ~manifest_oid:moid
+          ~count:m.Serial.i_m_count
+          ~summary:(Serial.manifest_summary m.Serial.i_m_entries)
+          stream
+      in
+      Ok (frame, Migrate.stream_size stream)
+
+(* Receiver -------------------------------------------------------------- *)
+
+(* Install shipments strictly in epoch order: a frame whose base is ahead
+   of what the standby holds waits in the gap buffer until the missing
+   epochs land (selective repeat).  Every install is digest-verified
+   before commit; each produces its own ack carrying the cumulative
+   installed epoch, so one ack can confirm a whole drained gap. *)
+let rs_receive sb (d : Link.delivery) =
+  let sclk = Store.clock sb.sb_store in
+  Clock.advance_to sclk d.Link.d_arrival;
+  match Migrate.open_shipment d.Link.d_payload with
+  | Error _ -> [] (* corrupt in flight: silence, the sender retransmits *)
+  | Ok sh ->
+      let acks = ref [] in
+      let ack ~epoch ~ok ~reason =
+        acks :=
+          Migrate.seal_ack ~seq:sb.sb_rcv_epoch ~epoch ~ok ~reason :: !acks
+      in
+      let install sh =
+        match Migrate.install_verified ~store:sb.sb_store sh with
+        | Ok standby_epoch ->
+            sb.sb_rcv_epoch <- sh.Migrate.sh_epoch;
+            sb.sb_installed <-
+              (standby_epoch, sh.Migrate.sh_epoch) :: sb.sb_installed;
+            ack ~epoch:sh.Migrate.sh_epoch ~ok:true ~reason:""
+        | Error msg ->
+            sb.sb_verify_rejects <- sb.sb_verify_rejects + 1;
+            ack ~epoch:sh.Migrate.sh_epoch ~ok:false ~reason:msg
+      in
+      if sh.Migrate.sh_epoch <= sb.sb_rcv_epoch then begin
+        sb.sb_dup_acks <- sb.sb_dup_acks + 1;
+        ack ~epoch:sh.Migrate.sh_epoch ~ok:true ~reason:"duplicate"
+      end
+      else if sh.Migrate.sh_base > sb.sb_rcv_epoch then begin
+        (* The chain has a hole: hold the frame, ack nothing for it. *)
+        if not (List.mem_assoc sh.Migrate.sh_epoch sb.sb_gap) then
+          sb.sb_gap <- (sh.Migrate.sh_epoch, sh) :: sb.sb_gap
+      end
+      else begin
+        install sh;
+        (* The install may have filled the hole in front of buffered
+           frames: drain everything now continguous, oldest first. *)
+        let rec drain_gap () =
+          let ready, held =
+            List.partition
+              (fun (_, g) ->
+                g.Migrate.sh_base <= sb.sb_rcv_epoch
+                && g.Migrate.sh_epoch > sb.sb_rcv_epoch)
+              sb.sb_gap
+          in
+          sb.sb_gap <-
+            List.filter (fun (e, _) -> e > sb.sb_rcv_epoch) held;
+          match List.sort compare ready with
+          | [] -> ()
+          | (_, g) :: rest ->
+              sb.sb_gap <- sb.sb_gap @ rest;
+              install g;
+              drain_gap ()
+        in
+        drain_gap ()
+      end;
+      if Otrace.is_on () then
+        Otrace.instant ~ts:(Clock.now sclk) ~cat:"rset" "receive"
+          ~args:
+            [
+              ("standby", Otrace.Int sb.sb_idx);
+              ("epoch", Otrace.Int sh.Migrate.sh_epoch);
+              ("installed", Otrace.Int sb.sb_rcv_epoch);
+            ];
+      (* Acks travel back through the same fault plane. *)
+      List.concat_map
+        (fun frame ->
+          Link.transmit sb.sb_link ~now:(Clock.now sclk) ~payload:frame ()
+          |> List.filter_map (fun (ad : Link.delivery) ->
+                 match Migrate.open_ack ad.Link.d_payload with
+                 | Ok a -> Some (ad.Link.d_arrival, a)
+                 | Error _ -> None))
+        (List.rev !acks)
+
+(* Sender ---------------------------------------------------------------- *)
+
+let idx_of_epoch t epoch =
+  if epoch = 0 then 0
+  else
+    match List.find_opt (fun le -> le.le_epoch = epoch) t.log with
+    | Some le -> le.le_idx + 1
+    | None -> t.log_len (* unknown epoch: ship nothing until re-synced *)
+
+let log_nth t idx =
+  List.find_opt (fun le -> le.le_idx = idx) t.log
+
+let alive_active sb =
+  (not sb.sb_dead) && sb.sb_health <> Evicted
+
+let evict t sb ~reason =
+  if sb.sb_health <> Evicted then begin
+    sb.sb_health <- Evicted;
+    sb.sb_inflight <- [];
+    sb.sb_catchup <- None;
+    t.st_evictions <- t.st_evictions + 1;
+    Ometrics.incr m_rs_evictions;
+    if Otrace.is_on () then
+      Otrace.instant ~cat:"rset" "evict"
+        ~args:
+          [ ("standby", Otrace.Int sb.sb_idx); ("reason", Otrace.Str reason) ]
+  end
+
+let base_timeout frame = 2 * Link.rtt ~bytes:(String.length frame)
+
+(* Exponential backoff with per-standby jitter: deadline k doubles the
+   base and adds up to half a base of seeded noise, so two standbys that
+   lost the same frame do not retransmit in lockstep.  A deadline inside
+   a known partition is extended past the heal — backoff alone cannot
+   out-wait a dark link. *)
+let next_deadline sb ~now ~frame ~attempts =
+  let base = base_timeout frame in
+  let backoff = base * (1 lsl min (attempts - 1) 10) in
+  let jitter = Rng.int sb.sb_rng (1 + (base / 2)) in
+  let deadline = now + backoff + jitter in
+  let heal = Link.partitioned_until sb.sb_link in
+  if heal > deadline then heal + base + jitter else deadline
+
+let transmit_frame t sb ~now ~retransmit inf =
+  t.st_attempts <- t.st_attempts + 1;
+  if retransmit then begin
+    sb.sb_retransmits <- sb.sb_retransmits + 1;
+    Ometrics.incr m_rs_retransmits
+  end
+  else Ometrics.incr m_rs_ships;
+  let deliveries =
+    Link.transmit sb.sb_link ~retransmit ~now ~payload:inf.if_frame ()
+  in
+  List.iter
+    (fun d -> sb.sb_pending_acks <- sb.sb_pending_acks @ rs_receive sb d)
+    (List.sort (fun a b -> compare a.Link.d_arrival b.Link.d_arrival) deliveries)
+
+(* Apply one ack.  [ack_seq] carries the receiver's cumulative installed
+   epoch, so a single surviving ack can advance past several lost ones
+   (in-order install makes cumulative acks sound). *)
+let apply_ack t sb ~arrival (a : Migrate.ack) =
+  if not a.Migrate.ack_ok then begin
+    (* The frame arrived intact but the composed epoch contradicts the
+       manifest digest: the standby has diverged, retransmitting the
+       same bytes cannot help.  Evict; a rejoin catch-up resyncs it. *)
+    evict t sb ~reason:("diverged: " ^ a.Migrate.ack_reason)
+  end
+  else begin
+    let cum = max a.Migrate.ack_seq a.Migrate.ack_epoch in
+    if cum <= sb.sb_acked then sb.sb_dup_acks <- sb.sb_dup_acks + 1
+    else begin
+      (match
+         List.find_opt (fun inf -> inf.if_epoch <= cum) sb.sb_inflight
+       with
+      | Some inf ->
+          Ometrics.observe_ns h_rs_ack_ns (max 0 (arrival - inf.if_sent_at))
+      | None -> ());
+      (match sb.sb_catchup with
+      | Some inf when cum >= inf.if_epoch ->
+          (* The catch-up stream covers the whole (acked, target] gap in
+             one cumulative delta; count its bytes, not the log's. *)
+          sb.sb_catchup <- None;
+          sb.sb_acked_bytes <- sb.sb_acked_bytes + inf.if_bytes;
+          t.st_acked_total <- t.st_acked_total + 1
+      | _ ->
+          List.iter
+            (fun le ->
+              if le.le_epoch > sb.sb_acked && le.le_epoch <= cum then begin
+                sb.sb_acked_bytes <- sb.sb_acked_bytes + le.le_bytes;
+                t.st_acked_total <- t.st_acked_total + 1
+              end)
+            t.log);
+      sb.sb_acked <- cum;
+      sb.sb_consec_timeouts <- 0;
+      sb.sb_inflight <-
+        List.filter (fun inf -> inf.if_epoch > cum) sb.sb_inflight;
+      (match sb.sb_health with
+      | Degraded -> sb.sb_health <- Healthy
+      | Rejoining when sb.sb_catchup = None && cum >= sb.sb_catchup_target ->
+          sb.sb_health <- Healthy;
+          sb.sb_next <- idx_of_epoch t cum
+      | _ -> ());
+      if Otrace.is_on () then
+        Otrace.instant ~cat:"rset" "ack"
+          ~args:
+            [
+              ("standby", Otrace.Int sb.sb_idx);
+              ("cum", Otrace.Int cum);
+              ("health", Otrace.Str (health_name sb.sb_health));
+            ]
+    end
+  end
+
+let on_timeout t sb ~what =
+  sb.sb_timeouts <- sb.sb_timeouts + 1;
+  sb.sb_consec_timeouts <- sb.sb_consec_timeouts + 1;
+  Ometrics.incr m_rs_timeouts;
+  if sb.sb_consec_timeouts >= t.evict_after then
+    evict t sb
+      ~reason:(Printf.sprintf "%d consecutive timeouts" sb.sb_consec_timeouts)
+  else if sb.sb_consec_timeouts >= t.degrade_after && sb.sb_health = Healthy
+  then begin
+    sb.sb_health <- Degraded;
+    if Otrace.is_on () then
+      Otrace.instant ~cat:"rset" "degrade"
+        ~args:[ ("standby", Otrace.Int sb.sb_idx); ("what", Otrace.Str what) ]
+  end
+
+let pump_standby t sb ~now =
+  if alive_active sb then begin
+    (* 1. Acks that have arrived by now, oldest first. *)
+    let usable, later =
+      List.partition (fun (arrival, _) -> arrival <= now) sb.sb_pending_acks
+    in
+    sb.sb_pending_acks <- later;
+    List.iter
+      (fun (arrival, a) -> apply_ack t sb ~arrival a)
+      (List.sort (fun (a, _) (b, _) -> compare a b) usable);
+    if alive_active sb then begin
+      (* 2. Expired frames: back off and retransmit, unless the frame is
+         out of attempts — then the standby cannot make in-order
+         progress and is evicted. *)
+      let retransmit inf ~what =
+        if alive_active sb && inf.if_deadline <= now then begin
+          on_timeout t sb ~what;
+          if alive_active sb then begin
+            if inf.if_attempts >= t.max_retries then
+              evict t sb
+                ~reason:
+                  (Printf.sprintf "epoch %d unacked after %d attempts"
+                     inf.if_epoch inf.if_attempts)
+            else begin
+              inf.if_attempts <- inf.if_attempts + 1;
+              inf.if_deadline <-
+                next_deadline sb ~now ~frame:inf.if_frame
+                  ~attempts:inf.if_attempts;
+              transmit_frame t sb ~now ~retransmit:true inf
+            end
+          end
+        end
+      in
+      List.iter (fun inf -> retransmit inf ~what:"window") sb.sb_inflight;
+      (match sb.sb_catchup with
+      | Some inf -> retransmit inf ~what:"catchup"
+      | None -> ());
+      (* 3. Fill the window with the next epochs of the chain. *)
+      if sb.sb_health = Healthy || sb.sb_health = Degraded then begin
+        while
+          List.length sb.sb_inflight < t.window && sb.sb_next < t.log_len
+        do
+          match log_nth t sb.sb_next with
+          | None -> sb.sb_next <- t.log_len
+          | Some le ->
+              let inf =
+                {
+                  if_epoch = le.le_epoch;
+                  if_frame = le.le_frame;
+                  if_bytes = le.le_bytes;
+                  if_sent_at = now;
+                  if_attempts = 1;
+                  if_deadline = now + base_timeout le.le_frame;
+                }
+              in
+              sb.sb_inflight <- sb.sb_inflight @ [ inf ];
+              sb.sb_next <- sb.sb_next + 1;
+              transmit_frame t sb ~now ~retransmit:false inf
+        done
+      end
+    end
+  end;
+  Ometrics.set_gauge sb.g_lag (max 0 (t.last_logged - sb.sb_acked));
+  let total_bytes =
+    List.fold_left (fun a le -> a + le.le_bytes) 0 t.log
+  in
+  Ometrics.set_gauge sb.g_lag_bytes (max 0 (total_bytes - sb.sb_acked_bytes))
+
+let release_at_quorum t ~now =
+  match t.outbox with
+  | None -> ()
+  | Some outbox ->
+      let qe = quorum_epoch t in
+      if qe > t.quorum_released then begin
+        t.st_released <-
+          t.st_released + Extsync.release_up_to outbox ~epoch:qe ~now;
+        t.quorum_released <- qe
+      end
+
+let pump t =
+  let now = Clock.now (pclock t) in
+  Array.iter (fun sb -> pump_standby t sb ~now) t.standbys;
+  release_at_quorum t ~now;
+  if Otrace.is_on () then
+    Otrace.instant ~cat:"rset" "window"
+      ~args:
+        (( "quorum_epoch", Otrace.Int (quorum_epoch t) )
+        :: Array.to_list
+             (Array.map
+                (fun sb ->
+                  ( Printf.sprintf "occ%d" sb.sb_idx,
+                    Otrace.Int (List.length sb.sb_inflight) ))
+                t.standbys))
+
+let ship t =
+  let newest = Group.last_epoch t.primary in
+  if newest > t.last_logged then begin
+    let store = Group.store t.primary in
+    (* Every epoch checkpointed since the last call becomes one frame;
+       when the caller skipped rounds the single delta base..newest is
+       the whole gap, exactly like Ha's lag catch-up. *)
+    match build_frame ~store ~base:t.last_logged ~epoch:newest with
+    | Error msg -> failwith ("Replica_set.ship: " ^ msg)
+    | Ok (frame, bytes) ->
+        let le =
+          { le_idx = t.log_len; le_epoch = newest; le_frame = frame;
+            le_bytes = bytes }
+        in
+        t.log <- le :: t.log;
+        t.log_len <- t.log_len + 1;
+        t.last_logged <- newest
+  end;
+  pump t
+
+(* Drain: walk the primary clock through the next protocol event (an ack
+   arrival or a retransmit deadline) until the target holds or no event
+   can change anything. *)
+let drained t = function
+  | `Quorum -> quorum_epoch t >= t.last_logged
+  | `All ->
+      Array.for_all
+        (fun sb ->
+          (not (alive_active sb))
+          || (sb.sb_acked >= t.last_logged && sb.sb_catchup = None))
+        t.standbys
+
+let next_event t =
+  Array.fold_left
+    (fun acc sb ->
+      if not (alive_active sb) then acc
+      else begin
+        let fold_min acc x = match acc with
+          | None -> Some x
+          | Some y -> Some (min x y)
+        in
+        let acc =
+          List.fold_left
+            (fun acc (arrival, _) -> fold_min acc arrival)
+            acc sb.sb_pending_acks
+        in
+        let acc =
+          List.fold_left
+            (fun acc inf -> fold_min acc inf.if_deadline)
+            acc sb.sb_inflight
+        in
+        match sb.sb_catchup with
+        | Some inf -> fold_min acc inf.if_deadline
+        | None -> acc
+      end)
+    None t.standbys
+
+let drain t target =
+  let clk = pclock t in
+  pump t;
+  let rec go () =
+    if drained t target then true
+    else
+      match next_event t with
+      | None -> drained t target
+      | Some ev ->
+          Clock.advance_to clk (max ev (Clock.now clk + 1));
+          pump t;
+          go ()
+  in
+  go ()
+
+(* Harness hooks --------------------------------------------------------- *)
+
+let check_idx t i =
+  if i < 0 || i >= Array.length t.standbys then
+    invalid_arg (Printf.sprintf "Replica_set: no standby %d" i)
+
+let kill t i =
+  check_idx t i;
+  let sb = t.standbys.(i) in
+  if not sb.sb_dead then begin
+    sb.sb_dead <- true;
+    evict t sb ~reason:"killed";
+    sb.sb_health <- Evicted;
+    sb.sb_pending_acks <- [];
+    (* The machine is gone: its link never carries anything again
+       (max_int/2 avoids overflowing the heal instant). *)
+    Link.partition sb.sb_link ~now:(Clock.now (pclock t))
+      ~duration:(max_int / 2)
+  end
+
+let rejoin t i =
+  check_idx t i;
+  let sb = t.standbys.(i) in
+  if (not sb.sb_dead) && sb.sb_health = Evicted && t.last_logged > 0 then begin
+    let now = Clock.now (pclock t) in
+    let store = Group.store t.primary in
+    (* Catch-up shipment: the cumulative delta from the standby's last
+       acked epoch (the full checkpoint stream when it never acked
+       anything).  One verified ack covers the whole gap and returns the
+       standby to normal window shipping. *)
+    match build_frame ~store ~base:sb.sb_acked ~epoch:t.last_logged with
+    | Error msg -> failwith ("Replica_set.rejoin: " ^ msg)
+    | Ok (frame, bytes) ->
+        let inf =
+          {
+            if_epoch = t.last_logged;
+            if_frame = frame;
+            if_bytes = bytes;
+            if_sent_at = now;
+            if_attempts = 1;
+            if_deadline = now + base_timeout frame;
+          }
+        in
+        sb.sb_health <- Rejoining;
+        sb.sb_consec_timeouts <- 0;
+        sb.sb_catchup <- Some inf;
+        sb.sb_catchup_target <- t.last_logged;
+        sb.sb_next <- t.log_len;
+        t.st_rejoins <- t.st_rejoins + 1;
+        if Otrace.is_on () then
+          Otrace.instant ~cat:"rset" "rejoin"
+            ~args:
+              [
+                ("standby", Otrace.Int i);
+                ("base", Otrace.Int sb.sb_acked);
+                ("target", Otrace.Int t.last_logged);
+              ];
+        transmit_frame t sb ~now ~retransmit:false inf
+  end
+
+(* Introspection --------------------------------------------------------- *)
+
+type standby_view = {
+  sv_idx : int;
+  sv_health : health;
+  sv_dead : bool;
+  sv_acked_epoch : int;
+  sv_installed_epoch : int;
+  sv_lag_epochs : int;
+  sv_lag_bytes : int;
+  sv_window_occupancy : int;
+  sv_consec_timeouts : int;
+  sv_retransmits : int;
+  sv_timeouts : int;
+  sv_dup_acks : int;
+  sv_verify_rejects : int;
+  sv_shipped_bytes : int;
+}
+
+let view t i =
+  check_idx t i;
+  let sb = t.standbys.(i) in
+  let lag_epochs =
+    List.length (List.filter (fun le -> le.le_epoch > sb.sb_acked) t.log)
+  in
+  let lag_bytes =
+    List.fold_left
+      (fun a le -> if le.le_epoch > sb.sb_acked then a + le.le_bytes else a)
+      0 t.log
+  in
+  {
+    sv_idx = i;
+    sv_health = sb.sb_health;
+    sv_dead = sb.sb_dead;
+    sv_acked_epoch = sb.sb_acked;
+    sv_installed_epoch = sb.sb_rcv_epoch;
+    sv_lag_epochs = lag_epochs;
+    sv_lag_bytes = lag_bytes;
+    sv_window_occupancy = List.length sb.sb_inflight;
+    sv_consec_timeouts = sb.sb_consec_timeouts;
+    sv_retransmits = sb.sb_retransmits;
+    sv_timeouts = sb.sb_timeouts;
+    sv_dup_acks = sb.sb_dup_acks;
+    sv_verify_rejects = sb.sb_verify_rejects;
+    sv_shipped_bytes = sb.sb_acked_bytes;
+  }
+
+let views t = List.init (Array.length t.standbys) (view t)
+
+let stats t =
+  let sum sel = Array.fold_left (fun a sb -> a + sel sb) 0 t.standbys in
+  {
+    rs_epochs_logged = t.log_len;
+    rs_acked_total = t.st_acked_total;
+    rs_attempts = t.st_attempts;
+    rs_retransmits = sum (fun sb -> sb.sb_retransmits);
+    rs_timeouts = sum (fun sb -> sb.sb_timeouts);
+    rs_dup_acks = sum (fun sb -> sb.sb_dup_acks);
+    rs_verify_rejects = sum (fun sb -> sb.sb_verify_rejects);
+    rs_evictions = t.st_evictions;
+    rs_rejoins = t.st_rejoins;
+    rs_released_msgs = t.st_released;
+  }
+
+(* Election and failover ------------------------------------------------- *)
+
+type vote = {
+  vt_idx : int;
+  vt_primary_epoch : int;
+  vt_standby_epoch : int;
+}
+
+type election_report = {
+  el_votes : vote list;
+  el_winner : int;
+  el_source_epoch : int;
+  el_dropped_msgs : int;
+  el_restore : Restore.verified;
+}
+
+(* A survivor's vote: the newest local epoch that passes manifest
+   verification and whose primary-epoch correspondence the shipping
+   layer remembers.  Verification happens before voting so a survivor
+   with a corrupt newest epoch advertises what it can actually serve. *)
+let vote_of sb =
+  let epochs =
+    Store.checkpoint_epochs sb.sb_store |> List.sort (fun a b -> compare b a)
+  in
+  let rec scan = function
+    | [] -> None
+    | e :: rest -> (
+        match List.assoc_opt e sb.sb_installed with
+        | None -> scan rest
+        | Some pe -> (
+            match Restore.verify_epoch ~store:sb.sb_store ~epoch:e with
+            | Ok _ -> Some { vt_idx = sb.sb_idx; vt_primary_epoch = pe;
+                             vt_standby_epoch = e }
+            | Error _ -> scan rest))
+  in
+  scan epochs
+
+let elect_and_failover t ~survivors ~machine =
+  List.iter (check_idx t) survivors;
+  let clk = machine.Machine.clock in
+  let votes =
+    List.filter_map
+      (fun i ->
+        let sb = t.standbys.(i) in
+        if sb.sb_dead then None
+        else begin
+          (* One round-trip per survivor to exchange votes. *)
+          Clock.advance clk (Link.rtt ~bytes:64);
+          vote_of sb
+        end)
+      (List.sort_uniq compare survivors)
+  in
+  match
+    List.sort
+      (fun a b ->
+        match compare b.vt_primary_epoch a.vt_primary_epoch with
+        | 0 -> compare a.vt_idx b.vt_idx
+        | c -> c)
+      votes
+  with
+  | [] -> Error "election: no survivor holds a verified epoch"
+  | winner :: _ -> (
+      if Otrace.is_on () then
+        Otrace.instant ~cat:"rset" "elect"
+          ~args:
+            [
+              ("winner", Otrace.Int winner.vt_idx);
+              ("epoch", Otrace.Int winner.vt_primary_epoch);
+              ("votes", Otrace.Int (List.length votes));
+            ];
+      let sb = t.standbys.(winner.vt_idx) in
+      match Restore.restore_verified ~machine ~store:sb.sb_store () with
+      | Error e -> Error ("election restore: " ^ Restore.pp_restore_error e)
+      | Ok v ->
+          let source =
+            match List.assoc_opt v.Restore.vr_epoch sb.sb_installed with
+            | Some pe -> pe
+            | None -> 0
+          in
+          (* Messages buffered for the discarded window were never
+             released (release stops at quorum_epoch <= source); drop
+             them now so they never escape. *)
+          let dropped =
+            match t.outbox with
+            | None -> 0
+            | Some outbox ->
+                if source > 0 then Extsync.drop_after outbox ~epoch:source
+                else Extsync.drop_all outbox
+          in
+          Ok
+            {
+              el_votes = votes;
+              el_winner = winner.vt_idx;
+              el_source_epoch = source;
+              el_dropped_msgs = dropped;
+              el_restore = v;
+            })
+
+(* Byte-identity of two checkpoints -------------------------------------- *)
+
+let stores_identical ~src ~src_epoch ~dst ~dst_epoch =
+  let objs store epoch =
+    Store.objects_at store ~epoch
+    |> List.filter (fun (_, kind) -> kind <> Serial.kind_manifest)
+    |> List.sort compare
+  in
+  let a = objs src src_epoch and b = objs dst dst_epoch in
+  List.length a = List.length b
+  && List.for_all2
+       (fun (oa, ka) (ob, kb) ->
+         oa = ob && ka = kb
+         && Store.read_meta src ~epoch:src_epoch ~oid:oa
+            = Store.read_meta dst ~epoch:dst_epoch ~oid:ob
+         && List.sort compare (Store.page_crcs src ~epoch:src_epoch ~oid:oa)
+            = List.sort compare (Store.page_crcs dst ~epoch:dst_epoch ~oid:ob))
+       a b
+
+(* Live migration -------------------------------------------------------- *)
+
+type migration_report = {
+  mig_rounds : int;
+  mig_precopy_bytes : int;
+  mig_final_bytes : int;
+  mig_downtime_ns : int;
+  mig_total_ns : int;
+  mig_source_epoch : int;
+  mig_identical : bool;
+}
+
+let migrate_live ?(window = 4) ?(max_rounds = 8) ?(stop_ratio = 0.1) ?link
+    ~primary ~target_store ~machine ~workload () =
+  let link =
+    match link with Some l -> l | None -> Link.create ~name:"migrate" ()
+  in
+  let t =
+    create ~window ~primary ~standbys:[ (target_store, link) ] ()
+  in
+  let clk = pclock t in
+  let t_begin = Clock.now clk in
+  Otrace.with_span ~cat:"rset" ~name:"migrate"
+    ~args:[ ("max_rounds", Otrace.Int max_rounds) ]
+  @@ fun () ->
+  (* Pre-copy: the service keeps running (the workload mutates between
+     rounds, modeling execution concurrent with the previous round's
+     shipment); each round checkpoints and pipelines the delta. *)
+  let first_bytes = ref 0 in
+  let precopy = ref 0 in
+  let rounds = ref 0 in
+  (try
+     for r = 1 to max_rounds do
+       rounds := r;
+       workload r;
+       ignore (Group.checkpoint ~wait_durable:true primary);
+       let before = (view t 0).sv_shipped_bytes in
+       ship t;
+       if not (drain t `All) then raise Exit;
+       let shipped = (view t 0).sv_shipped_bytes - before in
+       if r = 1 then first_bytes := max 1 shipped;
+       precopy := !precopy + shipped;
+       (* Converged: the last delta is a small fraction of the full
+          stream, so the stop-and-copy tail will be short. *)
+       if r > 1 && float_of_int shipped < stop_ratio *. float_of_int !first_bytes
+       then raise Exit
+     done
+   with Exit -> ());
+  let sb = t.standbys.(0) in
+  if sb.sb_health = Evicted then
+    Error "migration: target evicted during pre-copy"
+  else begin
+    (* Cut-over: the workload stops here; everything after this instant
+       is downtime until the target machine is restored. *)
+    let t_stop = Clock.now clk in
+    ignore (Group.checkpoint ~wait_durable:true primary);
+    let before = (view t 0).sv_shipped_bytes in
+    ship t;
+    if not (drain t `All) then Error "migration: final delta never acked"
+    else begin
+      let final_bytes = (view t 0).sv_shipped_bytes - before in
+      match Restore.restore_verified ~machine ~store:target_store () with
+      | Error e -> Error ("migration restore: " ^ Restore.pp_restore_error e)
+      | Ok v ->
+          let source =
+            match List.assoc_opt v.Restore.vr_epoch sb.sb_installed with
+            | Some pe -> pe
+            | None -> 0
+          in
+          let downtime =
+            Clock.now clk - t_stop + v.Restore.vr_result.Restore.restore_ns
+          in
+          let identical =
+            source > 0
+            && stores_identical ~src:(Group.store primary) ~src_epoch:source
+                 ~dst:target_store ~dst_epoch:v.Restore.vr_epoch
+          in
+          if Otrace.is_on () then
+            Otrace.instant ~cat:"rset" "cutover"
+              ~args:
+                [
+                  ("downtime_ns", Otrace.Int downtime);
+                  ("source_epoch", Otrace.Int source);
+                ];
+          Ok
+            {
+              mig_rounds = !rounds;
+              mig_precopy_bytes = !precopy;
+              mig_final_bytes = final_bytes;
+              mig_downtime_ns = downtime;
+              mig_total_ns = Clock.now clk - t_begin;
+              mig_source_epoch = source;
+              mig_identical = identical;
+            }
+    end
+  end

@@ -1,0 +1,224 @@
+(** Quorum replication to N standbys with pipelined shipping, election
+    failover and live migration (paper sections 3 and 10, scaled out from
+    the one-standby stop-and-wait of {!Ha}).
+
+    One primary ships sequenced, CRC-framed epoch deltas to N standbys
+    over independent faultable {!Aurora_net.Link}s.  Shipping is a
+    sliding-window pipeline: up to [window] epochs are in flight per
+    standby, acks are selective (the standby acks each epoch it installs,
+    carrying its cumulative installed epoch), and retransmissions back
+    off exponentially with per-standby seeded jitter so retries do not
+    synchronize across replicas.  The receiver installs epochs strictly
+    in order — a delta whose base it has not installed yet is buffered
+    until the gap fills — and every install is verified against the
+    shipped manifest digest before it is acked, exactly as in {!Ha}.
+
+    {b Quorum.}  [quorum_epoch] is the newest primary epoch that
+    ⌈(N+1)/2⌉ standbys have verified-acked; it advances monotonically
+    and is the replication point failover can always recover: kill any
+    minority of standbys and at least one survivor still holds every
+    quorum-committed epoch.  When an external-synchrony [outbox] is
+    attached, buffered messages are released only up to [quorum_epoch] —
+    persistence is the protocol, not the local state.
+
+    {b Health.}  Each standby runs a health state machine
+    [Healthy → Degraded → Evicted → Rejoining]: consecutive ack
+    timeouts degrade and then evict (eviction discards the standby's
+    window so a dead or partitioned minority degrades throughput instead
+    of stalling the pipeline); an evicted standby rejoins via a single
+    catch-up shipment — the cumulative delta from its last acked epoch
+    (a full checkpoint stream if it never acked anything) — and returns
+    to [Healthy] when the catch-up is verified-acked.  A standby that
+    {e nacks} a composed epoch has diverged and is evicted immediately;
+    retransmitting cannot help it.
+
+    {b Failover.}  {!elect_and_failover} is the partition-tolerant
+    election: the surviving standbys exchange their newest
+    manifest-verified epochs, the maximum wins (ties break to the lowest
+    index), the winner restores it via {!Restore.restore_verified} with
+    epoch fallback, and the primary's outbox drops every buffered
+    message from the discarded window ({!Extsync.drop_after}).  Because
+    the winner's epoch is the maximum over a majority, it is never older
+    than [quorum_epoch] — no released message can come from a window
+    failover discards.
+
+    {b Migration.}  {!migrate_live} reuses the same pipeline for the
+    paper's live-migration use case: iterative pre-copy of epoch deltas
+    to the target while the workload keeps running, then a final
+    stop-and-copy delta and cut-over, reporting the measured
+    virtual-time downtime and verifying the migrated machine restores
+    byte-identically (objects, metadata and page CRCs). *)
+
+type t
+
+type health = Healthy | Degraded | Evicted | Rejoining
+
+val create :
+  ?window:int ->
+  ?max_retries:int ->
+  ?degrade_after:int ->
+  ?evict_after:int ->
+  ?seed:int ->
+  ?outbox:Extsync.t ->
+  primary:Group.t ->
+  standbys:(Aurora_objstore.Store.t * Aurora_net.Link.t) list ->
+  unit ->
+  t
+(** [window] (default 4) bounds in-flight epochs per standby;
+    [max_retries] (default 8) bounds attempts per frame before the
+    standby is evicted; [degrade_after]/[evict_after] (defaults 2/6) are
+    the consecutive-timeout thresholds of the health state machine;
+    [seed] (default 1) drives the per-standby retransmit jitter.
+    [outbox] is the primary's external-synchrony buffer: messages are
+    released as [quorum_epoch] advances and dropped past the failover
+    point. *)
+
+val standby_count : t -> int
+
+val quorum : t -> int
+(** ⌈(N+1)/2⌉ — acks needed before an epoch is quorum-committed. *)
+
+val ship : t -> unit
+(** Pick up every primary epoch checkpointed since the last call (each
+    becomes one sequenced delta frame in the shared epoch log), then pump
+    each standby's window: process acks that have arrived by now,
+    retransmit expired frames with jittered backoff, fill windows.
+    Non-blocking — the primary's clock never waits on the network. *)
+
+val pump : t -> unit
+(** The pump half of {!ship} alone (no new epochs logged); call when
+    virtual time advanced for other reasons and acks may have landed. *)
+
+val drain : t -> [ `Quorum | `All ] -> bool
+(** Advance the primary's clock through ack arrivals and retransmit
+    deadlines until the target is reached: [`Quorum] — [quorum_epoch]
+    has caught up to the newest logged epoch; [`All] — every standby is
+    either current or evicted.  Returns whether the target was met
+    (false when too many standbys died to ever reach quorum). *)
+
+val quorum_epoch : t -> int
+(** Newest primary epoch verified-acked by a majority of standbys. *)
+
+val last_logged_epoch : t -> int
+(** Newest primary epoch entered into the shipping log by {!ship}. *)
+
+val kill : t -> int -> unit
+(** The standby's machine is gone (harness hook): its link goes dark,
+    its window is discarded, and it is excluded from elections.  Distinct
+    from eviction — an evicted standby can {!rejoin}, a killed one
+    cannot. *)
+
+val rejoin : t -> int -> unit
+(** Bring an evicted standby back: state [Rejoining], one catch-up
+    shipment (cumulative delta from its last acked epoch, or the full
+    checkpoint stream if it never acked) replaces its window; a verified
+    ack returns it to [Healthy] and normal window shipping resumes.
+    No-op unless the standby is evicted and alive. *)
+
+(** {1 Introspection} *)
+
+type standby_view = {
+  sv_idx : int;
+  sv_health : health;
+  sv_dead : bool;
+  sv_acked_epoch : int;  (** newest primary epoch verified-acked *)
+  sv_installed_epoch : int;  (** receiver side: newest epoch installed *)
+  sv_lag_epochs : int;  (** logged epochs not yet acked *)
+  sv_lag_bytes : int;  (** stream bytes not yet acked *)
+  sv_window_occupancy : int;  (** frames currently in flight *)
+  sv_consec_timeouts : int;
+  sv_retransmits : int;
+  sv_timeouts : int;
+  sv_dup_acks : int;
+  sv_verify_rejects : int;
+  sv_shipped_bytes : int;  (** stream bytes verified-acked *)
+}
+
+val view : t -> int -> standby_view
+val views : t -> standby_view list
+
+type stats = {
+  rs_epochs_logged : int;
+  rs_acked_total : int;  (** epoch installs acked across all standbys *)
+  rs_attempts : int;  (** frames sent, retransmissions included *)
+  rs_retransmits : int;
+  rs_timeouts : int;
+  rs_dup_acks : int;
+  rs_verify_rejects : int;
+  rs_evictions : int;
+  rs_rejoins : int;
+  rs_released_msgs : int;  (** outbox messages released at quorum *)
+}
+
+val stats : t -> stats
+
+(** {1 Election and failover} *)
+
+type vote = {
+  vt_idx : int;
+  vt_primary_epoch : int;  (** newest verified epoch it can serve *)
+  vt_standby_epoch : int;  (** that epoch's local name in its store *)
+}
+
+type election_report = {
+  el_votes : vote list;  (** every survivor's advertisement *)
+  el_winner : int;  (** standby index that restores *)
+  el_source_epoch : int;  (** primary epoch actually restored *)
+  el_dropped_msgs : int;  (** outbox messages from the discarded window *)
+  el_restore : Restore.verified;
+}
+
+val elect_and_failover :
+  t ->
+  survivors:int list ->
+  machine:Aurora_kern.Machine.t ->
+  (election_report, string) result
+(** The primary is gone and [survivors] (standby indexes) can still talk
+    to each other: exchange newest verified epochs, restore the maximum
+    on the winner, drop the discarded outbox window.  [Error] when no
+    survivor holds any verified epoch. *)
+
+(** {1 Live migration} *)
+
+type migration_report = {
+  mig_rounds : int;  (** pre-copy iterations before the cut-over *)
+  mig_precopy_bytes : int;  (** stream bytes shipped while running *)
+  mig_final_bytes : int;  (** stream bytes in the stop-and-copy delta *)
+  mig_downtime_ns : int;
+      (** virtual time from workload stop to the target restored *)
+  mig_total_ns : int;  (** whole migration, first pre-copy included *)
+  mig_source_epoch : int;  (** primary epoch the target came up from *)
+  mig_identical : bool;
+      (** target epoch byte-identical to the source: same objects, same
+          metadata, same page CRCs *)
+}
+
+val migrate_live :
+  ?window:int ->
+  ?max_rounds:int ->
+  ?stop_ratio:float ->
+  ?link:Aurora_net.Link.t ->
+  primary:Group.t ->
+  target_store:Aurora_objstore.Store.t ->
+  machine:Aurora_kern.Machine.t ->
+  workload:(int -> unit) ->
+  unit ->
+  (migration_report, string) result
+(** Iterative pre-copy: round [r] runs [workload r] (the still-live
+    service dirtying state), checkpoints, and pipelines the delta to the
+    target; rounds stop when the delta shrinks below [stop_ratio]
+    (default 0.1) of the first full stream or [max_rounds] (default 8)
+    is hit.  Cut-over: the workload stops, a final delta ships, and the
+    target machine restores the verified epoch; downtime is that whole
+    tail, measured in virtual time.  [Error] if the target store ends up
+    evicted (link too hostile) or the restore fails. *)
+
+val stores_identical :
+  src:Aurora_objstore.Store.t ->
+  src_epoch:int ->
+  dst:Aurora_objstore.Store.t ->
+  dst_epoch:int ->
+  bool
+(** Byte-identity of two checkpoints: equal non-manifest object sets,
+    equal kinds and metadata, equal page CRC sets.  (Manifests are
+    excluded — each store writes its own, naming its local epoch.) *)

@@ -10,6 +10,8 @@ module Sls = Aurora_core.Sls
 module Group = Aurora_core.Group
 module Ha = Aurora_core.Ha
 module Restore = Aurora_core.Restore
+module Extsync = Aurora_core.Extsync
+module Replica_set = Aurora_core.Replica_set
 
 (* One torture run: a primary service mutating memory under continuous
    checkpointing, shipping every epoch to a standby over a faulty link,
@@ -265,3 +267,488 @@ let pp_run r =
     r.hr_seed r.hr_rate r.hr_rounds r.hr_shipped r.hr_source_epoch
     r.hr_fallbacks r.hr_retransmits r.hr_dup_acks r.hr_verify_rejects
     r.hr_outcome
+
+(* Quorum torture ------------------------------------------------------------------ *)
+
+(* One quorum run: a primary pipelining epochs to N standbys over N
+   independently-faulty links (probabilistic faults plus scripted
+   partition windows), a random minority killed at random rounds,
+   evicted survivors rejoining, externally-synchronized messages
+   buffered per epoch and released only at quorum.  At the end the
+   primary dies, the survivors elect, and the run passes only if the
+   election converges on an epoch at least as new as the quorum commit
+   point, the restored state matches the reference model, and no
+   released message came from the discarded window. *)
+
+type quorum_report = {
+  qr_seed : int;
+  qr_rate : float;
+  qr_n : int;
+  qr_rounds : int;
+  qr_killed : int list;  (** standby indexes killed mid-run *)
+  qr_quorum_epoch : int;  (** quorum commit point when the primary died *)
+  qr_source_epoch : int;  (** primary epoch the election restored *)
+  qr_winner : int;
+  qr_votes : int;
+  qr_evictions : int;
+  qr_rejoins : int;
+  qr_retransmits : int;
+  qr_released : int;  (** outbox messages released at quorum *)
+  qr_dropped : int;  (** outbox messages dropped with the lost window *)
+  qr_outcome : string;
+  qr_ok : bool;
+}
+
+let quorum_run ~seed ~rounds ~rate ~n =
+  if n < 1 then invalid_arg "quorum_run: n < 1";
+  let rng = Rng.create seed in
+  let primary = Sls.boot () in
+  let p = Syscall.spawn primary.Sls.machine ~name:"svc" in
+  let e = Syscall.mmap_anon p ~npages in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.touch_write p.Process.space ~addr ~len:(npages * 4096);
+  let group = Sls.attach primary [ p ] in
+  let links =
+    List.init n (fun i ->
+        let link = Link.create ~name:(Printf.sprintf "quorum-%d" i) () in
+        Link.set_faults link
+          ~seed:((seed * 7919) + (i * 131) + 7)
+          {
+            (Link.lossy_profile rate) with
+            Link.p_partition = rate /. 4.;
+            partition_ns = 400_000;
+          };
+        (* Scripted partition windows (satellite: deterministic fault
+           scenarios pinned to virtual time, on top of the dice). *)
+        if Rng.int rng 3 = 0 then
+          Link.partition_at link
+            ~at:(500_000 + Rng.int rng 4_000_000)
+            ~duration:(200_000 + Rng.int rng 600_000);
+        link)
+  in
+  let standbys =
+    List.map (fun link -> ((Sls.boot ()).Sls.store, link)) links
+  in
+  let outbox = Extsync.create () in
+  let released = ref [] in
+  let rs =
+    Replica_set.create ~window:4 ~seed:(seed + 1) ~outbox ~primary:group
+      ~standbys ()
+  in
+  (* Kill a random minority at random rounds: quorum survives by
+     construction, so the run must always converge. *)
+  let minority = (n - 1) / 2 in
+  let kills =
+    if minority = 0 then []
+    else begin
+      let k = 1 + Rng.int rng minority in
+      (* Fisher–Yates prefix: k distinct victims, any of the n. *)
+      let all = Array.init n Fun.id in
+      for i = n - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let tmp = all.(i) in
+        all.(i) <- all.(j);
+        all.(j) <- tmp
+      done;
+      List.init k (fun i -> (1 + Rng.int rng rounds, all.(i)))
+    end
+  in
+  let round_of_epoch = Hashtbl.create 64 in
+  (* Sometimes the primary dies abruptly, mid-window: the final drain
+     never happens, quorum lags the newest epoch, and failover must
+     drop the buffered messages of the lost window. *)
+  let abrupt_death = Rng.bool rng in
+  let uncaught = ref "" in
+  (try
+     for r = 1 to rounds do
+       Vm_space.write_string p.Process.space ~addr (state_of_round r);
+       Vm_space.write_string p.Process.space
+         ~addr:(addr + ((1 + (r mod (npages - 1))) * 4096))
+         (Printf.sprintf "fill-%d" r);
+       ignore (Group.checkpoint ~wait_durable:true group);
+       let epoch = Group.last_epoch group in
+       Hashtbl.replace round_of_epoch epoch r;
+       (* One externally-synchronized message per round, held until the
+          epoch that covers it is quorum-committed. *)
+       Extsync.buffer outbox ~epoch
+         {
+           Extsync.tag = Printf.sprintf "msg-%d" r;
+           deliver = (fun ~release_time:_ -> released := epoch :: !released);
+         };
+       List.iter
+         (fun (kr, idx) -> if kr = r then Replica_set.kill rs idx)
+         kills;
+       (* In abrupt-death runs the last epoch checkpoints but never
+          ships: its buffered message is in the discarded window and
+          failover must drop it. *)
+       if not (abrupt_death && r = rounds) then Replica_set.ship rs;
+       (* Evicted survivors come back with catch-up shipments. *)
+       if Rng.int rng 3 = 0 then
+         List.iter
+           (fun (v : Replica_set.standby_view) ->
+             if v.Replica_set.sv_health = Replica_set.Evicted
+                && not v.Replica_set.sv_dead
+             then Replica_set.rejoin rs v.Replica_set.sv_idx)
+           (Replica_set.views rs)
+     done;
+     (* Unless death is abrupt, let the pipeline reach the quorum
+        commit point, rejoining any survivor the fault plane evicted
+        along the way. *)
+     if not abrupt_death then begin
+       let tries = ref 0 in
+       while (not (Replica_set.drain rs `Quorum)) && !tries < 10 do
+         incr tries;
+         List.iter
+           (fun (v : Replica_set.standby_view) ->
+             if v.Replica_set.sv_health = Replica_set.Evicted
+                && not v.Replica_set.sv_dead
+             then Replica_set.rejoin rs v.Replica_set.sv_idx)
+           (Replica_set.views rs)
+       done
+     end
+   with exn -> uncaught := Printexc.to_string exn);
+  let quorum_epoch = Replica_set.quorum_epoch rs in
+  let st = Replica_set.stats rs in
+  let killed = List.map snd kills in
+  let survivors =
+    List.filter (fun i -> not (List.mem i killed)) (List.init n Fun.id)
+  in
+  let base =
+    {
+      qr_seed = seed;
+      qr_rate = rate;
+      qr_n = n;
+      qr_rounds = rounds;
+      qr_killed = killed;
+      qr_quorum_epoch = quorum_epoch;
+      qr_source_epoch = 0;
+      qr_winner = -1;
+      qr_votes = 0;
+      qr_evictions = st.Replica_set.rs_evictions;
+      qr_rejoins = st.Replica_set.rs_rejoins;
+      qr_retransmits = st.Replica_set.rs_retransmits;
+      qr_released = st.Replica_set.rs_released_msgs;
+      qr_dropped = 0;
+      qr_outcome = "match";
+      qr_ok = true;
+    }
+  in
+  if !uncaught <> "" then
+    { base with qr_outcome = "uncaught: " ^ !uncaught; qr_ok = false }
+  else
+    (* The primary machine dies here; the survivors hold an election. *)
+    let takeover = Machine.create () in
+    match Replica_set.elect_and_failover rs ~survivors ~machine:takeover with
+    | exception exn ->
+        {
+          base with
+          qr_outcome = "uncaught in election: " ^ Printexc.to_string exn;
+          qr_ok = false;
+        }
+    | Error msg -> { base with qr_outcome = "election: " ^ msg; qr_ok = false }
+    | Ok rep -> (
+        let source = rep.Replica_set.el_source_epoch in
+        let base =
+          {
+            base with
+            qr_source_epoch = source;
+            qr_winner = rep.Replica_set.el_winner;
+            qr_votes = List.length rep.Replica_set.el_votes;
+            qr_dropped = rep.Replica_set.el_dropped_msgs;
+          }
+        in
+        let fail fmt = Printf.ksprintf (fun s -> { base with qr_outcome = s; qr_ok = false }) fmt in
+        if source < quorum_epoch then
+          fail "restored epoch %d older than quorum commit %d" source
+            quorum_epoch
+        else if
+          List.exists
+            (fun (v : Replica_set.vote) ->
+              v.Replica_set.vt_primary_epoch > source)
+            rep.Replica_set.el_votes
+        then fail "a survivor advertised an epoch newer than the winner's"
+        else if List.exists (fun e -> e > source) !released then
+          fail "a message from the discarded window (> epoch %d) escaped"
+            source
+        else if
+          base.qr_released + base.qr_dropped + Extsync.pending outbox
+          <> rounds
+        then
+          fail "outbox accounting: %d released + %d dropped + %d pending <> %d"
+            base.qr_released base.qr_dropped (Extsync.pending outbox) rounds
+        else
+          match Hashtbl.find_opt round_of_epoch source with
+          | None -> fail "restored unknown epoch %d" source
+          | Some round -> (
+              match
+                rep.Replica_set.el_restore.Restore.vr_result.Restore.procs
+              with
+              | [ p' ] ->
+                  let got =
+                    Vm_space.read_string p'.Process.space ~addr ~len:state_len
+                  in
+                  let want = state_of_round round in
+                  if got = want then base
+                  else
+                    fail "epoch %d rendered %S, model says %S" source got want
+              | procs ->
+                  fail "expected 1 process, restored %d" (List.length procs)))
+
+let pp_quorum r =
+  Printf.sprintf
+    "seed=%d n=%d rate=%.3f rounds=%d killed=[%s] quorum=%d source=%d \
+     winner=%d votes=%d evict=%d rejoin=%d retx=%d released=%d dropped=%d: %s"
+    r.qr_seed r.qr_n r.qr_rate r.qr_rounds
+    (String.concat ";" (List.map string_of_int r.qr_killed))
+    r.qr_quorum_epoch r.qr_source_epoch r.qr_winner r.qr_votes r.qr_evictions
+    r.qr_rejoins r.qr_retransmits r.qr_released r.qr_dropped r.qr_outcome
+
+type quorum_sweep_report = {
+  q_runs : int;
+  q_ok : int;
+  q_evictions : int;
+  q_rejoins : int;
+  q_retransmits : int;
+  q_released : int;
+  q_dropped : int;
+  q_failures : quorum_report list;
+}
+
+let quorum_sweep ~seed ~runs_per_cell ~rates ~ns ~rounds =
+  let reports =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun rate ->
+            List.init runs_per_cell (fun i ->
+                quorum_run
+                  ~seed:
+                    (seed + (i * 131) + (n * 17)
+                    + int_of_float (rate *. 10_000.))
+                  ~rounds ~rate ~n))
+          rates)
+      ns
+  in
+  {
+    q_runs = List.length reports;
+    q_ok = List.length (List.filter (fun r -> r.qr_ok) reports);
+    q_evictions = List.fold_left (fun a r -> a + r.qr_evictions) 0 reports;
+    q_rejoins = List.fold_left (fun a r -> a + r.qr_rejoins) 0 reports;
+    q_retransmits = List.fold_left (fun a r -> a + r.qr_retransmits) 0 reports;
+    q_released = List.fold_left (fun a r -> a + r.qr_released) 0 reports;
+    q_dropped = List.fold_left (fun a r -> a + r.qr_dropped) 0 reports;
+    q_failures = List.filter (fun r -> not r.qr_ok) reports;
+  }
+
+(* Pipelined vs stop-and-wait ------------------------------------------------------ *)
+
+(* Replication-plane cost of R rounds to N standbys, both ways, same
+   fault profile and seeds.  Plane time is the virtual time the primary
+   spends blocked in the replication protocol: for stop-and-wait that is
+   every [replicate_result] (each waits out its own acks, standby after
+   standby); for the pipeline it is [ship] (non-blocking) plus the final
+   drain to every standby current.  Checkpoint production is identical
+   on both sides and excluded — it is the plane the pipeline does not
+   change. *)
+type pipeline_report = {
+  pl_rounds : int;
+  pl_n : int;
+  pl_rate : float;
+  pl_sw_plane_ns : int;  (** stop-and-wait: primary time blocked shipping *)
+  pl_pipe_plane_ns : int;  (** pipelined: ship calls plus the final drain *)
+  pl_sw_total_ns : int;
+  pl_pipe_total_ns : int;
+  pl_speedup : float;  (** plane-time ratio, the figure the gate checks *)
+  pl_sw_ok : bool;  (** every stop-and-wait shipment eventually acked *)
+  pl_pipe_ok : bool;  (** pipeline drained with no standby evicted *)
+}
+
+let pipeline_vs_stop_and_wait ~seed ~rounds ~rate ~n =
+  let mk_links tag =
+    List.init n (fun i ->
+        let link = Link.create ~name:(Printf.sprintf "%s-%d" tag i) () in
+        Link.set_faults link
+          ~seed:((seed * 104_729) + (i * 131) + 29)
+          (Link.lossy_profile rate);
+        link)
+  in
+  let boot_primary () =
+    let primary = Sls.boot () in
+    let p = Syscall.spawn primary.Sls.machine ~name:"svc" in
+    let e = Syscall.mmap_anon p ~npages in
+    let addr = Vm_space.addr_of_entry e in
+    Vm_space.touch_write p.Process.space ~addr ~len:(npages * 4096);
+    let group = Sls.attach primary [ p ] in
+    (primary, p, addr, group)
+  in
+  let mutate p addr r =
+    Vm_space.write_string p.Process.space ~addr (state_of_round r);
+    Vm_space.write_string p.Process.space
+      ~addr:(addr + ((1 + (r mod (npages - 1))) * 4096))
+      (Printf.sprintf "fill-%d" r)
+  in
+  (* Stop-and-wait: N independent Ha instances, each shipment blocking
+     the primary until its ack (or retry exhaustion), in series. *)
+  let sw_plane, sw_total, sw_ok =
+    let primary, p, addr, group = boot_primary () in
+    let clk = primary.Sls.machine.Machine.clock in
+    let has =
+      List.map
+        (fun link ->
+          Ha.create ~link ~primary:group
+            ~standby_store:(Sls.boot ()).Sls.store ())
+        (mk_links "sw")
+    in
+    let t_begin = Clock.now clk in
+    let plane = ref 0 in
+    let ok = ref true in
+    for r = 1 to rounds do
+      mutate p addr r;
+      ignore (Group.checkpoint ~wait_durable:true group);
+      List.iter
+        (fun ha ->
+          let t0 = Clock.now clk in
+          (match Ha.replicate_result ha with
+          | Ok _ -> ()
+          | Error _ -> ok := false);
+          plane := !plane + (Clock.now clk - t0))
+        has
+    done;
+    (!plane, Clock.now clk - t_begin, !ok)
+  in
+  (* Pipelined: one replica set, ship never blocks, one drain at the
+     end waits for every standby to be current. *)
+  let pipe_plane, pipe_total, pipe_ok =
+    let primary, p, addr, group = boot_primary () in
+    let clk = primary.Sls.machine.Machine.clock in
+    let standbys =
+      List.map (fun link -> ((Sls.boot ()).Sls.store, link)) (mk_links "pl")
+    in
+    let rs = Replica_set.create ~window:4 ~seed ~primary:group ~standbys () in
+    (* Stop-and-wait never gives up for good (every round retries from
+       the newer base), so the fair pipeline run rejoins standbys the
+       fault plane evicts instead of silently shipping to fewer. *)
+    let rejoin_evicted () =
+      List.iter
+        (fun (v : Replica_set.standby_view) ->
+          if v.Replica_set.sv_health = Replica_set.Evicted then
+            Replica_set.rejoin rs v.Replica_set.sv_idx)
+        (Replica_set.views rs)
+    in
+    let t_begin = Clock.now clk in
+    let plane = ref 0 in
+    for r = 1 to rounds do
+      mutate p addr r;
+      ignore (Group.checkpoint ~wait_durable:true group);
+      let t0 = Clock.now clk in
+      Replica_set.ship rs;
+      rejoin_evicted ();
+      plane := !plane + (Clock.now clk - t0)
+    done;
+    let t0 = Clock.now clk in
+    let drained = ref (Replica_set.drain rs `All) in
+    let behind () =
+      List.exists
+        (fun (v : Replica_set.standby_view) ->
+          v.Replica_set.sv_health = Replica_set.Evicted)
+        (Replica_set.views rs)
+    in
+    let tries = ref 0 in
+    while behind () && !tries < 10 do
+      incr tries;
+      rejoin_evicted ();
+      drained := Replica_set.drain rs `All
+    done;
+    plane := !plane + (Clock.now clk - t0);
+    (!plane, Clock.now clk - t_begin, !drained && not (behind ()))
+  in
+  {
+    pl_rounds = rounds;
+    pl_n = n;
+    pl_rate = rate;
+    pl_sw_plane_ns = sw_plane;
+    pl_pipe_plane_ns = pipe_plane;
+    pl_sw_total_ns = sw_total;
+    pl_pipe_total_ns = pipe_total;
+    pl_speedup = float_of_int sw_plane /. float_of_int (max 1 pipe_plane);
+    pl_sw_ok = sw_ok;
+    pl_pipe_ok = pipe_ok;
+  }
+
+(* Live migration ------------------------------------------------------------------ *)
+
+type migration_check = {
+  mc_report : Replica_set.migration_report;
+  mc_period_ns : int;  (** the group's checkpoint period, the gate unit *)
+  mc_downtime_periods : float;
+  mc_ok : bool;  (** identical, verified source, downtime ≤ 2 periods *)
+  mc_outcome : string;
+}
+
+let migration_run ~seed ~rate =
+  let primary = Sls.boot () in
+  let p = Syscall.spawn primary.Sls.machine ~name:"svc" in
+  let e = Syscall.mmap_anon p ~npages in
+  let addr = Vm_space.addr_of_entry e in
+  Vm_space.touch_write p.Process.space ~addr ~len:(npages * 4096);
+  let group = Sls.attach primary [ p ] in
+  let target = Sls.boot () in
+  let link = Link.create ~name:"migrate" () in
+  if rate > 0. then
+    Link.set_faults link ~seed:(seed * 7919) (Link.lossy_profile rate);
+  let takeover = Machine.create () in
+  let workload r =
+    Vm_space.write_string p.Process.space ~addr (state_of_round r);
+    (* Dirty a shrinking set of extra pages so pre-copy converges the
+       way a real workload's working set does. *)
+    for i = 1 to max 1 (npages / (1 + r)) do
+      Vm_space.write_string p.Process.space
+        ~addr:(addr + (((1 + ((r + i) mod (npages - 1))) * 4096)))
+        (Printf.sprintf "dirty-%d-%d" r i)
+    done
+  in
+  match
+    Replica_set.migrate_live ~primary:group ~target_store:target.Sls.store
+      ~machine:takeover ~workload ()
+  with
+  | Error msg ->
+      {
+        mc_report =
+          {
+            Replica_set.mig_rounds = 0;
+            mig_precopy_bytes = 0;
+            mig_final_bytes = 0;
+            mig_downtime_ns = 0;
+            mig_total_ns = 0;
+            mig_source_epoch = 0;
+            mig_identical = false;
+          };
+        mc_period_ns = Group.period_ns group;
+        mc_downtime_periods = infinity;
+        mc_ok = false;
+        mc_outcome = msg;
+      }
+  | Ok rep ->
+      let period = Group.period_ns group in
+      let periods = float_of_int rep.Replica_set.mig_downtime_ns /. float_of_int period in
+      let ok =
+        rep.Replica_set.mig_identical
+        && rep.Replica_set.mig_source_epoch > 0
+        && periods <= 2.0
+      in
+      let outcome =
+        if ok then "match"
+        else if not rep.Replica_set.mig_identical then
+          "migrated state not byte-identical"
+        else if rep.Replica_set.mig_source_epoch = 0 then
+          "restored epoch has no primary mapping"
+        else
+          Printf.sprintf "downtime %.2f checkpoint periods exceeds 2" periods
+      in
+      {
+        mc_report = rep;
+        mc_period_ns = period;
+        mc_downtime_periods = periods;
+        mc_ok = ok;
+        mc_outcome = outcome;
+      }

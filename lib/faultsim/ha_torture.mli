@@ -59,3 +59,100 @@ val sweep :
 (** [runs_per_rate] independent runs at every fault rate in [rates]. *)
 
 val pp_run : run_report -> string
+
+(** {1 Quorum torture}
+
+    The N-standby generalisation: a primary pipelines epochs through
+    {!Aurora_core.Replica_set} to N standbys over independently faulty
+    links (probabilistic faults plus scripted
+    {!Aurora_net.Link.partition_at} windows), a random minority is
+    killed at random rounds, evicted survivors rejoin via catch-up, and
+    externally-synchronized messages buffer until quorum.  When the
+    primary dies the survivors elect; the run passes only if the
+    election converges on an epoch no older than the quorum commit
+    point, every survivor's vote is no newer than the winner's, the
+    restored state matches the reference model, and no released message
+    came from the discarded window. *)
+
+type quorum_report = {
+  qr_seed : int;
+  qr_rate : float;
+  qr_n : int;
+  qr_rounds : int;
+  qr_killed : int list;  (** standby indexes killed mid-run *)
+  qr_quorum_epoch : int;  (** quorum commit point when the primary died *)
+  qr_source_epoch : int;  (** primary epoch the election restored *)
+  qr_winner : int;
+  qr_votes : int;
+  qr_evictions : int;
+  qr_rejoins : int;
+  qr_retransmits : int;
+  qr_released : int;  (** outbox messages released at quorum *)
+  qr_dropped : int;  (** outbox messages dropped with the lost window *)
+  qr_outcome : string;
+  qr_ok : bool;
+}
+
+val quorum_run : seed:int -> rounds:int -> rate:float -> n:int -> quorum_report
+
+val pp_quorum : quorum_report -> string
+
+type quorum_sweep_report = {
+  q_runs : int;
+  q_ok : int;
+  q_evictions : int;
+  q_rejoins : int;
+  q_retransmits : int;
+  q_released : int;
+  q_dropped : int;
+  q_failures : quorum_report list;
+}
+
+val quorum_sweep :
+  seed:int ->
+  runs_per_cell:int ->
+  rates:float list ->
+  ns:int list ->
+  rounds:int ->
+  quorum_sweep_report
+(** [runs_per_cell] independent runs for every (replica count, fault
+    rate) cell. *)
+
+(** {1 Pipelined vs stop-and-wait} *)
+
+type pipeline_report = {
+  pl_rounds : int;
+  pl_n : int;
+  pl_rate : float;
+  pl_sw_plane_ns : int;  (** stop-and-wait: primary time blocked shipping *)
+  pl_pipe_plane_ns : int;  (** pipelined: ship calls plus the final drain *)
+  pl_sw_total_ns : int;
+  pl_pipe_total_ns : int;
+  pl_speedup : float;  (** plane-time ratio, the figure the gate checks *)
+  pl_sw_ok : bool;  (** every stop-and-wait shipment eventually acked *)
+  pl_pipe_ok : bool;  (** pipeline drained with no standby evicted *)
+}
+
+val pipeline_vs_stop_and_wait :
+  seed:int -> rounds:int -> rate:float -> n:int -> pipeline_report
+(** Same workload, same fault profile, N standbys: replication-plane
+    time (primary virtual time blocked in the shipping protocol) under
+    the stop-and-wait {!Aurora_core.Ha} versus the pipelined
+    {!Aurora_core.Replica_set}.  Checkpoint production is excluded — it
+    is identical on both sides. *)
+
+(** {1 Live migration} *)
+
+type migration_check = {
+  mc_report : Aurora_core.Replica_set.migration_report;
+  mc_period_ns : int;  (** the group's checkpoint period, the gate unit *)
+  mc_downtime_periods : float;
+  mc_ok : bool;  (** identical, verified source, downtime ≤ 2 periods *)
+  mc_outcome : string;
+}
+
+val migration_run : seed:int -> rate:float -> migration_check
+(** One live migration of a service with a shrinking dirty set over a
+    link at the given fault rate: pre-copy must converge, the cut-over
+    downtime must fit in two checkpoint periods, and the migrated
+    epoch must be byte-identical to the source. *)

@@ -62,6 +62,7 @@ type t = {
   mutable faults : (Rng.t * fault_profile) option;
   mutable fault_seed : int;
   mutable partition_until : int;
+  mutable scheduled : (int * int) list; (* (start, heal), scripted partitions *)
   mutable stats : stats;
 }
 
@@ -71,6 +72,7 @@ let create ?(name = "10gbe") () =
     faults = None;
     fault_seed = 0;
     partition_until = 0;
+    scheduled = [];
     stats = zero_stats;
   }
 
@@ -90,10 +92,27 @@ let set_faults t ~seed profile =
 
 let clear_faults t = t.faults <- None
 let stats t = t.stats
+
+(* A scripted window that covers [now] behaves exactly like an active
+   probabilistic partition: fold it into [partition_until] so both the
+   dark-window check and the sender's deadline extension see it. *)
+let activate_scheduled t ~now =
+  List.iter
+    (fun (start, heal) ->
+      if now >= start && now < heal then
+        t.partition_until <- max t.partition_until heal)
+    t.scheduled
+
 let partitioned_until t = t.partition_until
 
 let partition t ~now ~duration =
   t.partition_until <- max t.partition_until (now + duration)
+
+let partition_at t ~at ~duration =
+  if duration > 0 then t.scheduled <- (at, at + duration) :: t.scheduled
+
+let scheduled_partitions t =
+  List.sort compare t.scheduled
 
 let corrupt_payload rng payload =
   if String.length payload = 0 then payload
@@ -113,6 +132,7 @@ let transmit t ?(retransmit = false) ~now ~payload () =
       l_sent = s.l_sent + 1;
       l_retransmits = (s.l_retransmits + if retransmit then 1 else 0);
     };
+  activate_scheduled t ~now;
   if now < t.partition_until then begin
     (* Both directions are dark until the partition heals. *)
     t.stats <-

@@ -57,8 +57,23 @@ val partition : t -> now:int -> duration:int -> unit
 (** Explicitly cut the link for [duration] ns of virtual time; both
     directions drop everything transmitted before the window closes. *)
 
+val partition_at : t -> at:int -> duration:int -> unit
+(** Script a partition window [\[at, at+duration)] of virtual time in
+    advance.  Unlike {!partition} this does not need the caller to be
+    holding the clock at the cut instant: the window arms itself when a
+    transmission first lands inside it, so torture scenarios can pin a
+    partition to a specific protocol boundary (e.g. the middle of a
+    shipping window) instead of fishing for one with seeds.  Scripted
+    windows survive {!reset} — they are part of the deterministic
+    scenario, like the fault profile. *)
+
+val scheduled_partitions : t -> (int * int) list
+(** The scripted [(start, heal)] windows, sorted by start. *)
+
 val partitioned_until : t -> int
-(** Virtual time at which the current partition heals (0 if none). *)
+(** Virtual time at which the current partition heals (0 if none).
+    Scripted windows count only once armed by a transmission inside
+    them. *)
 
 (** {1 Transmission} *)
 

@@ -1155,9 +1155,9 @@ let test_ha_lag_recovers_shipped_epoch () =
   let _sys, p, addr, group, standby = ha_fixture () in
   let ha = Ha.create ~primary:group ~standby_store:standby.Sls.store () in
   checkpoint_round group p ~addr 1;
-  ignore (Ha.replicate ha);
+  ignore (Ha.replicate_result ha);
   checkpoint_round group p ~addr 2;
-  ignore (Ha.replicate ha);
+  ignore (Ha.replicate_result ha);
   (* Round 3 checkpoints but never replicates: the primary dies lagging. *)
   checkpoint_round group p ~addr 3;
   Alcotest.(check int) "one epoch of lag" 1 (Ha.lag_epochs ha);
@@ -1176,9 +1176,9 @@ let test_ha_double_failover_idempotent () =
   let _sys, p, addr, group, standby = ha_fixture () in
   let ha = Ha.create ~primary:group ~standby_store:standby.Sls.store () in
   checkpoint_round group p ~addr 1;
-  ignore (Ha.replicate ha);
+  ignore (Ha.replicate_result ha);
   checkpoint_round group p ~addr 2;
-  ignore (Ha.replicate ha);
+  ignore (Ha.replicate_result ha);
   let fo () =
     match Ha.failover_verified ha ~machine:(Machine.create ()) with
     | Error e -> Alcotest.fail (Restore.pp_restore_error e)
@@ -1267,6 +1267,284 @@ let test_ha_standby_rejects_divergent_state () =
     (Ha.shipped_epoch ha);
   Alcotest.(check bool) "reject counted" true ((Ha.stats ha).Ha.ha_verify_rejects > 0)
 
+(* Extsync drop_after edges -------------------------------------------------------- *)
+
+let test_extsync_drop_after_edges () =
+  (* Epoch 0: nothing was ever quorum-committed, so everything is the
+     discarded window. *)
+  let t = Extsync.create () in
+  Alcotest.(check int) "empty outbox drops nothing" 0 (Extsync.drop_after t ~epoch:0);
+  let buffer t epoch tag = Extsync.buffer t ~epoch { Extsync.tag; deliver = (fun ~release_time:_ -> ()) } in
+  buffer t 1 "a";
+  buffer t 2 "b";
+  Alcotest.(check int) "epoch 0 drops everything" 2 (Extsync.drop_after t ~epoch:0);
+  Alcotest.(check int) "nothing pending" 0 (Extsync.pending t);
+  (* Double failover: the second recovers an even older epoch, so its
+     window extends the first's — each drop is exact, never double. *)
+  let t = Extsync.create () in
+  List.iteri (fun i tag -> buffer t (i + 1) tag) [ "a"; "b"; "c"; "d" ];
+  Alcotest.(check int) "first failover at 3 drops one" 1 (Extsync.drop_after t ~epoch:3);
+  Alcotest.(check int) "second failover at 2 drops one more" 1
+    (Extsync.drop_after t ~epoch:2);
+  Alcotest.(check int) "the surviving window" 2 (Extsync.pending t);
+  Alcotest.(check int) "same epoch again drops nothing" 0 (Extsync.drop_after t ~epoch:2);
+  (* After a rejoin catch-up the outbox buffers against newer epochs;
+     a later failover at the catch-up epoch keeps exactly those. *)
+  let t = Extsync.create () in
+  buffer t 2 "pre";
+  buffer t 7 "post-catchup";
+  buffer t 9 "window";
+  Alcotest.(check int) "failover at the catch-up epoch" 1 (Extsync.drop_after t ~epoch:7);
+  Alcotest.(check int) "released up to the catch-up epoch" 2
+    (Extsync.release_up_to t ~epoch:7 ~now:1);
+  Alcotest.(check int) "outbox drained" 0 (Extsync.pending t)
+
+(* Fallback across consecutive corrupt epochs ------------------------------------- *)
+
+let test_restore_fallback_two_corrupt_epochs () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"app" ~npages:8 in
+  let group = Sls.attach sys [ p ] in
+  for r = 1 to 3 do
+    Vm_space.write_string p.Process.space ~addr (Printf.sprintf "gen-%d" r);
+    ignore (Group.checkpoint ~wait_durable:true group)
+  done;
+  let store = sys.Sls.store in
+  let epochs =
+    Store.checkpoint_epochs store |> List.sort (fun a b -> compare b a)
+  in
+  let e3, e2 =
+    match epochs with a :: b :: _ -> (a, b) | _ -> Alcotest.fail "need 3 epochs"
+  in
+  (* Corrupt the two newest epochs differently: metadata in one, page
+     payload in the other — the fallback loop must skip both. *)
+  let victim epoch =
+    match
+      List.find_opt
+        (fun (_, kind) -> kind = Serial.kind_memobj)
+        (Store.objects_at store ~epoch)
+    with
+    | Some (oid, _) -> oid
+    | None -> Alcotest.fail "no memobj in checkpoint"
+  in
+  Store.corrupt_meta_for_tests store ~epoch:e3 ~oid:(victim e3);
+  Store.corrupt_page_for_tests store ~epoch:e2 ~oid:(victim e2);
+  match Restore.restore_verified ~machine:(Machine.create ()) ~store () with
+  | Error e -> Alcotest.fail ("fallback found nothing: " ^ Restore.pp_restore_error e)
+  | Ok v -> (
+      Alcotest.(check int) "skipped both corrupt epochs" 2
+        (List.length v.Restore.vr_skipped);
+      Alcotest.(check bool) "newest skipped" true
+        (List.exists (fun (a : Restore.attempt) -> a.Restore.at_epoch = e3)
+           v.Restore.vr_skipped);
+      Alcotest.(check bool) "second newest skipped" true
+        (List.exists (fun (a : Restore.attempt) -> a.Restore.at_epoch = e2)
+           v.Restore.vr_skipped);
+      match v.Restore.vr_result.Restore.procs with
+      | [ p' ] ->
+          Alcotest.(check string) "oldest generation survives" "gen-1"
+            (Vm_space.read_string p'.Process.space ~addr ~len:5)
+      | _ -> Alcotest.fail "expected 1 process")
+
+(* HA backoff accounting ----------------------------------------------------------- *)
+
+let test_ha_backoff_accounted () =
+  let _sys, p, addr, group, standby = ha_fixture () in
+  let link = Link.create ~name:"lossy" () in
+  Link.set_faults link ~seed:77 (Link.lossy_profile 0.3);
+  let ha = Ha.create ~link ~primary:group ~standby_store:standby.Sls.store () in
+  for r = 1 to 6 do
+    checkpoint_round group p ~addr r;
+    ignore (Ha.replicate_result ha)
+  done;
+  let s = Ha.stats ha in
+  Alcotest.(check bool) "losses forced retransmits" true (s.Ha.ha_retransmits > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "backoff time accounted (%d ns)" s.Ha.ha_backoff_ns)
+    true
+    (s.Ha.ha_backoff_ns > 0)
+
+(* Quorum replica set -------------------------------------------------------------- *)
+
+module Replica_set = Aurora_core.Replica_set
+
+let rset_fixture ?(n = 3) ?outbox ?(fault = fun _ _ -> ()) () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"svc" ~npages:8 in
+  Vm_space.touch_write p.Process.space ~addr ~len:(8 * 4096);
+  let group = Sls.attach sys [ p ] in
+  let standbys =
+    List.init n (fun i ->
+        let link = Link.create ~name:(Printf.sprintf "rset-%d" i) () in
+        fault i link;
+        ((Sls.boot ()).Sls.store, link))
+  in
+  let rs = Replica_set.create ?outbox ~seed:9 ~primary:group ~standbys () in
+  (sys, p, addr, group, rs, List.map fst standbys)
+
+let rset_round group p ~addr rs r =
+  Vm_space.write_string p.Process.space ~addr (Printf.sprintf "round-%d" r);
+  ignore (Group.checkpoint ~wait_durable:true group);
+  Replica_set.ship rs
+
+let test_rset_pipeline_all_current () =
+  let _sys, p, addr, group, rs, _stores = rset_fixture () in
+  for r = 1 to 4 do
+    rset_round group p ~addr rs r
+  done;
+  Alcotest.(check bool) "drained" true (Replica_set.drain rs `All);
+  Alcotest.(check int) "quorum at the newest epoch"
+    (Replica_set.last_logged_epoch rs)
+    (Replica_set.quorum_epoch rs);
+  List.iter
+    (fun (v : Replica_set.standby_view) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "standby %d healthy" v.Replica_set.sv_idx)
+        true
+        (v.Replica_set.sv_health = Replica_set.Healthy);
+      Alcotest.(check int)
+        (Printf.sprintf "standby %d current" v.Replica_set.sv_idx)
+        0 v.Replica_set.sv_lag_epochs)
+    (Replica_set.views rs);
+  let s = Replica_set.stats rs in
+  Alcotest.(check int) "four epochs logged" 4 s.Replica_set.rs_epochs_logged;
+  Alcotest.(check int) "every standby acked every epoch" 12
+    s.Replica_set.rs_acked_total
+
+let test_rset_minority_kill_and_election () =
+  let outbox = Extsync.create () in
+  let released = ref [] in
+  let _sys, p, addr, group, rs, _stores = rset_fixture ~outbox () in
+  for r = 1 to 5 do
+    rset_round group p ~addr rs r;
+    Extsync.buffer outbox
+      ~epoch:(Group.last_epoch group)
+      {
+        Extsync.tag = Printf.sprintf "m%d" r;
+        deliver = (fun ~release_time:_ -> released := r :: !released);
+      };
+    if r = 3 then Replica_set.kill rs 1
+  done;
+  Alcotest.(check bool) "quorum reached with a dead minority" true
+    (Replica_set.drain rs `Quorum);
+  Replica_set.pump rs;
+  (* The primary dies; the two survivors elect. *)
+  match
+    Replica_set.elect_and_failover rs ~survivors:[ 0; 2 ]
+      ~machine:(Machine.create ())
+  with
+  | Error e -> Alcotest.fail e
+  | Ok rep -> (
+      Alcotest.(check int) "both survivors voted" 2
+        (List.length rep.Replica_set.el_votes);
+      Alcotest.(check bool) "winner no older than quorum" true
+        (rep.Replica_set.el_source_epoch >= Replica_set.quorum_epoch rs);
+      Alcotest.(check bool) "no released message from the lost window" true
+        (List.for_all (fun r -> r <= 5) !released);
+      match rep.Replica_set.el_restore.Restore.vr_result.Restore.procs with
+      | [ p' ] ->
+          Alcotest.(check string) "last round's state" "round-5"
+            (Vm_space.read_string p'.Process.space ~addr ~len:7)
+      | _ -> Alcotest.fail "expected 1 process")
+
+let test_rset_evict_and_rejoin () =
+  (* Standby 0's link silently eats every frame: unlike a declared
+     partition (whose heal time the backoff waits out), pure loss burns
+     retransmit attempts until the health machine evicts; the other two
+     standbys carry the quorum meanwhile.  A rejoin catch-up over the
+     healed link brings it back to current. *)
+  let dark = ref None in
+  let _sys, p, addr, group, rs, _stores =
+    rset_fixture
+      ~fault:(fun i link ->
+        if i = 0 then begin
+          dark := Some link;
+          Link.set_faults link ~seed:5 { Link.no_faults with p_drop = 1.0 }
+        end)
+      ()
+  in
+  for r = 1 to 4 do
+    rset_round group p ~addr rs r
+  done;
+  (* `All treats an evicted standby as settled, so this drain runs the
+     dark standby out of retransmit attempts instead of stopping at
+     quorum. *)
+  Alcotest.(check bool) "drained around the dark standby" true
+    (Replica_set.drain rs `All);
+  let v0 = Replica_set.view rs 0 in
+  Alcotest.(check bool) "dark standby evicted" true
+    (v0.Replica_set.sv_health = Replica_set.Evicted);
+  Alcotest.(check int) "evicted standby acked nothing" 0
+    v0.Replica_set.sv_acked_epoch;
+  Alcotest.(check int) "quorum reached regardless"
+    (Replica_set.last_logged_epoch rs)
+    (Replica_set.quorum_epoch rs);
+  (* Heal, rejoin, and the catch-up delta covers the whole gap. *)
+  (match !dark with
+  | Some link -> Link.set_faults link ~seed:5 Link.no_faults
+  | None -> Alcotest.fail "fixture never faulted standby 0");
+  Replica_set.rejoin rs 0;
+  Alcotest.(check bool) "all current after rejoin" true
+    (Replica_set.drain rs `All);
+  let v0 = Replica_set.view rs 0 in
+  Alcotest.(check bool) "rejoined standby healthy" true
+    (v0.Replica_set.sv_health = Replica_set.Healthy);
+  Alcotest.(check int) "rejoined standby current"
+    (Replica_set.last_logged_epoch rs)
+    v0.Replica_set.sv_acked_epoch;
+  let s = Replica_set.stats rs in
+  Alcotest.(check bool) "eviction counted" true (s.Replica_set.rs_evictions > 0);
+  Alcotest.(check int) "one rejoin" 1 s.Replica_set.rs_rejoins
+
+let test_rset_divergent_standby_evicted () =
+  let _sys, p, addr, group, rs, stores = rset_fixture () in
+  rset_round group p ~addr rs 1;
+  Alcotest.(check bool) "first epoch everywhere" true (Replica_set.drain rs `All);
+  (* Corrupt standby 0's installed state: the next composed delta cannot
+     match the manifest digest, the standby nacks, and the sender must
+     evict it — retransmission cannot fix divergence. *)
+  let store0 = List.hd stores in
+  let newest = Store.last_complete_epoch store0 in
+  List.iter
+    (fun (oid, kind) ->
+      if kind <> Serial.kind_manifest then
+        Store.corrupt_meta_for_tests store0 ~epoch:newest ~oid)
+    (Store.objects_at store0 ~epoch:newest);
+  rset_round group p ~addr rs 2;
+  Alcotest.(check bool) "quorum survives one divergent standby" true
+    (Replica_set.drain rs `Quorum);
+  let v0 = Replica_set.view rs 0 in
+  Alcotest.(check bool) "divergent standby evicted" true
+    (v0.Replica_set.sv_health = Replica_set.Evicted);
+  Alcotest.(check bool) "reject counted" true
+    (v0.Replica_set.sv_verify_rejects > 0);
+  (* The healthy majority is unaffected. *)
+  Alcotest.(check int) "quorum at the newest epoch"
+    (Replica_set.last_logged_epoch rs)
+    (Replica_set.quorum_epoch rs)
+
+let test_rset_migration_live () =
+  let sys = Sls.boot () in
+  let p, _e, addr = spawn_with_memory sys ~name:"svc" ~npages:8 in
+  Vm_space.touch_write p.Process.space ~addr ~len:(8 * 4096);
+  let group = Sls.attach sys [ p ] in
+  let target = Sls.boot () in
+  let workload r =
+    Vm_space.write_string p.Process.space ~addr (Printf.sprintf "round-%d" r)
+  in
+  match
+    Replica_set.migrate_live ~primary:group ~target_store:target.Sls.store
+      ~machine:(Machine.create ()) ~workload ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok rep ->
+      Alcotest.(check bool) "byte-identical target" true
+        rep.Replica_set.mig_identical;
+      Alcotest.(check bool) "downtime within two checkpoint periods" true
+        (rep.Replica_set.mig_downtime_ns <= 2 * Group.period_ns group);
+      Alcotest.(check bool) "pre-copy converged" true
+        (rep.Replica_set.mig_final_bytes <= rep.Replica_set.mig_precopy_bytes)
+
 let () =
   Alcotest.run "aurora_core"
     [
@@ -1307,6 +1585,8 @@ let () =
           Alcotest.test_case "fdctl" `Quick test_fdctl;
           Alcotest.test_case "external synchrony" `Quick test_extsync_buffering;
           Alcotest.test_case "extsync discarded window" `Quick test_extsync_drop_after;
+          Alcotest.test_case "extsync drop_after edges" `Quick
+            test_extsync_drop_after_edges;
           Alcotest.test_case "typed malformed parsers" `Quick
             test_parsers_raise_typed_malformed;
           Alcotest.test_case "parse_check dispatch" `Quick test_parse_check_dispatch;
@@ -1330,6 +1610,8 @@ let () =
           Alcotest.test_case "manifest verify and fallback" `Quick
             test_verify_epoch_and_fallback;
           Alcotest.test_case "empty store" `Quick test_restore_verified_empty_store;
+          Alcotest.test_case "fallback across two corrupt epochs" `Quick
+            test_restore_fallback_two_corrupt_epochs;
         ] );
       ( "high availability",
         [
@@ -1344,6 +1626,19 @@ let () =
           Alcotest.test_case "partition outwaited" `Quick test_ha_partition_outwaited;
           Alcotest.test_case "standby rejects divergent state" `Quick
             test_ha_standby_rejects_divergent_state;
+          Alcotest.test_case "backoff time accounted" `Quick
+            test_ha_backoff_accounted;
+        ] );
+      ( "quorum replication",
+        [
+          Alcotest.test_case "pipeline all current" `Quick
+            test_rset_pipeline_all_current;
+          Alcotest.test_case "minority kill and election" `Quick
+            test_rset_minority_kill_and_election;
+          Alcotest.test_case "evict and rejoin" `Quick test_rset_evict_and_rejoin;
+          Alcotest.test_case "divergent standby evicted" `Quick
+            test_rset_divergent_standby_evicted;
+          Alcotest.test_case "live migration" `Quick test_rset_migration_live;
         ] );
       ("properties", qcheck_tests @ roundtrip_qcheck_tests);
     ]

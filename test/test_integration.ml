@@ -851,7 +851,7 @@ let test_ha_failover () =
   for round = 1 to 5 do
     Vm_space.write_string p.Process.space ~addr (Printf.sprintf "round-%d" round);
     ignore (Group.checkpoint ~wait_durable:true group);
-    let b = Aurora_core.Ha.replicate ha in
+    let b = match Aurora_core.Ha.replicate_result ha with Ok b -> b | Error e -> Alcotest.fail e in
     if round = 1 then first_bytes := b else later_bytes := !later_bytes + b
   done;
   Alcotest.(check int) "standby is current" 0 (Aurora_core.Ha.lag_epochs ha);

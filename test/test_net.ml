@@ -91,6 +91,45 @@ let test_reset_clears_state_and_replays () =
   in
   Alcotest.(check bool) "decision sequence replays" true (first = second)
 
+let test_partition_at_scripted () =
+  let link = Link.create () in
+  Link.partition_at link ~at:10_000 ~duration:5_000;
+  Link.partition_at link ~at:40_000 ~duration:2_000;
+  Alcotest.(check (list (pair int int)))
+    "windows recorded"
+    [ (10_000, 15_000); (40_000, 42_000) ]
+    (Link.scheduled_partitions link);
+  (* Before the window: clean delivery. *)
+  Alcotest.(check int) "before window delivers" 1
+    (List.length (Link.transmit link ~now:0 ~payload ()));
+  (* Inside the window: the link is dark, no dice involved. *)
+  Alcotest.(check int) "inside window drops" 0
+    (List.length (Link.transmit link ~now:12_000 ~payload ()));
+  Alcotest.(check int) "partition drop counted" 1
+    (Link.stats link).Link.l_partition_drops;
+  (* After the heal: clean again, until the second window. *)
+  Alcotest.(check int) "after heal delivers" 1
+    (List.length (Link.transmit link ~now:20_000 ~payload ()));
+  Alcotest.(check int) "second window drops" 0
+    (List.length (Link.transmit link ~now:41_000 ~payload ()))
+
+let test_partition_at_survives_reset () =
+  (* Scripted windows are part of the deterministic scenario, like the
+     fault profile: reset replays the run, it does not unschedule. *)
+  let link = Link.create () in
+  Link.partition_at link ~at:5_000 ~duration:5_000;
+  Alcotest.(check int) "window active" 0
+    (List.length (Link.transmit link ~now:6_000 ~payload ()));
+  Link.reset link;
+  Alcotest.(check (list (pair int int)))
+    "still scheduled after reset"
+    [ (5_000, 10_000) ]
+    (Link.scheduled_partitions link);
+  Alcotest.(check int) "window still active after reset" 0
+    (List.length (Link.transmit link ~now:6_000 ~payload ()));
+  Alcotest.(check int) "outside window delivers" 1
+    (List.length (Link.transmit link ~now:20_000 ~payload ()))
+
 let test_retransmit_marked () =
   let link = Link.create () in
   ignore (Link.transmit link ~now:0 ~payload ());
@@ -112,5 +151,9 @@ let () =
           Alcotest.test_case "reset clears and replays" `Quick
             test_reset_clears_state_and_replays;
           Alcotest.test_case "retransmit marked" `Quick test_retransmit_marked;
+          Alcotest.test_case "scripted partition windows" `Quick
+            test_partition_at_scripted;
+          Alcotest.test_case "scripted windows survive reset" `Quick
+            test_partition_at_survives_reset;
         ] );
     ]
