@@ -20,12 +20,13 @@ let control label mode =
       Printf.printf "control %-5s FAIL %s\n%!" label e;
       ok := false
 
-let run_sweep ~seed ~runs_per_rate ~rates ~rounds =
-  let s = Ha_torture.sweep ~seed ~runs_per_rate ~rates ~rounds in
+let run_sweep ?(speculative = false) ~seed ~runs_per_rate ~rates ~rounds () =
+  let s = Ha_torture.sweep ~speculative ~seed ~runs_per_rate ~rates ~rounds () in
   Printf.printf
-    "sweep seed=%-8d runs=%-3d ok=%-3d shipped=%d retx=%d dups=%d rejects=%d \
-     fallbacks=%d\n\
+    "sweep %-5s seed=%-8d runs=%-3d ok=%-3d shipped=%d retx=%d dups=%d \
+     rejects=%d fallbacks=%d\n\
      %!"
+    (if speculative then "spec" else "stw")
     seed s.Ha_torture.h_runs s.Ha_torture.h_ok s.Ha_torture.h_shipments
     s.Ha_torture.h_retransmits s.Ha_torture.h_dup_acks
     s.Ha_torture.h_verify_rejects s.Ha_torture.h_fallbacks;
@@ -37,7 +38,9 @@ let run_sweep ~seed ~runs_per_rate ~rates ~rounds =
 let fast () =
   control "meta" Ha_torture.Meta;
   control "page" Ha_torture.Page;
-  run_sweep ~seed:42 ~runs_per_rate:3 ~rates:[ 0.0; 0.05; 0.10 ] ~rounds:6
+  run_sweep ~seed:42 ~runs_per_rate:3 ~rates:[ 0.0; 0.05; 0.10 ] ~rounds:6 ();
+  run_sweep ~speculative:true ~seed:42 ~runs_per_rate:3
+    ~rates:[ 0.0; 0.05; 0.10 ] ~rounds:6 ()
 
 let deep seed =
   control "meta" Ha_torture.Meta;
@@ -46,7 +49,10 @@ let deep seed =
     (fun s ->
       run_sweep ~seed:s ~runs_per_rate:8
         ~rates:[ 0.0; 0.01; 0.02; 0.05; 0.08; 0.10 ]
-        ~rounds:12)
+        ~rounds:12 ();
+      run_sweep ~speculative:true ~seed:s ~runs_per_rate:8
+        ~rates:[ 0.0; 0.01; 0.02; 0.05; 0.08; 0.10 ]
+        ~rounds:12 ())
     [ seed; seed + 1; seed + 2 ]
 
 let () =

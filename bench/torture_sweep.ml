@@ -51,16 +51,24 @@ let run_sweep label ~seed ~runs profile =
 
 let fast () =
   run_enumeration "standard" Workload.standard;
-  run_pair_enumeration "two-group" (pair_workloads ~seed:20260809);
+  run_enumeration "standard-spec" (Workload.speculative_arm Workload.standard);
+  (let a, b = pair_workloads ~seed:20260809 in
+   run_pair_enumeration "two-group" (a, b);
+   run_pair_enumeration "two-group-spec"
+     (Workload.speculative_arm a, Workload.speculative_arm b));
   run_sweep "read-errors" ~seed:42 ~runs:4 (Injector.read_errors_profile 0.05);
   run_sweep "write-loss" ~seed:42 ~runs:4 (Injector.write_loss_profile 0.1)
 
 let deep seed =
   run_enumeration "standard" Workload.standard;
+  run_enumeration "standard-spec" (Workload.speculative_arm Workload.standard);
   for i = 0 to 2 do
     let rng = Rng.create (seed + i) in
     let ops = Workload.gen_ops rng ~n:10 ~max_oid:5 ~max_pages:12 in
-    run_enumeration (Printf.sprintf "random(seed=%d)" (seed + i)) ops
+    run_enumeration (Printf.sprintf "random(seed=%d)" (seed + i)) ops;
+    run_enumeration
+      (Printf.sprintf "random-spec(seed=%d)" (seed + i))
+      (Workload.speculative_arm ops)
   done;
   run_sweep "read-errors" ~seed ~runs:25 (Injector.read_errors_profile 0.1);
   run_sweep "write-loss" ~seed ~runs:25 (Injector.write_loss_profile 0.15);

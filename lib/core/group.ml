@@ -1,5 +1,7 @@
 module Clock = Aurora_sim.Clock
 module Cost = Aurora_sim.Cost
+module Resource = Aurora_sim.Resource
+module Genlog = Aurora_sim.Genlog
 module Machine = Aurora_kern.Machine
 module Process = Aurora_kern.Process
 module Fdesc = Aurora_kern.Fdesc
@@ -12,6 +14,7 @@ module Vnode = Aurora_kern.Vnode
 module Vm_map = Aurora_vm.Vm_map
 module Vm_object = Aurora_vm.Vm_object
 module Vm_space = Aurora_vm.Vm_space
+module Pmap = Aurora_vm.Pmap
 module Page = Aurora_vm.Page
 module Store = Aurora_objstore.Store
 module Fs = Aurora_fs.Fs
@@ -23,6 +26,8 @@ let h_ckpt_quiesce = Ometrics.histogram "ckpt.quiesce_ns"
 let h_ckpt_serialize = Ometrics.histogram "ckpt.serialize_ns"
 let h_ckpt_shadow = Ometrics.histogram "ckpt.shadow_ns"
 let h_ckpt_flush = Ometrics.histogram "ckpt.flush_ns"
+let h_ckpt_speculate = Ometrics.histogram "ckpt.speculate_ns"
+let h_ckpt_validate = Ometrics.histogram "ckpt.validate_ns"
 let h_ckpt_durable_lag = Ometrics.histogram "ckpt.durable_lag_ns"
 let m_ckpt_epochs = Ometrics.counter "ckpt.epochs"
 let m_ckpt_objects = Ometrics.counter "ckpt.objects_serialized"
@@ -67,6 +72,10 @@ type ckpt_stats = {
   objects_serialized : int;
   objects_skipped : int;
   meta_bytes_written : int;
+  speculate_ns : int;
+  validate_ns : int;
+  conflict_objects : int;
+  conflict_pages : int;
 }
 
 type t = {
@@ -100,6 +109,23 @@ type t = {
   mutable c_serialized : int; (* OS objects serialized this cycle *)
   mutable c_skipped : int; (* OS objects dirty-checked and skipped *)
   mutable c_meta_bytes : int; (* serialized OS metadata staged this cycle *)
+  (* Speculative soft-quiesce state (see checkpoint_common).  All of it is
+     cycle-scoped except [speculative], the group's default mode. *)
+  mutable speculative : bool;
+  mutable spec_phase : bool; (* inside the soft serialize window *)
+  mutable spec_last_yield : int;
+  mutable spec_busy_ns : int; (* serialize CPU attributed to spec_cpu *)
+  mutable c_spec_base : int; (* c_serialized after the initial soft pass *)
+  mutable c_conflict_pages : int; (* pages re-copied after the harvest *)
+  spec_cpu : Resource.t; (* the spare core running speculative serialize *)
+  spec_thunks : (int * int, unit -> unit) Hashtbl.t;
+      (* (Genlog kind, kernel id) -> re-serialize closure recorded when
+         the speculation pass visited the object; the validator re-runs
+         exactly the logged conflict set instead of re-walking the graph *)
+  spec_pages : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* mo_oid -> page indexes staged speculatively; flush skips these *)
+  spec_proc_snap : (int, int) Hashtbl.t;
+      (* pid_global -> effective generation at the last speculation round *)
 }
 
 let attach ~machine ~store ?fs ?(period_ns = 10_000_000) ?group_oid procs =
@@ -129,6 +155,16 @@ let attach ~machine ~store ?fs ?(period_ns = 10_000_000) ?group_oid procs =
       c_serialized = 0;
       c_skipped = 0;
       c_meta_bytes = 0;
+      speculative = false;
+      spec_phase = false;
+      spec_last_yield = 0;
+      spec_busy_ns = 0;
+      c_spec_base = 0;
+      c_conflict_pages = 0;
+      spec_cpu = Resource.create ~name:"ckpt-spec-cpu";
+      spec_thunks = Hashtbl.create 64;
+      spec_pages = Hashtbl.create 16;
+      spec_proc_snap = Hashtbl.create 16;
     }
   in
   t
@@ -152,6 +188,8 @@ let detach_process t p =
 
 let ext_sync_enabled t = t.ext_sync
 let set_ext_sync t v = t.ext_sync <- v
+let speculative_enabled t = t.speculative
+let set_speculative t v = t.speculative <- v
 let group_oid t = t.grp_oid
 let last_epoch t = t.last_epoch_committed
 
@@ -273,6 +311,45 @@ let register_restored_memobj t ~oid obj =
 
 let charge t ns = Clock.advance (clock t) ns
 
+(* Soft-quiesce yields -------------------------------------------------------
+
+   During the speculation phase the serialize CPU is a spare core, not
+   the application's: every [spec_yield_quantum] ns of accumulated
+   serialize work we account that time to [spec_cpu] and open a
+   concurrency window so the workload driver runs the threads forward.
+   Mutations landing in such a window are exactly what the validator
+   later re-copies. *)
+
+let spec_yield_quantum = 50_000
+
+(* Fold the serialize time since the last yield into the spec core's
+   occupancy. *)
+let spec_account t =
+  let now = Clock.now (clock t) in
+  let dt = now - t.spec_last_yield in
+  if dt > 0 then begin
+    t.spec_busy_ns <- t.spec_busy_ns + dt;
+    ignore (Resource.submit t.spec_cpu ~now ~duration:dt);
+    t.spec_last_yield <- now
+  end
+
+let spec_maybe_yield t =
+  if t.spec_phase then begin
+    let now = Clock.now (clock t) in
+    let dt = now - t.spec_last_yield in
+    if dt >= spec_yield_quantum then begin
+      spec_account t;
+      Machine.concurrent_window t.mach ~ns:dt;
+      (* Whatever the hook ran was application time, not serialize time. *)
+      t.spec_last_yield <- Clock.now (clock t)
+    end
+  end
+
+(* Record how to revisit a kernel object so a Genlog conflict note can be
+   resolved without re-walking the object graph. *)
+let spec_register t ~kind ~id thunk =
+  if t.spec_phase then Hashtbl.replace t.spec_thunks (kind, id) thunk
+
 let put_obj t ~oid ~kind ~meta =
   if t.persist then Store.put_object t.st ~oid ~kind ~meta
 
@@ -368,10 +445,13 @@ let ckpt_obj t ~oid ~gen ~children ~serialize =
                 ("oid", Otrace.Int oid);
                 ("kind", Otrace.Str kind);
                 ("bytes", Otrace.Int (String.length meta));
-              ]
+              ];
+        spec_maybe_yield t
       end)
 
-let checkpoint_pipe t pipe =
+let rec checkpoint_pipe t pipe =
+  spec_register t ~kind:Genlog.kind_pipe ~id:(Pipe.id pipe) (fun () ->
+      ignore (checkpoint_pipe t pipe));
   let oid = sub_oid t "pipe" (Pipe.id pipe) in
   ckpt_obj t ~oid ~gen:(Pipe.generation pipe)
     ~children:(fun () -> ())
@@ -386,7 +466,9 @@ let checkpoint_pipe t pipe =
           } ));
   oid
 
-let checkpoint_kqueue t kq =
+let rec checkpoint_kqueue t kq =
+  spec_register t ~kind:Genlog.kind_kqueue ~id:(Kqueue.id kq) (fun () ->
+      ignore (checkpoint_kqueue t kq));
   let oid = sub_oid t "kqueue" (Kqueue.id kq) in
   ckpt_obj t ~oid ~gen:(Kqueue.generation kq)
     ~children:(fun () -> ())
@@ -412,7 +494,9 @@ let checkpoint_kqueue t kq =
   (Serial.kind_kqueue, Serial.kqueue_to_string evs));
   oid
 
-let checkpoint_pty t pty =
+let rec checkpoint_pty t pty =
+  spec_register t ~kind:Genlog.kind_pty ~id:(Pty.id pty) (fun () ->
+      ignore (checkpoint_pty t pty));
   let oid = sub_oid t "pty" (Pty.id pty) in
   ckpt_obj t ~oid ~gen:(Pty.generation pty)
     ~children:(fun () -> ())
@@ -438,6 +522,8 @@ let addr_image = function
 (* Sockets reference in-flight SCM_RIGHTS descriptions, so serializing one
    may recursively serialize descriptions not present in any fd table. *)
 let rec checkpoint_socket t sock =
+  spec_register t ~kind:Genlog.kind_socket ~id:(Socket.id sock) (fun () ->
+      ignore (checkpoint_socket t sock));
   let oid = sub_oid t "socket" (Socket.id sock) in
   ckpt_obj t ~oid ~gen:(Socket.generation sock)
     ~children:(fun () ->
@@ -501,6 +587,8 @@ let rec checkpoint_socket t sock =
   oid
 
 and checkpoint_shm t shm =
+  spec_register t ~kind:Genlog.kind_shm ~id:(Shm.id shm) (fun () ->
+      ignore (checkpoint_shm t shm));
   let oid = sub_oid t "shm" (Shm.id shm) in
   ckpt_obj t ~oid ~gen:(Shm.generation shm)
     ~children:(fun () ->
@@ -540,6 +628,8 @@ and checkpoint_vnode_ref t vn =
   | None -> 0
 
 and checkpoint_desc t (d : Fdesc.t) =
+  spec_register t ~kind:Genlog.kind_fdesc ~id:d.Fdesc.desc_id (fun () ->
+      ignore (checkpoint_desc t d));
   let oid = desc_oid t d in
   ckpt_obj t ~oid ~gen:(Fdesc.generation d)
     ~children:(fun () ->
@@ -596,15 +686,16 @@ let entry_image t (e : Vm_map.entry) =
     i_obj_pgoff = e.Vm_map.obj_pgoff;
   }
 
+let proc_oid t (p : Process.t) =
+  match Hashtbl.find_opt t.proc_oids p.Process.pid_local with
+  | Some oid -> oid
+  | None ->
+      let oid = Store.alloc_oid t.st in
+      Hashtbl.replace t.proc_oids p.Process.pid_local oid;
+      oid
+
 let checkpoint_proc t (p : Process.t) =
-  let oid =
-    match Hashtbl.find_opt t.proc_oids p.Process.pid_local with
-    | Some oid -> oid
-    | None ->
-        let oid = Store.alloc_oid t.st in
-        Hashtbl.replace t.proc_oids p.Process.pid_local oid;
-        oid
-  in
+  let oid = proc_oid t p in
   (* The process image folds in thread CPU state and the vm layout, so the
      stamp compared is the composite one.  In-flight AIO reads are part of
      the image too, but every AIO transition touches the owner process. *)
@@ -733,6 +824,11 @@ let interpose_shadow t spaces r =
 let flush_frozen t r =
   match r.frozen with
   | None -> 0
+  | Some _ when Hashtbl.mem t.spec_pages r.mo_oid ->
+      (* Speculatively harvested: the staged image already holds every
+         local page of the frozen shadow (harvest + conflict splices);
+         staging it again would only repeat identical put_pages. *)
+      Hashtbl.length (Hashtbl.find t.spec_pages r.mo_oid)
   | Some f ->
       let pages = ref [] in
       Vm_object.iter_local f (fun idx page ->
@@ -805,10 +901,243 @@ let live_members t =
 let persistent_members t =
   List.filter (fun p -> not p.Process.ephemeral) (live_members t)
 
-let checkpoint_common t ~flush ~full =
+(* Harvest the MMU dirty bits of file-backed mappings into the vnodes'
+   dirty sets: stores through memory persist exactly like write(2)s
+   (files and memory are one in the object store, section 5.2). *)
+let harvest_file_dirty t procs =
+  match t.filesystem with
+  | None -> ()
+  | Some filesystem ->
+      List.iter
+        (fun p ->
+          let space = p.Process.space in
+          List.iter
+            (fun (e : Vm_map.entry) ->
+              match Vm_object.kind e.Vm_map.obj with
+              | Vm_object.Vnode_backed inode -> (
+                  match Fs.vnode_by_inode filesystem inode with
+                  | Some vn ->
+                      Pmap.iter (Vm_space.pmap space) (fun vpn pte ->
+                          if
+                            pte.Pmap.dirty
+                            && vpn >= e.Vm_map.start_vpn
+                            && vpn < e.Vm_map.start_vpn + e.Vm_map.npages
+                          then begin
+                            Vnode.mark_dirty vn
+                              (vpn - e.Vm_map.start_vpn + e.Vm_map.obj_pgoff);
+                            pte.Pmap.dirty <- false
+                          end)
+                  | None -> ())
+              | Vm_object.Anonymous | Vm_object.Device_backed _ -> ())
+            (Vm_map.entries (Vm_space.map space)))
+        procs
+
+(* The group object references the members' process images; staged every
+   flushed cycle (no generation stamp: it is tiny and always current). *)
+let stage_group_obj t ~proc_oids =
+  let ephemeral_parents =
+    List.filter_map
+      (fun p ->
+        if p.Process.ephemeral then
+          match Machine.proc t.mach p.Process.ppid with
+          | Some parent -> Some parent.Process.pid_local
+          | None -> None
+        else None)
+      (live_members t)
+    |> List.sort_uniq compare
+  in
+  put_obj t ~oid:t.grp_oid ~kind:Serial.kind_group
+    ~meta:
+      (Serial.group_to_string
+         {
+           Serial.i_proc_oids = proc_oids;
+           i_period = t.period;
+           i_ext_sync_on = t.ext_sync;
+           i_name_ckpts = t.named;
+           i_ephemeral_parents = ephemeral_parents;
+         })
+
+(* The OS-state serialize pass, shared between the stop-the-world path
+   and the speculation phase.  [fs] gates the file-backed work (vnode
+   dirty-bit harvest plus FS staging): the speculative pass runs with
+   [~fs:false] because file state must be captured at the stop, not
+   mid-execution.  [group_obj] likewise gates the group-object staging,
+   which the validation window redoes from stop-time membership. *)
+let serialize_os t procs ~flush ~fs ~group_obj =
+  if fs then begin
+    harvest_file_dirty t procs;
+    match t.filesystem with
+    | Some filesystem when flush -> Fs.flush_to_store filesystem
+    | Some _ | None -> ()
+  end;
+  let proc_oids = List.map (fun p -> checkpoint_proc t p) procs in
+  (* Shared-memory segments live in global namespaces, not fd tables: the
+     System V namespace is scanned every checkpoint (its Table 4 cost),
+     and named POSIX segments are persisted even when no descriptor is
+     currently open. *)
+  Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.sysv_shm;
+  Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.posix_shm;
+  if group_obj && flush then stage_group_obj t ~proc_oids;
+  proc_oids
+
+(* Speculative soft-quiesce ---------------------------------------------------
+
+   The expensive OS-object serialize runs on a spare core while the
+   workload keeps executing in concurrency windows; generation stamps,
+   the Genlog mutation log and the pmap's speculative dirty-bit plane
+   record what changed underneath it.  Pre-stop refinement rounds chase
+   the conflict set down while still soft; the short validation pass
+   inside the stop window then re-copies only what moved since and
+   splices it over the staged image (the store's staging layer replaces
+   rows in place, so the newest copy wins). *)
+
+let spec_max_rounds = 4
+let spec_converged = 2 (* refine again only above this many conflicts *)
+
+(* Harvest every local page of an ever-flushed memrec's writable top into
+   the staged image.  Never-flushed memrecs keep the normal first-flush
+   path: their base-merge logic stays in [flush_frozen]. *)
+let spec_harvest_memrec t r =
+  if r.ever_flushed then begin
+    let set = Hashtbl.create 32 in
+    let pages = ref [] in
+    Vm_object.iter_local r.top (fun idx page ->
+        Hashtbl.replace set idx ();
+        pages := (idx, Page.blit_payload page) :: !pages);
+    if !pages <> [] then put_pgs t ~oid:r.mo_oid !pages;
+    Hashtbl.replace t.spec_pages r.mo_oid set
+  end
+
+(* Drain the speculative dirty plane and re-stage the conflict pages.
+   Only sound while the address-space structure is unchanged; after a
+   fork or unmap the caller discards the speculative staging instead
+   ([flush_frozen]'s normal path then rewrites every row with stop-time
+   content). *)
+let spec_splice_pages t spaces =
+  let count = ref 0 in
+  List.iter
+    (fun space ->
+      List.iter
+        (fun vpn ->
+          match Vm_map.find (Vm_space.map space) vpn with
+          | Some e when not e.Vm_map.excluded -> (
+              match memrec_of_top t e.Vm_map.obj with
+              | Some r when Hashtbl.mem t.spec_pages r.mo_oid -> (
+                  let idx = vpn - e.Vm_map.start_vpn + e.Vm_map.obj_pgoff in
+                  match Vm_object.find_local e.Vm_map.obj idx with
+                  | Some page ->
+                      charge t Cost.page_copy;
+                      put_pgs t ~oid:r.mo_oid [ (idx, Page.blit_payload page) ];
+                      Hashtbl.replace (Hashtbl.find t.spec_pages r.mo_oid) idx ();
+                      incr count
+                  | None -> ())
+              | Some _ | None -> ())
+          | Some _ | None -> ())
+        (Vm_space.spec_drain space))
+    spaces;
+  t.c_conflict_pages <- t.c_conflict_pages + !count;
+  !count
+
+(* One conflict-chasing round over the OS objects: processes whose
+   composite stamp moved since their last visit, the logged kernel-object
+   mutations, and shared-memory segments created mid-window (they have no
+   thunk and may have no open descriptor).  Work is proportional to the
+   mutation count, not the object count — clean objects cost one
+   dirty-check for procs and nothing at all otherwise. *)
+let spec_refine_round t procs =
+  Hashtbl.reset t.seen;
+  let s0 = t.c_serialized in
+  List.iter
+    (fun p ->
+      let g = Process.effective_generation p in
+      if Hashtbl.find_opt t.spec_proc_snap p.Process.pid_global <> Some g then begin
+        ignore (checkpoint_proc t p);
+        Hashtbl.replace t.spec_proc_snap p.Process.pid_global g
+      end
+      else charge t Cost.ckpt_dirty_check)
+    procs;
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt t.spec_thunks key with
+      | Some thunk -> thunk ()
+      | None -> ())
+    (Genlog.drain ());
+  let scan _ shm =
+    if not (Hashtbl.mem t.spec_thunks (Genlog.kind_shm, Shm.id shm)) then
+      ignore (checkpoint_shm t shm)
+  in
+  Hashtbl.iter scan t.mach.Machine.sysv_shm;
+  Hashtbl.iter scan t.mach.Machine.posix_shm;
+  t.c_serialized - s0
+
+(* The soft window: serialize and harvest concurrently with execution,
+   then refine until the conflict set converges (or give up and let the
+   stop window drain the rest). *)
+let speculate t procs spaces =
+  List.iter Vm_space.spec_begin spaces;
+  Hashtbl.reset t.spec_thunks;
+  Hashtbl.reset t.spec_proc_snap;
+  Genlog.arm ();
+  t.spec_phase <- true;
+  t.spec_busy_ns <- 0;
+  t.spec_last_yield <- Clock.now (clock t);
+  List.iter
+    (fun p ->
+      Hashtbl.replace t.spec_proc_snap p.Process.pid_global
+        (Process.effective_generation p))
+    procs;
+  Otrace.with_span ~cat:"ckpt" ~name:"speculate.serialize" (fun () ->
+      ignore (serialize_os t procs ~flush:t.persist ~fs:false ~group_obj:false : int list);
+      spec_account t);
+  Otrace.with_span ~cat:"ckpt" ~name:"speculate.harvest" (fun () ->
+      List.iter
+        (fun r ->
+          spec_harvest_memrec t r;
+          spec_maybe_yield t)
+        (mark_targets t spaces);
+      spec_account t);
+  t.c_spec_base <- t.c_serialized;
+  t.c_conflict_pages <- 0;
+  let rec refine round =
+    if round < spec_max_rounds then begin
+      let conflicts =
+        Otrace.with_span ~cat:"ckpt" ~name:"speculate.round" (fun () ->
+            let objs = spec_refine_round t procs in
+            let pgs =
+              if List.exists Vm_space.spec_structural spaces then 0
+              else spec_splice_pages t spaces
+            in
+            spec_account t;
+            objs + pgs)
+      in
+      if conflicts > spec_converged then refine (round + 1)
+    end
+  in
+  refine 0;
+  t.spec_phase <- false
+
+(* The validation pass, inside the stop window: capture file-backed state
+   (never speculated), drain the last conflicts, splice the final page
+   set, and restage the group object from stop-time membership.  On a
+   structural change (fork/unmap mid-window) the speculative page staging
+   is discarded wholesale: the normal flush path rewrites every row from
+   the frozen shadows with stop-time content, exactly as stop-the-world
+   would have. *)
+let spec_validate t procs spaces =
+  harvest_file_dirty t procs;
+  (match t.filesystem with
+  | Some filesystem when t.persist -> Fs.flush_to_store filesystem
+  | Some _ | None -> ());
+  ignore (spec_refine_round t procs : int);
+  if List.exists Vm_space.spec_structural spaces then
+    Hashtbl.reset t.spec_pages
+  else ignore (spec_splice_pages t spaces : int);
+  if t.persist then stage_group_obj t ~proc_oids:(List.map (proc_oid t) procs);
+  List.iter Vm_space.spec_end spaces;
+  Genlog.disarm ()
+
+let checkpoint_common t ~flush ~full ~speculative =
   let clk = clock t in
-  let procs = persistent_members t in
-  let spaces = List.map (fun p -> p.Process.space) procs in
   (* The previous checkpoint must be durable before we start another
      (section 7: "Aurora waits for a checkpoint to fully persist before
      initiating another one"). *)
@@ -818,16 +1147,36 @@ let checkpoint_common t ~flush ~full =
   t.c_serialized <- 0;
   t.c_skipped <- 0;
   t.c_meta_bytes <- 0;
+  t.c_spec_base <- 0;
+  t.c_conflict_pages <- 0;
   Hashtbl.reset t.seen;
+  Hashtbl.reset t.spec_pages;
+  (* Speculation needs generation stamps to carry meaning (incremental)
+     and a staged image to splice over (flushed). *)
+  let spec = speculative && flush && not full in
   let epoch = if flush then Store.begin_checkpoint t.st else Store.last_complete_epoch t.st in
-  let stop_begin = Clock.now clk in
-  (* The epoch span covers the synchronous work of the cycle: the stop
-     window (phases 1-5) plus the flush submission (phase 6).  Every
+  (* The epoch span covers the synchronous work of the cycle: the
+     speculation window (phase 0, concurrent with execution), the stop
+     window (phases 1-5) and the flush submission (phase 6).  Every
      clock advance below happens inside one of the phase sub-spans, so
      the children's virtual durations sum exactly to the epoch's. *)
   Otrace.with_span ~cat:"ckpt" ~name:"epoch"
     ~args:[ ("epoch", Otrace.Int epoch); ("flush", Otrace.Int (Bool.to_int flush)) ]
   @@ fun () ->
+  (* 0. Speculate: soft serialize + harvest, concurrently with execution. *)
+  let spec_t0 = Clock.now clk in
+  if spec then begin
+    let procs = persistent_members t in
+    let spaces = List.map (fun p -> p.Process.space) procs in
+    Otrace.with_span ~cat:"ckpt" ~name:"speculate" (fun () ->
+        speculate t procs spaces)
+  end;
+  let speculate_ns = Clock.elapsed_since clk spec_t0 in
+  (* Membership is re-read at the stop: the soft window may have forked
+     or exited processes while the workload ran. *)
+  let procs = persistent_members t in
+  let spaces = List.map (fun p -> p.Process.space) procs in
+  let stop_begin = Clock.now clk in
   (* 1. Quiesce. *)
   let quiesce_begin = Clock.now clk in
   Otrace.with_span ~cat:"ckpt" ~name:"quiesce" (fun () ->
@@ -837,75 +1186,20 @@ let checkpoint_common t ~flush ~full =
   (* 2. Collapse the flushed shadows of the previous epoch. *)
   Otrace.with_span ~cat:"ckpt" ~name:"collapse" (fun () ->
       Hashtbl.iter (fun _ r -> collapse_frozen t r) t.memrecs);
-  (* 3. Serialize OS state (each POSIX object into its own store object). *)
+  (* 3. Serialize OS state (each POSIX object into its own store object),
+     or — under speculation — validate the staged image against what
+     moved during the soft window. *)
   let os_begin = Clock.now clk in
-  let (_ : int list) =
-    Otrace.with_span ~cat:"ckpt" ~name:"serialize" @@ fun () ->
-    (* Harvest the MMU dirty bits of file-backed mappings into the vnodes'
-       dirty sets: stores through memory persist exactly like write(2)s
-       (files and memory are one in the object store, section 5.2). *)
-    (match t.filesystem with
-    | Some filesystem ->
-        List.iter
-          (fun p ->
-            let space = p.Process.space in
-            List.iter
-              (fun (e : Vm_map.entry) ->
-                match Vm_object.kind e.Vm_map.obj with
-                | Vm_object.Vnode_backed inode -> (
-                    match Fs.vnode_by_inode filesystem inode with
-                    | Some vn ->
-                        Aurora_vm.Pmap.iter (Vm_space.pmap space) (fun vpn pte ->
-                            if
-                              pte.Aurora_vm.Pmap.dirty
-                              && vpn >= e.Vm_map.start_vpn
-                              && vpn < e.Vm_map.start_vpn + e.Vm_map.npages
-                            then begin
-                              Vnode.mark_dirty vn
-                                (vpn - e.Vm_map.start_vpn + e.Vm_map.obj_pgoff);
-                              pte.Aurora_vm.Pmap.dirty <- false
-                            end)
-                    | None -> ())
-                | Vm_object.Anonymous | Vm_object.Device_backed _ -> ())
-              (Vm_map.entries (Vm_space.map space)))
-          procs
-    | None -> ());
-    (match t.filesystem with
-    | Some filesystem when flush -> Fs.flush_to_store filesystem
-    | Some _ | None -> ());
-    let proc_oids = List.map (fun p -> checkpoint_proc t p) procs in
-    (* Shared-memory segments live in global namespaces, not fd tables: the
-       System V namespace is scanned every checkpoint (its Table 4 cost),
-       and named POSIX segments are persisted even when no descriptor is
-       currently open. *)
-    Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.sysv_shm;
-    Hashtbl.iter (fun _ shm -> ignore (checkpoint_shm t shm)) t.mach.Machine.posix_shm;
-    if flush then begin
-      let ephemeral_parents =
-        List.filter_map
-          (fun p ->
-            if p.Process.ephemeral then
-              match Machine.proc t.mach p.Process.ppid with
-              | Some parent -> Some parent.Process.pid_local
-              | None -> None
-            else None)
-          (live_members t)
-        |> List.sort_uniq compare
-      in
-      put_obj t ~oid:t.grp_oid ~kind:Serial.kind_group
-        ~meta:
-          (Serial.group_to_string
-             {
-               Serial.i_proc_oids = proc_oids;
-               i_period = t.period;
-               i_ext_sync_on = t.ext_sync;
-               i_name_ckpts = t.named;
-               i_ephemeral_parents = ephemeral_parents;
-             })
-    end;
-    proc_oids
-  in
+  if spec then
+    Otrace.with_span ~cat:"ckpt" ~name:"validate" (fun () ->
+        spec_validate t procs spaces)
+  else
+    ignore
+      (Otrace.with_span ~cat:"ckpt" ~name:"serialize" (fun () ->
+           serialize_os t procs ~flush ~fs:true ~group_obj:true)
+        : int list);
   let os_ns = Clock.elapsed_since clk os_begin in
+  let validate_ns = if spec then os_ns else 0 in
   (* 4. System shadowing: freeze the dirty sets, one shadow per writable
      object across the whole group. *)
   let mark_begin = Clock.now clk in
@@ -973,6 +1267,9 @@ let checkpoint_common t ~flush ~full =
   let durable_at =
     if flush then max (Store.durable_at t.st) aio_write_done else Clock.now clk
   in
+  (* Under speculation the serialize CPU ran on the spare core: report
+     its busy time, not the (tiny) validate elapsed. *)
+  let serialize_ns = if spec then t.spec_busy_ns else os_ns in
   if Ometrics.is_enabled () then begin
     Ometrics.incr m_ckpt_epochs;
     Ometrics.incr ~by:t.c_serialized m_ckpt_objects;
@@ -981,16 +1278,20 @@ let checkpoint_common t ~flush ~full =
     Ometrics.incr ~by:pages_flushed m_ckpt_pages;
     Ometrics.observe_ns h_ckpt_stop stop_ns;
     Ometrics.observe_ns h_ckpt_quiesce quiesce_ns;
-    Ometrics.observe_ns h_ckpt_serialize os_ns;
+    Ometrics.observe_ns h_ckpt_serialize serialize_ns;
     Ometrics.observe_ns h_ckpt_shadow mark_ns;
     Ometrics.observe_ns h_ckpt_flush flush_ns;
+    if spec then begin
+      Ometrics.observe_ns h_ckpt_speculate speculate_ns;
+      Ometrics.observe_ns h_ckpt_validate validate_ns
+    end;
     Ometrics.observe_ns h_ckpt_durable_lag
       (Stdlib.max 0 (durable_at - Clock.now clk))
   end;
   {
     stop_ns;
     quiesce_ns;
-    os_serialize_ns = os_ns;
+    os_serialize_ns = serialize_ns;
     mem_mark_ns = mark_ns;
     flush_ns;
     pages_flushed;
@@ -1007,6 +1308,10 @@ let checkpoint_common t ~flush ~full =
     objects_serialized = t.c_serialized;
     objects_skipped = t.c_skipped;
     meta_bytes_written = t.c_meta_bytes;
+    speculate_ns;
+    validate_ns;
+    conflict_objects = (if spec then t.c_serialized - t.c_spec_base else 0);
+    conflict_pages = t.c_conflict_pages;
   }
 
 (* After a restore, entries point directly at the restored logical
@@ -1063,6 +1368,10 @@ let checkpoint_region t (entry : Vm_map.entry) =
     objects_serialized = 0;
     objects_skipped = 0;
     meta_bytes_written = 0;
+    speculate_ns = 0;
+    validate_ns = 0;
+    conflict_objects = 0;
+    conflict_pages = 0;
   }
 
 (* Memory overcommitment: the unified zero-copy swap path. ------------------ *)
@@ -1119,12 +1428,16 @@ let resident_group_pages t =
     (fun acc p -> acc + Vm_space.resident_pages p.Process.space)
     0 (persistent_members t)
 
-let checkpoint ?(wait_durable = false) ?(full = false) t =
-  let stats = checkpoint_common t ~flush:true ~full in
+let checkpoint ?(wait_durable = false) ?(full = false) ?speculative t =
+  let speculative =
+    match speculative with Some v -> v | None -> t.speculative
+  in
+  let stats = checkpoint_common t ~flush:true ~full ~speculative in
   if wait_durable then Store.wait_durable t.st;
   stats
 
-let checkpoint_mem_only t = checkpoint_common t ~flush:false ~full:false
+let checkpoint_mem_only t =
+  checkpoint_common t ~flush:false ~full:false ~speculative:false
 
 let suspend t =
   let stats = checkpoint ~wait_durable:true t in

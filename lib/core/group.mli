@@ -58,6 +58,32 @@ type ckpt_stats = {
   meta_bytes_written : int;
       (** serialized OS metadata staged this cycle (skipped objects
           contribute nothing) *)
+  speculate_ns : int;
+      (** virtual duration of the speculation window (phase 0): soft
+          serialize, page harvest and pre-stop refinement rounds, all
+          concurrent with execution.  0 on stop-the-world cycles. *)
+  validate_ns : int;
+      (** in-stop time spent validating the speculative image: the
+          conflict-set drain, the page splices and the file-backed
+          capture.  0 on stop-the-world cycles.
+
+          Semantics of the timing fields under speculation: [stop_ns]
+          still measures the full application stop window, which now
+          contains quiesce + collapse + {e validation} + shadow + resume
+          instead of a full serialize — so
+          [stop_ns >= quiesce_ns + validate_ns] always holds, and the
+          conflict re-copy is bounded by the mutations the soft window
+          admitted, not by the object count.  [os_serialize_ns] reports
+          the serialize CPU's busy time on the spare core (charged to the
+          ["ckpt-spec-cpu"] resource), not in-stop time. *)
+  conflict_objects : int;
+      (** OS objects re-serialized after the initial soft pass because
+          they mutated underneath it (refinement rounds + final in-stop
+          drain); 0 on stop-the-world cycles *)
+  conflict_pages : int;
+      (** pages re-copied over the speculative harvest because their
+          speculative dirty bit was set after harvest; 0 on
+          stop-the-world cycles *)
 }
 
 val attach :
@@ -88,7 +114,14 @@ val detach_process : t -> Aurora_kern.Process.t -> unit
 val ext_sync_enabled : t -> bool
 val set_ext_sync : t -> bool -> unit
 
-val checkpoint : ?wait_durable:bool -> ?full:bool -> t -> ckpt_stats
+val speculative_enabled : t -> bool
+
+val set_speculative : t -> bool -> unit
+(** Make speculative soft-quiesce the group's default checkpoint mode
+    (equivalent to passing [~speculative:true] to every {!checkpoint}). *)
+
+val checkpoint :
+  ?wait_durable:bool -> ?full:bool -> ?speculative:bool -> t -> ckpt_stats
 (** One full checkpoint cycle.  With [wait_durable] (default false) the
     clock additionally advances until the checkpoint is on stable storage
     ([sls_barrier] semantics).
@@ -100,7 +133,21 @@ val checkpoint : ?wait_durable:bool -> ?full:bool -> t -> ckpt_stats
     re-staged; the store's epoch-composed read path resolves it from the
     prior epoch and the manifest folds in its cached checksums.
     [~full:true] forces every object to re-serialize and re-stage (the
-    measurement path for Tables 4 and 7, and a safety valve). *)
+    measurement path for Tables 4 and 7, and a safety valve).
+
+    [~speculative:true] (default: the group's {!set_speculative} mode)
+    runs the speculative soft-quiesce cycle: the serialize and harvest
+    work happens {e before} the stop window, concurrent with execution
+    (the workload keeps running through the machine's run hook on the
+    virtual clock), and the stop window shrinks to quiesce + a
+    validation pass that re-copies only what mutated underneath the
+    speculation — conflicts detected through generation stamps, the
+    kernel-object mutation log and the pmap's speculative dirty-bit
+    plane.  The committed image is byte-identical to what a
+    stop-the-world checkpoint at the same stop point would have written.
+    Speculation silently degrades to stop-the-world for [~full:true] and
+    memory-only cycles, where stamps respectively carry no meaning or
+    nothing is staged. *)
 
 val checkpoint_mem_only : t -> ckpt_stats
 (** Stop, serialize and shadow, but skip the store flush — the "Mem"

@@ -40,14 +40,41 @@ type run_report = {
   hr_ok : bool;
 }
 
-let run ~seed ~rounds ~rate =
+let run ?(speculative = false) ~seed ~rounds ~rate () =
   let rng = Rng.create seed in
   let primary = Sls.boot () in
   let p = Syscall.spawn primary.Sls.machine ~name:"svc" in
   let e = Syscall.mmap_anon p ~npages in
   let addr = Vm_space.addr_of_entry e in
   Vm_space.touch_write p.Process.space ~addr ~len:(npages * 4096);
+  (* In the speculative arm the service carries enough kernel objects
+     that each soft serialize pass exceeds the yield quantum, so
+     concurrency windows really open mid-checkpoint. *)
+  let pipes =
+    if speculative then Array.init 48 (fun _ -> Syscall.pipe primary.Sls.machine p)
+    else [||]
+  in
   let group = Sls.attach primary [ p ] in
+  let hook_fired = ref 0 in
+  if speculative then begin
+    Group.set_speculative group true;
+    (* Mutate a scratch page and a pipe whenever the soft-quiesce window
+       opens: the validator must splice these conflicts before the epoch
+       ships, and the shipped image must still byte-match the model
+       (which only reads the round's state page). *)
+    Machine.set_run_hook primary.Sls.machine
+      (Some
+         (fun _ns ->
+           incr hook_fired;
+           let n = !hook_fired in
+           Vm_space.write_string p.Process.space
+             ~addr:(addr + (((n mod (npages - 2)) + 2) * 4096))
+             (Printf.sprintf "mid-%d" n);
+           ignore
+             (Syscall.write primary.Sls.machine p
+                ~fd:(snd pipes.(n mod Array.length pipes))
+                "mid")))
+  end;
   let standby = Sls.boot () in
   let link = Link.create ~name:"ha-torture" () in
   Link.set_faults link ~seed:(seed * 7919) (Link.lossy_profile rate);
@@ -67,6 +94,11 @@ let run ~seed ~rounds ~rate =
        Vm_space.write_string p.Process.space
          ~addr:(addr + ((1 + (r mod (npages - 1))) * 4096))
          (Printf.sprintf "fill-%d" r);
+       (* Keep every pipe dirty so the speculative pass re-serializes
+          them all and accumulates enough work to yield. *)
+       Array.iter
+         (fun (_, wr) -> ignore (Syscall.write primary.Sls.machine p ~fd:wr "r"))
+         pipes;
        ignore (Group.checkpoint ~wait_durable:true group);
        Hashtbl.replace round_of_epoch (Group.last_epoch group) r;
        (* Occasional hard partition on top of the probabilistic faults. *)
@@ -239,13 +271,14 @@ type sweep_report = {
   h_failures : run_report list;
 }
 
-let sweep ~seed ~runs_per_rate ~rates ~rounds =
+let sweep ?(speculative = false) ~seed ~runs_per_rate ~rates ~rounds () =
   let reports =
     List.concat_map
       (fun rate ->
         List.init runs_per_rate (fun i ->
-            run ~seed:(seed + (i * 131) + int_of_float (rate *. 10_000.)) ~rounds
-              ~rate))
+            run ~speculative
+              ~seed:(seed + (i * 131) + int_of_float (rate *. 10_000.))
+              ~rounds ~rate ()))
       rates
   in
   {

@@ -28,9 +28,15 @@ type run_report = {
   hr_ok : bool;
 }
 
-val run : seed:int -> rounds:int -> rate:float -> run_report
+val run :
+  ?speculative:bool -> seed:int -> rounds:int -> rate:float -> unit -> run_report
 (** One deterministic torture run at the given link fault rate
-    ({!Aurora_net.Link.lossy_profile}). *)
+    ({!Aurora_net.Link.lossy_profile}).  With [~speculative:true] the
+    primary checkpoints in soft-quiesce mode and a run hook mutates a
+    scratch page inside every speculation window, so each shipped epoch
+    carries validated conflict splices; when the primary dies with lag
+    (or mid-speculation), failover must still land on a previous
+    model-consistent epoch — never a half-spliced image. *)
 
 type control = Meta | Page
 
@@ -51,10 +57,12 @@ type sweep_report = {
 }
 
 val sweep :
+  ?speculative:bool ->
   seed:int ->
   runs_per_rate:int ->
   rates:float list ->
   rounds:int ->
+  unit ->
   sweep_report
 (** [runs_per_rate] independent runs at every fault rate in [rates]. *)
 

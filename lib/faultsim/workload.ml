@@ -129,6 +129,34 @@ let gen_op rng ~max_oid ~max_pages =
 let gen_ops rng ~n ~max_oid ~max_pages =
   List.init n (fun _ -> gen_op rng ~max_oid ~max_pages)
 
+(* Speculative-checkpoint arm: a soft-quiesce cycle stages every object
+   speculatively while the workload keeps running, then the validator
+   re-puts the conflict set over the staged image, relying on the store's
+   newest-wins staging (last put_object wins wholesale, duplicate
+   put_pages rows replace).  At the store level that is a checkpoint whose
+   object list carries a stale prelude superseded row-by-row by the real
+   content — so rewriting every Checkpoint op this way puts the exact
+   splice mechanism under crash-point enumeration: recovery must land on
+   a model snapshot, never a half-spliced blend of prelude and
+   correction. *)
+let speculative_arm ops =
+  let stale_char c = Char.chr (33 + ((Char.code c + 7 - 33) mod 90)) in
+  List.map
+    (function
+      | Checkpoint objs ->
+          let prelude =
+            List.map
+              (fun (oid, kind, meta, pages) ->
+                ( oid,
+                  kind,
+                  "spec:" ^ meta,
+                  List.map (fun (i, c) -> (i, stale_char c)) pages ))
+              objs
+          in
+          Checkpoint (prelude @ objs)
+      | op -> op)
+    ops
+
 (* The acceptance-criteria workload: three checkpoints with cross-leaf
    page spreads, journal traffic, and a prune — replayed back-to-back with
    no waits, so the commit pipeline stays as deep as it ever gets. *)

@@ -47,6 +47,14 @@ val run_op : runner -> op -> unit
 val gen_op : Aurora_util.Rng.t -> max_oid:int -> max_pages:int -> op
 val gen_ops : Aurora_util.Rng.t -> n:int -> max_oid:int -> max_pages:int -> op list
 
+val speculative_arm : op list -> op list
+(** Rewrite every [Checkpoint] into a speculative soft-quiesce shape: a
+    stale prelude of the same objects (shifted fill chars, tagged meta)
+    followed by the real content, so each row is superseded through the
+    store's newest-wins staging — the mechanism the validator's conflict
+    splice uses.  Crash-point enumeration over the transformed workload
+    demands recovery never observes a half-spliced image. *)
+
 val standard : op list
 (** The acceptance workload: three-plus pipelined checkpoints with
     cross-leaf page spreads, journal create/append/truncate traffic and a

@@ -29,7 +29,9 @@ let create kind =
   { desc_id = !next_id; kind; refs = 1; ext_sync = true; gen = 0 }
 
 let generation t = t.gen
-let touch t = t.gen <- t.gen + 1
+let touch t =
+  t.gen <- t.gen + 1;
+  Aurora_sim.Genlog.note ~kind:Aurora_sim.Genlog.kind_fdesc ~id:t.desc_id
 
 let set_ext_sync t v =
   if t.ext_sync <> v then touch t;

@@ -10,7 +10,9 @@ let create () =
 
 let id t = t.kq_id
 let generation t = t.gen
-let touch t = t.gen <- t.gen + 1
+let touch t =
+  t.gen <- t.gen + 1;
+  Aurora_sim.Genlog.note ~kind:Aurora_sim.Genlog.kind_kqueue ~id:t.kq_id
 
 let same_slot a ~ident ~filter = a.ident = ident && a.filter = filter
 

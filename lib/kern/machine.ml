@@ -17,6 +17,15 @@ type t = {
   mutable vfs : Vfs.ops option;
   ncpus : int;
   device_whitelist : string list;
+  (* Soft-quiesce scheduling hook: while a speculative checkpoint
+     serializes, the orchestrator opens concurrency windows during which
+     the workload driver may run (the threads are NOT at a boundary).
+     [stopped] is latched by quiesce/resume so a window can never open
+     inside the hard stop, and [hook_depth] stops a hook that itself
+     reaches a yield point from re-entering. *)
+  mutable run_hook : (int -> unit) option;
+  mutable hook_depth : int;
+  mutable stopped : bool;
 }
 
 let create ?clock ?(ncpus = 24) () =
@@ -33,6 +42,9 @@ let create ?clock ?(ncpus = 24) () =
     vfs = None;
     ncpus;
     device_whitelist = [ "hpet0"; "vdso"; "null"; "zero"; "urandom" ];
+    run_hook = None;
+    hook_depth = 0;
+    stopped = false;
   }
 
 let mount t ops = t.vfs <- Some ops
@@ -126,6 +138,7 @@ let live_procs t =
   |> List.sort (fun a b -> compare a.Process.pid_global b.Process.pid_global)
 
 let quiesce t procs =
+  t.stopped <- true;
   (* One broadcast IPI reaches all cores running the group, then each
      thread drains to the boundary. *)
   Clock.advance t.clock Cost.ipi_roundtrip;
@@ -134,7 +147,20 @@ let quiesce t procs =
       List.iter (fun thr -> Thread.quiesce thr ~clock:t.clock) p.Process.threads)
     procs
 
-let resume _t procs =
+let resume t procs =
+  t.stopped <- false;
   List.iter (fun p -> List.iter Thread.resume p.Process.threads) procs
+
+let set_run_hook t hook = t.run_hook <- hook
+let stopped t = t.stopped
+
+let concurrent_window t ~ns =
+  if ns > 0 && (not t.stopped) && t.hook_depth = 0 then
+    match t.run_hook with
+    | None -> ()
+    | Some hook ->
+        t.hook_depth <- t.hook_depth + 1;
+        Fun.protect ~finally:(fun () -> t.hook_depth <- t.hook_depth - 1)
+          (fun () -> hook ns)
 
 let device_allowed t name = List.mem name t.device_whitelist

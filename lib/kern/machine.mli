@@ -22,6 +22,10 @@ type t = {
   mutable vfs : Vfs.ops option;
   ncpus : int;
   device_whitelist : string list;
+  mutable run_hook : (int -> unit) option;
+      (** soft-quiesce scheduling hook; see {!set_run_hook} *)
+  mutable hook_depth : int;
+  mutable stopped : bool;  (** latched between {!quiesce} and {!resume} *)
 }
 
 val create : ?clock:Aurora_sim.Clock.t -> ?ncpus:int -> unit -> t
@@ -69,5 +73,21 @@ val quiesce : t -> Process.t list -> unit
     one IPI broadcast plus per-thread CPU-state capture. *)
 
 val resume : t -> Process.t list -> unit
+
+val set_run_hook : t -> (int -> unit) option -> unit
+(** Install (or clear) the soft-quiesce scheduling hook.  During a
+    speculative checkpoint's serialize phase the orchestrator opens
+    concurrency windows via {!concurrent_window}; the hook receives the
+    window length in virtual ns and may run workload threads — issue
+    syscalls, touch memory — exactly as if they had never stopped. *)
+
+val concurrent_window : t -> ns:int -> unit
+(** Invoke the run hook for an [ns]-long window.  A no-op while the
+    machine is hard-stopped (between {!quiesce} and {!resume}), when no
+    hook is installed, or re-entrantly from inside the hook — so the
+    workload can never advance inside the stop window. *)
+
+val stopped : t -> bool
+(** True between {!quiesce} and {!resume}. *)
 
 val device_allowed : t -> string -> bool

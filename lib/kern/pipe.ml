@@ -22,7 +22,9 @@ let create () =
 
 let id t = t.pipe_id
 let generation t = t.gen
-let touch t = t.gen <- t.gen + 1
+let touch t =
+  t.gen <- t.gen + 1;
+  Aurora_sim.Genlog.note ~kind:Aurora_sim.Genlog.kind_pipe ~id:t.pipe_id
 
 let write t data =
   let room = capacity - Buffer.length t.buf in

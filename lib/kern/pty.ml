@@ -26,7 +26,9 @@ let id t = t.pty_id
 let unit_number t = t.unit_no
 let termios t = t.tio
 let generation t = t.gen
-let touch t = t.gen <- t.gen + 1
+let touch t =
+  t.gen <- t.gen + 1;
+  Aurora_sim.Genlog.note ~kind:Aurora_sim.Genlog.kind_pty ~id:t.pty_id
 
 let set_termios t ~echo ~canonical ~baud =
   t.tio.echo <- echo;

@@ -46,7 +46,9 @@ let id t = t.sock_id
 let domain t = t.dom
 let proto t = t.prot
 let generation t = t.gen
-let touch t = t.gen <- t.gen + 1
+let touch t =
+  t.gen <- t.gen + 1;
+  Aurora_sim.Genlog.note ~kind:Aurora_sim.Genlog.kind_socket ~id:t.sock_id
 
 let bind t a =
   t.laddr <- Some a;

@@ -81,3 +81,4 @@ let quiesce t ~clock =
   t.state <- At_boundary
 
 let resume t = if t.state = At_boundary then t.state <- Running_user
+let at_boundary t = t.state = At_boundary

@@ -63,4 +63,10 @@ val quiesce : t -> clock:Aurora_sim.Clock.t -> unit
 
 val resume : t -> unit
 
+val at_boundary : t -> bool
+(** True while the thread is parked at the kernel boundary (between
+    quiesce and resume).  A thread at the boundary must not execute:
+    the soft-quiesce scheduler asserts this before opening a
+    concurrency window. *)
+
 val syscall_insn_len : int

@@ -1,14 +1,27 @@
 module Clock = Aurora_sim.Clock
 module Cost = Aurora_sim.Cost
 
-type pte = { mutable page : Page.t; mutable writable : bool; mutable dirty : bool }
+(* Two dirty-bit planes per PTE.  [dirty] is the incremental-checkpoint
+   plane harvested (and cleared) inside the stop window; [spec_dirty] is
+   a second, independently-cleared plane for the speculative soft
+   quiesce: the speculation phase clears it before harvesting pages, and
+   any write landing mid-serialize reappears there as a page conflict.
+   Keeping the planes separate means arming/draining speculation can
+   never perturb the dirty set the incremental path observes. *)
+type pte = {
+  mutable page : Page.t;
+  mutable writable : bool;
+  mutable dirty : bool;
+  mutable spec_dirty : bool;
+}
+
 type t = { ptes : (int, pte) Hashtbl.t }
 
 let create () = { ptes = Hashtbl.create 256 }
 let find t vpn = Hashtbl.find_opt t.ptes vpn
 
 let install ?(dirty = false) t vpn page ~writable =
-  Hashtbl.replace t.ptes vpn { page; writable; dirty }
+  Hashtbl.replace t.ptes vpn { page; writable; dirty; spec_dirty = dirty }
 
 let dirty_vpns t =
   Hashtbl.fold (fun v pte acc -> if pte.dirty then v :: acc else acc) t.ptes []
@@ -16,6 +29,28 @@ let dirty_vpns t =
 
 let clear_dirty t =
   Hashtbl.iter (fun _ pte -> pte.dirty <- false) t.ptes
+
+let spec_dirty_vpns t =
+  Hashtbl.fold
+    (fun v pte acc -> if pte.spec_dirty then v :: acc else acc)
+    t.ptes []
+  |> List.sort compare
+
+let spec_clear t = Hashtbl.iter (fun _ pte -> pte.spec_dirty <- false) t.ptes
+
+(* Collect-and-rearm in one pass: refinement rounds re-copy the pages
+   written since the previous drain, so each drain resets the plane for
+   the next window. *)
+let spec_drain t =
+  Hashtbl.fold
+    (fun v pte acc ->
+      if pte.spec_dirty then begin
+        pte.spec_dirty <- false;
+        v :: acc
+      end
+      else acc)
+    t.ptes []
+  |> List.sort compare
 
 let remove t vpn = Hashtbl.remove t.ptes vpn
 

@@ -8,7 +8,12 @@
 
     Addresses are in page units (virtual page numbers). *)
 
-type pte = { mutable page : Page.t; mutable writable : bool; mutable dirty : bool }
+type pte = {
+  mutable page : Page.t;
+  mutable writable : bool;
+  mutable dirty : bool;
+  mutable spec_dirty : bool;
+}
 
 type t
 
@@ -28,6 +33,19 @@ val dirty_vpns : t -> int list
 
 val clear_dirty : t -> unit
 (** Clear every dirty bit (checkpoint harvest end). *)
+
+val spec_dirty_vpns : t -> int list
+(** VPNs whose PTE has the {e speculative} dirty bit set, ascending.
+    The spec plane is double-buffered against [dirty]: both bits are set
+    by the same write paths, but clearing one plane never touches the
+    other, so a speculative harvest cannot race the incremental path. *)
+
+val spec_clear : t -> unit
+(** Clear every speculative dirty bit (speculation-phase arm). *)
+
+val spec_drain : t -> int list
+(** Atomically collect the spec-dirty VPNs (ascending) and clear their
+    bits, re-arming the plane for the next refinement window. *)
 
 val remove_range : t -> vpn:int -> npages:int -> unit
 

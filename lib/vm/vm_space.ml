@@ -16,6 +16,13 @@ type t = {
   vmap : Vm_map.t;
   phys : Pmap.t;
   st : stats;
+  (* Speculative-checkpoint epoch: while set, structural address-space
+     changes (fork's shadow swing, unmap discarding spec-dirty PTEs)
+     cannot be expressed as per-page conflicts, so they latch
+     [spec_structural] and the validator falls back to a full re-copy of
+     the harvested objects. *)
+  mutable spec_epoch : bool;
+  mutable spec_structural : bool;
 }
 
 let create ~clock =
@@ -31,6 +38,8 @@ let create ~clock =
         stale_refaults = 0;
         pageins = 0;
       };
+    spec_epoch = false;
+    spec_structural = false;
   }
 
 let clock t = t.clk
@@ -49,6 +58,7 @@ let map_object ?shared t ~obj ~obj_pgoff ~npages ~prot =
   Vm_map.map ?shared t.vmap ~vpn ~npages ~prot ~obj ~obj_pgoff
 
 let unmap t entry =
+  if t.spec_epoch then t.spec_structural <- true;
   Pmap.remove_range t.phys ~vpn:entry.Vm_map.start_vpn ~npages:entry.Vm_map.npages;
   Vm_map.unmap t.vmap entry
 
@@ -154,7 +164,10 @@ let access t ~vpn ~write =
             (* Downgraded by checkpoint shadowing or fork: refault. *)
             handle_fault t e vpn ~write:true
           else begin
-            if write then pte.dirty <- true;
+            if write then begin
+              pte.dirty <- true;
+              pte.spec_dirty <- true
+            end;
             pte.page
           end
       | Some _ | None ->
@@ -253,6 +266,7 @@ let replace_object t ~old_obj ~new_obj =
   !downgraded
 
 let fork t =
+  if t.spec_epoch then t.spec_structural <- true;
   let child = create ~clock:t.clk in
   List.iter
     (fun (e : Vm_map.entry) ->
@@ -318,3 +332,17 @@ let dirty_top_pages t =
       end
       else acc)
     0 (Vm_map.entries t.vmap)
+
+(* Speculative-checkpoint epoch ------------------------------------------ *)
+
+let spec_begin t =
+  t.spec_epoch <- true;
+  t.spec_structural <- false;
+  Pmap.spec_clear t.phys
+
+let spec_drain t = Pmap.spec_drain t.phys
+let spec_structural t = t.spec_structural
+
+let spec_end t =
+  t.spec_epoch <- false;
+  t.spec_structural <- false

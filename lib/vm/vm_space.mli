@@ -101,3 +101,26 @@ val resident_pages : t -> int
 val dirty_top_pages : t -> int
 (** Pages resident in the top objects of writable entries — the dirty set
     the next incremental checkpoint must flush. *)
+
+(** {1 Speculative soft-quiesce}
+
+    While a speculative checkpoint serializes pages without stopping the
+    workload, the space tracks a second, independently cleared dirty-bit
+    plane plus a structural-hazard latch.  See {!Pmap.spec_dirty_vpns}. *)
+
+val spec_begin : t -> unit
+(** Arm the speculation epoch: clears the spec dirty plane and the
+    structural latch.  The incremental plane is untouched. *)
+
+val spec_drain : t -> int list
+(** VPNs written since the last drain (ascending); clears their spec
+    bits so the next drain reports only the following window. *)
+
+val spec_structural : t -> bool
+(** True if a fork or unmap happened during the armed epoch: per-page
+    conflict tracking is no longer sound (PTEs carrying spec bits were
+    discarded or entries swung to new shadow objects), and the validator
+    must re-copy harvested objects wholesale. *)
+
+val spec_end : t -> unit
+(** Disarm; clears the structural latch. *)

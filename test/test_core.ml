@@ -414,6 +414,33 @@ let test_memckpt_shared_region () =
   Alcotest.(check string) "a sees b's post-memckpt write" "v2"
     (Vm_space.read_string a.Process.space ~addr:(Vm_space.addr_of_entry ea) ~len:2)
 
+(* ckpt_stats contract (group.mli): the stop window always contains the
+   quiesce and — on speculative cycles — the validation pass, so
+   stop_ns >= quiesce_ns + validate_ns holds in every checkpoint mode;
+   stop-the-world cycles report validate_ns = 0. *)
+let test_stop_window_stats_invariant () =
+  let sys = Sls.boot () in
+  let m = sys.Sls.machine in
+  let p = Syscall.spawn m ~name:"inv" in
+  let _rd, wr = Syscall.pipe m p in
+  let group = Sls.attach sys [ p ] in
+  let check_mode what (c : Group.ckpt_stats) =
+    Alcotest.(check bool) (what ^ ": stop_ns >= quiesce_ns + validate_ns") true
+      (c.Group.stop_ns >= c.Group.quiesce_ns + c.Group.validate_ns)
+  in
+  check_mode "initial full" (Group.checkpoint ~wait_durable:true group);
+  ignore (Syscall.write m p ~fd:wr "a");
+  let stw = Group.checkpoint group in
+  check_mode "incremental stop-the-world" stw;
+  Alcotest.(check int) "stw reports no validation pass" 0 stw.Group.validate_ns;
+  ignore (Syscall.write m p ~fd:wr "b");
+  let spec = Group.checkpoint ~speculative:true group in
+  check_mode "speculative" spec;
+  Alcotest.(check bool) "speculative cycle accounted a validation pass" true
+    (spec.Group.validate_ns > 0);
+  ignore (Syscall.write m p ~fd:wr "c");
+  check_mode "forced full" (Group.checkpoint ~full:true group)
+
 let test_replayer_interleaved_fds () =
   let open Aurora_core.Replay in
   let log =
@@ -1604,6 +1631,8 @@ let () =
           Alcotest.test_case "mem-only then full" `Quick test_mem_only_then_full_preserves_data;
           Alcotest.test_case "unreferenced sysv shm" `Quick test_unreferenced_sysv_shm_survives;
           Alcotest.test_case "periodic driver" `Quick test_run_for_takes_periodic_checkpoints;
+          Alcotest.test_case "stop-window stats invariant" `Quick
+            test_stop_window_stats_invariant;
         ] );
       ( "verified restore",
         [

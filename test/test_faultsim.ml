@@ -29,6 +29,21 @@ let test_enumerate_standard () =
     true
     (r.Torture.r_crash_points >= 200)
 
+(* The speculative arm rewrites every checkpoint into stale-prelude +
+   newest-wins corrections — the validator's conflict-splice shape — and
+   the enumerator must still find recovery consistent at every device
+   submission boundary (never a half-spliced image). *)
+let test_enumerate_speculative_arm () =
+  let r = Torture.enumerate (Workload.speculative_arm Workload.standard) in
+  List.iter
+    (fun f -> Printf.printf "FAIL %s\n%!" (Torture.pp_failure f))
+    r.Torture.r_failures;
+  Alcotest.(check int) "no failures" 0 (List.length r.Torture.r_failures);
+  Alcotest.(check bool)
+    (Printf.sprintf "covers many boundaries (%d)" r.Torture.r_boundaries)
+    true
+    (r.Torture.r_boundaries >= 50)
+
 (* Acceptance criterion: a deliberately injected ordering bug — the
    superblock submitted before the checkpoint record completes — must be
    caught by the same enumeration. *)
@@ -131,7 +146,14 @@ let qcheck_tests =
 module Ha_torture = Aurora_faultsim.Ha_torture
 
 let test_ha_torture_run () =
-  let r = Ha_torture.run ~seed:2026 ~rounds:5 ~rate:0.08 in
+  let r = Ha_torture.run ~seed:2026 ~rounds:5 ~rate:0.08 () in
+  Alcotest.(check bool) (Ha_torture.pp_run r) true r.Ha_torture.hr_ok
+
+(* Same torture under speculative soft-quiesce checkpoints, with the
+   mid-window mutator forcing conflict splices into every shipped epoch:
+   failover must still land on a model-consistent epoch. *)
+let test_ha_torture_run_speculative () =
+  let r = Ha_torture.run ~speculative:true ~seed:2026 ~rounds:5 ~rate:0.08 () in
   Alcotest.(check bool) (Ha_torture.pp_run r) true r.Ha_torture.hr_ok
 
 let test_ha_torture_negative_controls () =
@@ -148,6 +170,8 @@ let () =
       ( "enumeration",
         [
           Alcotest.test_case "standard workload clean" `Quick test_enumerate_standard;
+          Alcotest.test_case "speculative splice arm clean" `Quick
+            test_enumerate_speculative_arm;
           Alcotest.test_case "catches misorder bug" `Quick test_enumerate_catches_misorder;
         ] );
       ( "model",
@@ -165,6 +189,8 @@ let () =
         [
           Alcotest.test_case "faulty run recovers model state" `Quick
             test_ha_torture_run;
+          Alcotest.test_case "speculative run recovers model state" `Quick
+            test_ha_torture_run_speculative;
           Alcotest.test_case "negative controls skip corruption" `Quick
             test_ha_torture_negative_controls;
         ] );

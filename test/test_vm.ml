@@ -372,18 +372,24 @@ let qcheck_tests =
          ~count:100
          QCheck.(
            list_of_size (Gen.int_range 1 40)
-             (pair (int_range 0 6) (int_range 0 7)))
+             (pair (int_range 0 8) (int_range 0 7)))
          (fun ops ->
            let clock = Clock.create () in
            let s = Vm_space.create ~clock in
            let e = Vm_space.map_anonymous s ~npages:8 ~prot:Vm_map.prot_rw in
            let base = Vm_space.addr_of_entry e in
            let model = Hashtbl.create 8 in
+           (* Parallel model of the double-buffered speculation plane:
+              writes stamp both planes, but harvesting one must never
+              disturb the other. *)
+           let smodel = Hashtbl.create 8 in
            let ok = ref true in
            let dirty_now () = Pmap.dirty_vpns (Vm_space.pmap s) in
-           let model_sorted () =
-             Hashtbl.fold (fun v () acc -> v :: acc) model [] |> List.sort compare
+           let spec_now () = Pmap.spec_dirty_vpns (Vm_space.pmap s) in
+           let sorted tbl =
+             Hashtbl.fold (fun v () acc -> v :: acc) tbl [] |> List.sort compare
            in
+           let model_sorted () = sorted model in
            List.iter
              (fun (op, pg) ->
                let vpn = e.Vm_map.start_vpn + pg in
@@ -392,7 +398,8 @@ let qcheck_tests =
                    (* Write: whichever fault path resolves it (soft, COW,
                       zero-fill, downgrade refault) must stamp the bit. *)
                    Vm_space.write_byte s ~addr:(base + (pg * 4096)) 'w';
-                   Hashtbl.replace model vpn ()
+                   Hashtbl.replace model vpn ();
+                   Hashtbl.replace smodel vpn ()
                | 1 ->
                    (* Read: never dirties, even when it installs a PTE. *)
                    ignore (Vm_space.read_byte s ~addr:(base + (pg * 4096)))
@@ -400,7 +407,10 @@ let qcheck_tests =
                    (* Harvest: the hardware-set bits are exactly the model. *)
                    if dirty_now () <> model_sorted () then ok := false;
                    Pmap.clear_dirty (Vm_space.pmap s);
-                   Hashtbl.reset model
+                   Hashtbl.reset model;
+                   (* The incremental harvest must not disturb the spec
+                      plane. *)
+                   if spec_now () <> sorted smodel then ok := false
                | 3 ->
                    (* Fork downgrades the parent's PTEs but keeps their
                       dirty bits: the pre-fork dirty set must survive. *)
@@ -415,7 +425,8 @@ let qcheck_tests =
                    let sh = Vm_object.shadow ~clock obj in
                    ignore (Vm_space.replace_object s ~old_obj:obj ~new_obj:sh);
                    for v = e.Vm_map.start_vpn to e.Vm_map.start_vpn + 7 do
-                     Hashtbl.remove model v
+                     Hashtbl.remove model v;
+                     Hashtbl.remove smodel v
                    done
                | 5 ->
                    (* shm map/write/unmap: the shared window dirties while
@@ -428,8 +439,27 @@ let qcheck_tests =
                    let svpn = she.Vm_map.start_vpn in
                    Vm_space.write_byte s ~addr:(svpn * 4096) 's';
                    if not (List.mem svpn (dirty_now ())) then ok := false;
+                   if not (List.mem svpn (spec_now ())) then ok := false;
                    Vm_space.unmap s she;
-                   if List.mem svpn (dirty_now ()) then ok := false
+                   if List.mem svpn (dirty_now ()) then ok := false;
+                   if List.mem svpn (spec_now ()) then ok := false
+               | 7 ->
+                   (* Speculative harvest: drains exactly the spec model
+                      and leaves the incremental plane untouched — the
+                      double-buffering the checkpoint pipeline relies on
+                      when speculation and incremental harvests
+                      interleave. *)
+                   let before = dirty_now () in
+                   if Pmap.spec_drain (Vm_space.pmap s) <> sorted smodel then
+                     ok := false;
+                   Hashtbl.reset smodel;
+                   if dirty_now () <> before then ok := false
+               | 8 ->
+                   (* Re-arming speculation clears only the spec plane. *)
+                   let before = dirty_now () in
+                   Pmap.spec_clear (Vm_space.pmap s);
+                   Hashtbl.reset smodel;
+                   if dirty_now () <> before then ok := false
                | _ ->
                    (* Unstamped poke: mutate the resolved page behind the
                       pmap's back.  The dirty bit must NOT appear — this
@@ -440,6 +470,8 @@ let qcheck_tests =
                    | Some pte -> Page.set pte.Pmap.page 5 '!'
                    | None -> ok := false);
                    if (not (Hashtbl.mem model vpn)) && List.mem vpn (dirty_now ())
+                   then ok := false;
+                   if (not (Hashtbl.mem smodel vpn)) && List.mem vpn (spec_now ())
                    then ok := false)
              ops;
            !ok));
