@@ -14,7 +14,11 @@ module Rng = Aurora_util.Rng
 
 let enumeration_ok = ref true
 
-let run_enumeration label ops =
+(* [floor] is the checked-in coverage floor: a recorded profile that
+   shrinks below it (a recorder regression silently emitting fewer
+   device-submission boundaries) fails the sweep even with zero crash
+   failures. *)
+let run_enumeration ?floor label ops =
   let r = Torture.enumerate ops in
   Printf.printf "enumerate %-18s %4d boundaries, %5d crash points, %d failures\n%!"
     label r.Torture.r_boundaries r.Torture.r_crash_points
@@ -22,7 +26,14 @@ let run_enumeration label ops =
   List.iter
     (fun f -> Printf.printf "  FAIL %s\n%!" (Torture.pp_failure f))
     r.Torture.r_failures;
-  if r.Torture.r_failures <> [] then enumeration_ok := false
+  if r.Torture.r_failures <> [] then enumeration_ok := false;
+  (match floor with
+  | Some f when r.Torture.r_boundaries < f ->
+      Printf.printf
+        "  FAIL %s: coverage regressed to %d boundaries (floor %d)\n%!" label
+        r.Torture.r_boundaries f;
+      enumeration_ok := false
+  | _ -> ())
 
 (* Two small per-tenant workloads, deterministic so the boundary/crash-point
    counts below are stable run to run.  Kept shorter than [standard]: the
@@ -49,9 +60,24 @@ let run_sweep label ~seed ~runs profile =
     label seed runs s.Torture.s_final_matches s.Torture.s_detected
     s.Torture.s_degraded s.Torture.s_read_faults
 
+(* Coverage floors for the kernel-driven recorded profiles (ISSUE 10).
+   Measured at recording defaults (fork_bomb seed 11/6 epochs, shm_ring
+   seed 23/8 epochs); a drop below means the recorder stopped exercising
+   part of the surface. *)
+let fork_bomb_floor = 60
+let shm_ring_floor = 40
+
 let fast () =
   run_enumeration "standard" Workload.standard;
   run_enumeration "standard-spec" (Workload.speculative_arm Workload.standard);
+  (let fb = Workload.fork_bomb () in
+   run_enumeration ~floor:fork_bomb_floor "fork-bomb" fb;
+   run_enumeration ~floor:fork_bomb_floor "fork-bomb-spec"
+     (Workload.speculative_arm fb));
+  (let ring = Workload.shm_ring () in
+   run_enumeration ~floor:shm_ring_floor "shm-ring" ring;
+   run_enumeration ~floor:shm_ring_floor "shm-ring-spec"
+     (Workload.speculative_arm ring));
   (let a, b = pair_workloads ~seed:20260809 in
    run_pair_enumeration "two-group" (a, b);
    run_pair_enumeration "two-group-spec"
@@ -62,6 +88,15 @@ let fast () =
 let deep seed =
   run_enumeration "standard" Workload.standard;
   run_enumeration "standard-spec" (Workload.speculative_arm Workload.standard);
+  for i = 0 to 2 do
+    let fb = Workload.fork_bomb ~seed:(seed + i) ~epochs:7 () in
+    run_enumeration (Printf.sprintf "fork-bomb(seed=%d)" (seed + i)) fb;
+    let ring = Workload.shm_ring ~seed:(seed + i) ~epochs:10 () in
+    run_enumeration (Printf.sprintf "shm-ring(seed=%d)" (seed + i)) ring;
+    run_enumeration
+      (Printf.sprintf "shm-ring-spec(seed=%d)" (seed + i))
+      (Workload.speculative_arm ring)
+  done;
   for i = 0 to 2 do
     let rng = Rng.create (seed + i) in
     let ops = Workload.gen_ops rng ~n:10 ~max_oid:5 ~max_pages:12 in

@@ -59,3 +59,40 @@ val standard : op list
 (** The acceptance workload: three-plus pipelined checkpoints with
     cross-leaf page spreads, journal create/append/truncate traffic and a
     prune — a few hundred device-submission boundaries. *)
+
+(** {1 Kernel-driven recorded profiles}
+
+    These run a real kernel model ({!Aurora_kern.Machine}, no store
+    attached) and project its state into plain ops after every epoch, so
+    the crash-point enumerator replays genuine POSIX behaviour — fork's
+    COW resolution, pipes spanning process boundaries, a shared-memory
+    ring — with no kernel in the loop. *)
+
+val fork_bomb : ?seed:int -> ?epochs:int -> unit -> op list
+(** A shell-pipeline process tree: the root "sh" forks children mid-epoch
+    (each fork creates a pipe whose ends span parent and child), children
+    write into a COW'd 8-page arena, leaves exit and are reaped.  Each
+    epoch checkpoints every live process's written pages — read through
+    that process's own address space, so undiverged children record
+    byte-identical pages (store dedup hits) — plus every live pipe's
+    unread residue. *)
+
+val shm_ring : ?seed:int -> ?epochs:int -> unit -> op list
+(** A POSIX-shm producer/consumer ring: two processes map the same shm
+    object ([shm_open]/[mmap_shm]) at different addresses; the producer
+    publishes records under a per-slot seqlock (stamp odd, write body,
+    stamp even, bump head) and the consumer reads through its own
+    mapping.  Some epochs checkpoint mid-publish — the recorded snapshot
+    is exactly the torn window a crash could land in.  Checkpoint pages
+    are read through the {e consumer's} mapping, proving the two mappings
+    are one object. *)
+
+val shm_ring_check : string -> (int, string) result
+(** Seqlock invariant over a rendered snapshot (a {!Model.render} or
+    {!Torture.observe} string): for every epoch's shm object, reconstruct
+    the ring from its [head=..;tail=..;slots=..;pub=..] meta and demand
+    every page matches — published slots carry an even stamp and the body
+    of their record; an in-flight publication carries an odd stamp and
+    (depending on its stage) the old or new body, so a reader skips it.
+    [Ok n] = [n] snapshots checked; [Error _] names the first exposed
+    half-written record. *)

@@ -354,6 +354,38 @@ let kqueue m p =
   let desc = register m (Fdesc.create (Fdesc.Kqueue_fd kq)) in
   Process.alloc_fd p desc
 
+(* kevent without a timeout: scan the kqueue's registered slots and
+   return the ones whose ident (an fd slot in the calling process) is
+   ready right now.  Read-readiness means a read would consume data (or
+   accept a pending connection) without blocking; write-readiness means
+   a write would accept bytes.  Event-loop servers (lib/apps/http_sim)
+   dispatch on the returned list. *)
+let kevent_poll m p ~fd =
+  syscall m;
+  match (fd_exn p fd).Fdesc.kind with
+  | Fdesc.Kqueue_fd kq ->
+      List.filter
+        (fun (ev : Kqueue.kevent) ->
+          match Process.fd p ev.Kqueue.ident with
+          | None -> false
+          | Some desc -> (
+              match (ev.Kqueue.filter, desc.Fdesc.kind) with
+              | Kqueue.Ev_read, Fdesc.Socket_fd s -> (
+                  match Socket.tcp_state s with
+                  | Socket.Tcp_listening -> Socket.accept_queue_length s > 0
+                  | Socket.Tcp_established _ | Socket.Tcp_closed ->
+                      Socket.recv_buffered s <> [])
+              | Kqueue.Ev_read, Fdesc.Pipe_read pipe -> Pipe.buffered pipe > 0
+              | Kqueue.Ev_write, Fdesc.Socket_fd _ -> true
+              | Kqueue.Ev_write, Fdesc.Pipe_write pipe ->
+                  Pipe.read_open pipe && Pipe.buffered pipe < Pipe.capacity
+              | _ -> false))
+        (Kqueue.events kq)
+  | Fdesc.Vnode_file _ | Fdesc.Pipe_read _ | Fdesc.Pipe_write _ | Fdesc.Socket_fd _
+  | Fdesc.Pty_master_fd _ | Fdesc.Pty_slave_fd _ | Fdesc.Shm_fd _
+  | Fdesc.Device_fd _ ->
+      err "EBADF"
+
 let kevent_register p ~fd ev =
   match (fd_exn p fd).Fdesc.kind with
   | Fdesc.Kqueue_fd kq -> Kqueue.register kq ev

@@ -293,6 +293,65 @@ let test_unmap_drops_translations () =
 
 let qcheck_tests =
   [
+    (* A fork FAMILY, not just one parent/child pair: random interleavings
+       of forks (of any member), writes (to any member) and
+       checkpoint-style shadow rotations must leave every member's bytes
+       exactly its own write history resolved through however many COW
+       shadow levels the run built up.  Rotation is the checkpoint
+       pipeline's interposition and must be content-transparent. *)
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make
+         ~name:"fork family: COW byte identity under random forks/writes/rotations"
+         ~count:60
+         QCheck.(
+           list_of_size (Gen.int_range 1 60)
+             (triple (int_range 0 9) (int_range 0 5) (int_range 0 (8 * 4096 - 1))))
+         (fun ops ->
+           let clock = Clock.create () in
+           let root = Vm_space.create ~clock in
+           let e = Vm_space.map_anonymous root ~npages:8 ~prot:Vm_map.prot_rw in
+           let base = Vm_space.addr_of_entry e in
+           (* Shadow model per member: folded page slot -> last char written
+              there.  Pages hold [Page.payload_size] real bytes and fold
+              larger offsets onto them, so two offsets in one page can
+              alias — the model must key on the folded slot. *)
+           let key off =
+             ((off / Page.logical_size) * Page.payload_size)
+             + (off mod Page.payload_size)
+           in
+           let addr_of_key k =
+             base
+             + ((k / Page.payload_size) * Page.logical_size)
+             + (k mod Page.payload_size)
+           in
+           let family = ref [ (root, Hashtbl.create 64) ] in
+           List.iteri
+             (fun i (tag, who, off) ->
+               let space, model = List.nth !family (who mod List.length !family) in
+               match tag with
+               | 0 | 1 when List.length !family < 6 ->
+                   let child = Vm_space.fork space in
+                   family := !family @ [ (child, Hashtbl.copy model) ]
+               | 2 -> (
+                   (* Checkpoint rotation: interpose a fresh shadow above
+                      this member's top object. *)
+                   match Vm_space.unique_objects space with
+                   | obj :: _ ->
+                       let sh = Vm_object.shadow ~clock obj in
+                       ignore (Vm_space.replace_object space ~old_obj:obj ~new_obj:sh)
+                   | [] -> ())
+               | _ ->
+                   let c = Char.chr (Char.code 'a' + (i mod 26)) in
+                   Vm_space.write_byte space ~addr:(base + off) c;
+                   Hashtbl.replace model (key off) c)
+             ops;
+           List.for_all
+             (fun (space, model) ->
+               Hashtbl.fold
+                 (fun k c ok ->
+                   ok && Vm_space.read_byte space ~addr:(addr_of_key k) = c)
+                 model true)
+             !family));
     QCheck_alcotest.to_alcotest
       (QCheck.Test.make ~name:"space write/read roundtrip at random offsets" ~count:200
          QCheck.(pair (int_range 0 (16 * 4096 - 32)) (string_of_size (Gen.int_range 1 32)))
